@@ -1,0 +1,100 @@
+// Ablation — Step 4 (SAPS) design choices: initialization mode, move set,
+// temperature, and restart budget (DESIGN.md §6).
+//
+// The headline finding this bench documents: on pair-normalized closures
+// the greedy nearest-neighbor initialization is pathological (its first
+// hop targets the most-dominated object), while the out-/in-weight
+// difference ranking starts near the global order.
+#include "bench/common.hpp"
+
+namespace crowdrank {
+namespace {
+
+double accuracy_for(const SapsConfig& saps, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.object_count = 100;
+  config.selection_ratio = 0.3;
+  config.worker_pool_size = 30;
+  config.workers_per_task = 3;
+  config.worker_quality = {QualityDistribution::Gaussian,
+                           QualityLevel::Medium};
+  config.inference.saps = saps;
+  config.seed = seed;
+  return run_experiment(config).accuracy;
+}
+
+void run() {
+  bench::banner("Ablation: SAPS (Step 4)",
+                "initialization, move set, temperature, restarts "
+                "(n = 100, r = 0.3, medium Gaussian quality)");
+
+  const int trials = 3;
+  const auto avg = [&](const SapsConfig& cfg, std::uint64_t base) {
+    double acc = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      acc += accuracy_for(cfg, base + t);
+    }
+    return acc / trials;
+  };
+
+  TableWriter init_table({"init_mode", "accuracy"});
+  {
+    SapsConfig cfg;
+    cfg.init_mode = SapsInitMode::WeightDifferenceRanking;
+    init_table.add_row({"weight-difference (default)",
+                        TableWriter::fmt(avg(cfg, 5000))});
+    cfg.init_mode = SapsInitMode::GreedyNearestNeighbor;
+    init_table.add_row(
+        {"greedy nearest-neighbor", TableWriter::fmt(avg(cfg, 5000))});
+    cfg.init_mode = SapsInitMode::RandomPermutation;
+    init_table.add_row(
+        {"random permutation", TableWriter::fmt(avg(cfg, 5000))});
+  }
+  bench::emit(init_table);
+
+  TableWriter move_table({"moves", "accuracy"});
+  {
+    SapsConfig cfg;
+    move_table.add_row(
+        {"rotate+reverse+swap (all)", TableWriter::fmt(avg(cfg, 5100))});
+    cfg = {};
+    cfg.use_rotate = false;
+    move_table.add_row({"no rotate", TableWriter::fmt(avg(cfg, 5100))});
+    cfg = {};
+    cfg.use_reverse = false;
+    move_table.add_row({"no reverse", TableWriter::fmt(avg(cfg, 5100))});
+    cfg = {};
+    cfg.use_swap = false;
+    move_table.add_row({"no swap", TableWriter::fmt(avg(cfg, 5100))});
+  }
+  bench::emit(move_table);
+
+  TableWriter temp_table({"T0", "iterations", "accuracy"});
+  for (const double t0 : {0.01, 0.1, 1.0, 10.0}) {
+    for (const std::size_t iters : {500ul, 3000ul}) {
+      SapsConfig cfg;
+      cfg.initial_temperature = t0;
+      cfg.iterations = iters;
+      temp_table.add_row({TableWriter::fmt(t0, 2), std::to_string(iters),
+                          TableWriter::fmt(avg(cfg, 5200))});
+    }
+  }
+  bench::emit(temp_table);
+
+  TableWriter restart_table({"restarts", "accuracy"});
+  for (const std::size_t restarts : {1ul, 4ul, 16ul}) {
+    SapsConfig cfg;
+    cfg.restarts = restarts;
+    restart_table.add_row(
+        {std::to_string(restarts), TableWriter::fmt(avg(cfg, 5300))});
+  }
+  bench::emit(restart_table);
+}
+
+}  // namespace
+}  // namespace crowdrank
+
+int main() {
+  crowdrank::run();
+  return 0;
+}

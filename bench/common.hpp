@@ -1,0 +1,46 @@
+// Shared scaffolding for the reproduction bench binaries.
+//
+// Every bench prints (a) a banner naming the paper experiment it
+// regenerates, (b) an aligned table with the same rows/series the paper
+// reports, and (c) the same table as CSV for re-plotting. Default scales
+// are reduced so the whole suite runs in minutes; set CROWDRANK_FULL=1 for
+// paper-scale axes.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace crowdrank::bench {
+
+/// True when CROWDRANK_FULL=1: run the paper's full axes.
+inline bool full_scale() {
+  const char* env = std::getenv("CROWDRANK_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Prints the experiment banner.
+inline void banner(const std::string& experiment,
+                   const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << description << "\n"
+            << (full_scale() ? "(full paper scale: CROWDRANK_FULL=1)"
+                             : "(reduced default scale; set CROWDRANK_FULL=1 "
+                               "for the paper's axes)")
+            << "\n\n";
+}
+
+/// Prints the table both aligned and as CSV.
+inline void emit(const TableWriter& table) {
+  table.print_aligned(std::cout);
+  std::cout << "\n--- csv ---\n";
+  table.print_csv(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace crowdrank::bench

@@ -1,0 +1,106 @@
+// Fig. 6 — SAPS vs baselines w.r.t. worker quality and selection ratio
+// (paper §VI-E, simulated setting, Gaussian quality distribution).
+//
+// Shapes to reproduce: accuracy improves with r for every method; SAPS is
+// top-2 everywhere and wins RC/QS by a wide margin at small r (where RC/QS
+// sit at or below coin-flip level); CrowdBT shines at the smallest budgets
+// but loses to SAPS as the budget grows; better workers help every method.
+#include <memory>
+
+#include "baselines/crowd_bt.hpp"
+#include "baselines/quicksort_rank.hpp"
+#include "baselines/repeat_choice.hpp"
+#include "bench/common.hpp"
+#include "crowd/interactive.hpp"
+#include "metrics/kendall.hpp"
+
+namespace crowdrank {
+namespace {
+
+void run() {
+  bench::banner("Figure 6",
+                "SAPS vs RC vs QS vs CrowdBT across selection ratios and "
+                "worker-quality levels (n = 100, Gaussian distribution)");
+
+  const std::size_t n = 100;
+  const std::size_t m = 30;
+  const std::vector<double> ratios =
+      bench::full_scale()
+          ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                0.6, 0.7, 0.8, 0.9, 1.0}
+          : std::vector<double>{0.1, 0.3, 0.5, 0.7, 1.0};
+
+  const std::size_t trials = 3;
+  TableWriter table({"quality", "r", "SAPS", "RC", "QS", "CrowdBT"});
+  for (const auto level :
+       {QualityLevel::Low, QualityLevel::Medium, QualityLevel::High}) {
+    for (const double ratio : ratios) {
+      double acc_saps = 0.0;
+      double acc_rc = 0.0;
+      double acc_qs = 0.0;
+      double acc_bt = 0.0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+      Rng rng(500 + trial * 1000 +
+              static_cast<std::uint64_t>(ratio * 100));
+      auto perm = rng.permutation(n);
+      const Ranking truth(
+          std::vector<VertexId>(perm.begin(), perm.end()));
+      auto workers = sample_worker_pool(
+          m, {QualityDistribution::Gaussian, level}, rng);
+      const BudgetModel budget =
+          BudgetModel::for_selection_ratio(n, ratio, 0.025, 3);
+      const auto ta =
+          generate_task_assignment(n, budget.unique_task_count(), rng);
+      std::vector<Edge> tasks(ta.graph.edges().begin(),
+                              ta.graph.edges().end());
+      const HitAssignment assignment(tasks, HitConfig{5, 3}, m, rng);
+      const SimulatedCrowd crowd(truth, workers);
+      const VoteBatch votes = crowd.collect(assignment, rng);
+
+      Rng saps_rng(1);
+      const InferenceEngine engine;
+      const double saps = ranking_accuracy(
+          truth,
+          engine.infer(votes, n, m, assignment, saps_rng).ranking);
+
+      Rng rc_rng(2);
+      const double rc = ranking_accuracy(
+          truth, repeat_choice_from_votes(votes, n, m, rc_rng));
+
+      Rng qs_rng(3);
+      const double qs =
+          ranking_accuracy(truth, quicksort_ranking(votes, n, qs_rng));
+
+      Rng bt_rng(4);
+      const BudgetModel bt_budget = BudgetModel::for_unique_tasks(
+          assignment.unique_task_count(), 0.025, 3);
+      InteractiveCrowd oracle(crowd, bt_budget, bt_rng);
+      CrowdBtConfig bt_config;
+      bt_config.candidate_sample_size = 500;  // sampled active learning
+      const double bt = ranking_accuracy(
+          truth,
+          crowd_bt_interactive(oracle, n, m, bt_config, bt_rng).ranking);
+
+      acc_saps += saps;
+      acc_rc += rc;
+      acc_qs += qs;
+      acc_bt += bt;
+      }
+      const auto denom = static_cast<double>(trials);
+      table.add_row({to_string(level), TableWriter::fmt(ratio, 1),
+                     TableWriter::fmt(acc_saps / denom),
+                     TableWriter::fmt(acc_rc / denom),
+                     TableWriter::fmt(acc_qs / denom),
+                     TableWriter::fmt(acc_bt / denom)});
+    }
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+}  // namespace crowdrank
+
+int main() {
+  crowdrank::run();
+  return 0;
+}

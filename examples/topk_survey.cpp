@@ -1,0 +1,71 @@
+// Top-k survey: "which 5 of these 60 points of interest should we
+// feature?" — the paper's §VIII future-work scenario, built from the
+// library's full-ranking pipeline plus the top-k metrics and the budget
+// planner.
+//
+//   ./build/examples/topk_survey [n=60] [k=5] [target=0.9]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+#include "core/planning.hpp"
+#include "metrics/kendall.hpp"
+#include "metrics/topk.hpp"
+
+int main(int argc, char** argv) {
+  using namespace crowdrank;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  const std::size_t k =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 5;
+  const double target = argc > 3 ? std::atof(argv[3]) : 0.9;
+
+  // 1. Plan: cheapest budget expected to clear the target accuracy.
+  PlanningConfig planning;
+  planning.object_count = n;
+  planning.target_accuracy = target;
+  planning.worker_quality = {QualityDistribution::Gaussian,
+                             QualityLevel::Medium};
+  planning.seed = 13;
+  const auto plan = plan_budget_for_accuracy(planning);
+  if (!plan.has_value()) {
+    std::printf("no affordable plan reaches accuracy %.2f with this crowd "
+                "profile — recruit better workers or raise replication.\n",
+                target);
+    return 1;
+  }
+  std::printf("plan: ratio %.2f -> %zu comparisons, $%.2f "
+              "(estimated full-ranking accuracy %.3f, %zu probes)\n\n",
+              plan->selection_ratio, plan->unique_comparisons,
+              plan->total_cost, plan->estimated_accuracy, plan->probes_run);
+
+  // 2. Execute the plan once and score the head of the ranking.
+  ExperimentConfig experiment;
+  experiment.object_count = n;
+  experiment.selection_ratio = plan->selection_ratio;
+  experiment.worker_quality = planning.worker_quality;
+  experiment.seed = 2027;
+  const ExperimentResult result = run_experiment(experiment);
+
+  std::printf("full-ranking accuracy : %.3f\n", result.accuracy);
+  std::printf("top-%zu set precision   : %.3f\n", k,
+              top_k_precision(result.truth, result.inference.ranking, k));
+  std::printf("top-%zu pair accuracy   : %.3f\n", k,
+              top_k_pair_accuracy(result.truth, result.inference.ranking,
+                                  k));
+  std::printf("top-%zu displacement    : %.3f (0 = head perfectly placed)\n",
+              k,
+              top_k_displacement(result.truth, result.inference.ranking,
+                                 k));
+
+  std::printf("\nfeatured (inferred top-%zu):", k);
+  for (std::size_t p = 0; p < k; ++p) {
+    std::printf(" POI-%zu", result.inference.ranking.object_at(p));
+  }
+  std::printf("\ntrue top-%zu              :", k);
+  for (std::size_t p = 0; p < k; ++p) {
+    std::printf(" POI-%zu", result.truth.object_at(p));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "baselines/bradley_terry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/majority_vote.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+BradleyTerryResult fit_bradley_terry(const VoteBatch& votes,
+                                     std::size_t object_count,
+                                     const BradleyTerryConfig& config) {
+  CR_EXPECTS(object_count >= 2, "need at least two objects");
+  CR_EXPECTS(config.prior_pseudo_wins >= 0.0, "prior must be non-negative");
+
+  // wins(i, j): votes saying i beats j, plus a symmetric smoothing prior on
+  // every *voted* pair so one-sided pairs keep finite MLE skills.
+  Matrix wins = vote_tally(votes, object_count);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    for (std::size_t j = i + 1; j < object_count; ++j) {
+      if (wins(i, j) > 0.0 || wins(j, i) > 0.0) {
+        wins(i, j) += config.prior_pseudo_wins;
+        wins(j, i) += config.prior_pseudo_wins;
+      }
+    }
+  }
+
+  std::vector<double> total_wins(object_count, 0.0);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    for (std::size_t j = 0; j < object_count; ++j) {
+      total_wins[i] += wins(i, j);
+    }
+  }
+
+  BradleyTerryResult result;
+  result.skills.assign(object_count, 1.0);
+  auto& gamma = result.skills;
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < object_count; ++i) {
+      // MM update: gamma_i = W_i / sum_j n_ij / (gamma_i + gamma_j).
+      double denom = 0.0;
+      for (std::size_t j = 0; j < object_count; ++j) {
+        if (j == i) continue;
+        const double n_ij = wins(i, j) + wins(j, i);
+        if (n_ij == 0.0) continue;
+        denom += n_ij / (gamma[i] + gamma[j]);
+      }
+      if (denom == 0.0) continue;  // object never compared: skill stays 1
+      const double next = total_wins[i] / denom;
+      max_change = std::max(max_change, std::abs(next - gamma[i]));
+      gamma[i] = std::max(next, 1e-12);
+    }
+    // Renormalize to mean 1 (BT skills are scale-invariant).
+    double sum = 0.0;
+    for (const double g : gamma) sum += g;
+    const double scale = static_cast<double>(object_count) / sum;
+    for (double& g : gamma) g *= scale;
+
+    if (max_change < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+Ranking bradley_terry_ranking(const VoteBatch& votes,
+                              std::size_t object_count,
+                              const BradleyTerryConfig& config) {
+  const auto fit = fit_bradley_terry(votes, object_count, config);
+  return Ranking::from_scores(fit.skills);
+}
+
+}  // namespace crowdrank

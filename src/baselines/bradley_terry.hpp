@@ -1,0 +1,40 @@
+// Plain Bradley-Terry baseline (refs [19], [32]).
+//
+// Maximum-likelihood Bradley-Terry skill estimation via Hunter's MM
+// (minorization-maximization) algorithm over the aggregated win counts,
+// quality-blind: every vote weighs the same. Included as the classical
+// non-crowd-aware comparator between majority voting and CrowdBT, and used
+// by the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+
+namespace crowdrank {
+
+struct BradleyTerryConfig {
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-9;      ///< max |skill change| per MM sweep to stop
+  double prior_pseudo_wins = 0.1;  ///< smoothing so unseen objects stay finite
+};
+
+struct BradleyTerryResult {
+  std::vector<double> skills;  ///< gamma_i > 0, normalized to mean 1
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Fits BT skills to the vote batch by MM iteration.
+BradleyTerryResult fit_bradley_terry(const VoteBatch& votes,
+                                     std::size_t object_count,
+                                     const BradleyTerryConfig& config = {});
+
+/// Ranking by descending fitted skill.
+Ranking bradley_terry_ranking(const VoteBatch& votes,
+                              std::size_t object_count,
+                              const BradleyTerryConfig& config = {});
+
+}  // namespace crowdrank

@@ -1,0 +1,159 @@
+#include "baselines/crowd_bt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// Mutable CrowdBT posterior state.
+struct State {
+  std::vector<double> mu;
+  std::vector<double> sigma2;
+  std::vector<double> alpha;
+  std::vector<double> beta;
+};
+
+State make_state(std::size_t object_count, std::size_t worker_count,
+                 const CrowdBtConfig& config) {
+  CR_EXPECTS(object_count >= 2, "need at least two objects");
+  CR_EXPECTS(worker_count >= 1, "need at least one worker");
+  CR_EXPECTS(config.initial_sigma2 > 0.0, "initial variance must be > 0");
+  CR_EXPECTS(config.prior_alpha > 0.0 && config.prior_beta > 0.0,
+             "Beta prior parameters must be positive");
+  State s;
+  s.mu.assign(object_count, config.initial_mu);
+  s.sigma2.assign(object_count, config.initial_sigma2);
+  s.alpha.assign(worker_count, config.prior_alpha);
+  s.beta.assign(worker_count, config.prior_beta);
+  return s;
+}
+
+/// One online update for "worker k reported winner beats loser".
+void update(State& s, WorkerId k, VertexId winner, VertexId loser,
+            const CrowdBtConfig& config) {
+  const double eta = s.alpha[k] / (s.alpha[k] + s.beta[k]);
+  // BT win probability under current means.
+  const double p = 1.0 / (1.0 + std::exp(-(s.mu[winner] - s.mu[loser])));
+  // Likelihood of the observed report: the worker is consistent with the
+  // true order with probability eta.
+  const double like = eta * p + (1.0 - eta) * (1.0 - p);
+  const double safe_like = std::max(like, 1e-12);
+
+  // Gradient and curvature of log-likelihood w.r.t. mu_winner
+  // (anti-symmetric in mu_loser).
+  const double g = (2.0 * eta - 1.0) * p * (1.0 - p) / safe_like;
+  const double curve =
+      (2.0 * eta - 1.0) * p * (1.0 - p) * (1.0 - 2.0 * p) / safe_like -
+      g * g;
+
+  s.mu[winner] += s.sigma2[winner] * g;
+  s.mu[loser] -= s.sigma2[loser] * g;
+  const double factor_w =
+      std::max(1.0 + s.sigma2[winner] * curve, config.min_sigma2);
+  const double factor_l =
+      std::max(1.0 + s.sigma2[loser] * curve, config.min_sigma2);
+  s.sigma2[winner] =
+      std::max(s.sigma2[winner] * factor_w, config.min_sigma2);
+  s.sigma2[loser] = std::max(s.sigma2[loser] * factor_l, config.min_sigma2);
+
+  // Worker-quality update: posterior responsibility that the report is
+  // consistent with the (current) true order.
+  const double resp = eta * p / safe_like;
+  s.alpha[k] += resp;
+  s.beta[k] += 1.0 - resp;
+}
+
+CrowdBtResult finish(State&& s, std::size_t answers_used) {
+  CrowdBtResult result{Ranking::from_scores(s.mu), std::move(s.mu),
+                       std::move(s.sigma2), {}, answers_used};
+  result.eta.reserve(s.alpha.size());
+  for (std::size_t k = 0; k < s.alpha.size(); ++k) {
+    result.eta.push_back(s.alpha[k] / (s.alpha[k] + s.beta[k]));
+  }
+  return result;
+}
+
+}  // namespace
+
+CrowdBtResult crowd_bt_interactive(InteractiveCrowd& crowd,
+                                   std::size_t object_count,
+                                   std::size_t worker_count,
+                                   const CrowdBtConfig& config, Rng& rng) {
+  State s = make_state(object_count, worker_count, config);
+  std::size_t answers = 0;
+
+  const auto score_pair = [&](VertexId i, VertexId j) {
+    const double p = 1.0 / (1.0 + std::exp(-(s.mu[i] - s.mu[j])));
+    return (s.sigma2[i] + s.sigma2[j]) * p * (1.0 - p);
+  };
+
+  while (crowd.can_query()) {
+    VertexId best_i = 0;
+    VertexId best_j = 1;
+    if (rng.bernoulli(config.exploration_rate)) {
+      best_i = static_cast<VertexId>(rng.uniform_index(object_count));
+      best_j = static_cast<VertexId>(rng.uniform_index(object_count - 1));
+      if (best_j >= best_i) ++best_j;
+    } else if (config.candidate_sample_size == 0) {
+      // Literal active learning: score every pair, pick the argmax.
+      double best_score = -1.0;
+      for (VertexId i = 0; i < object_count; ++i) {
+        for (VertexId j = i + 1; j < object_count; ++j) {
+          const double sc = score_pair(i, j);
+          if (sc > best_score) {
+            best_score = sc;
+            best_i = i;
+            best_j = j;
+          }
+        }
+      }
+    } else {
+      // Sampled active learning: argmax over a random candidate set.
+      double best_score = -1.0;
+      for (std::size_t c = 0; c < config.candidate_sample_size; ++c) {
+        const auto i = static_cast<VertexId>(rng.uniform_index(object_count));
+        auto j = static_cast<VertexId>(rng.uniform_index(object_count - 1));
+        if (j >= i) ++j;
+        const double sc = score_pair(i, j);
+        if (sc > best_score) {
+          best_score = sc;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+
+    const auto vote = crowd.query_random_worker(best_i, best_j);
+    if (!vote.has_value()) break;  // budget exhausted
+    ++answers;
+    const VertexId winner = vote->prefers_i ? vote->i : vote->j;
+    const VertexId loser = vote->prefers_i ? vote->j : vote->i;
+    update(s, vote->worker, winner, loser, config);
+  }
+  return finish(std::move(s), answers);
+}
+
+CrowdBtResult crowd_bt_offline(const VoteBatch& votes,
+                               std::size_t object_count,
+                               std::size_t worker_count,
+                               const CrowdBtConfig& config) {
+  CR_EXPECTS(!votes.empty(), "need at least one vote");
+  State s = make_state(object_count, worker_count, config);
+  for (const Vote& v : votes) {
+    CR_EXPECTS(v.i < object_count && v.j < object_count,
+               "vote references an out-of-range object");
+    CR_EXPECTS(v.worker < worker_count,
+               "vote references an out-of-range worker");
+    const VertexId winner = v.prefers_i ? v.i : v.j;
+    const VertexId loser = v.prefers_i ? v.j : v.i;
+    update(s, v.worker, winner, loser, config);
+  }
+  return finish(std::move(s), votes.size());
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,59 @@
+#include "baselines/local_kemeny.hpp"
+
+#include <vector>
+
+#include "baselines/majority_vote.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+double kemeny_disagreement(const Matrix& evidence, const Ranking& ranking) {
+  CR_EXPECTS(evidence.is_square(), "evidence matrix must be square");
+  CR_EXPECTS(evidence.rows() == ranking.size(),
+             "evidence and ranking sizes must match");
+  double total = 0.0;
+  const std::size_t n = ranking.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      // u ranked before v: every vote saying v < u disagrees.
+      total += evidence(ranking.object_at(b), ranking.object_at(a));
+    }
+  }
+  return total;
+}
+
+Ranking local_kemenize(const Matrix& evidence, const Ranking& seed) {
+  CR_EXPECTS(evidence.is_square(), "evidence matrix must be square");
+  CR_EXPECTS(evidence.rows() == seed.size(),
+             "evidence and ranking sizes must match");
+  std::vector<VertexId> order(seed.order().begin(), seed.order().end());
+  const std::size_t n = order.size();
+
+  // Bubble until no adjacent swap strictly helps. Each accepted swap
+  // reduces the (finite, non-negative) disagreement by the margin, so the
+  // loop terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      const VertexId u = order[p];
+      const VertexId v = order[p + 1];
+      // Current cost of this pair: mass for v over u; swapped: u over v.
+      if (evidence(v, u) > evidence(u, v)) {
+        order[p] = v;
+        order[p + 1] = u;
+        changed = true;
+      }
+    }
+  }
+  return Ranking(std::move(order));
+}
+
+Ranking local_kemeny_ranking(const VoteBatch& votes,
+                             std::size_t object_count) {
+  const Matrix tally = vote_tally(votes, object_count);
+  const Ranking seed = majority_vote_ranking(votes, object_count);
+  return local_kemenize(tally, seed);
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,37 @@
+// Local Kemenization baseline.
+//
+// The paper frames rank aggregation as minimizing Kendall-tau disagreement
+// (refs [14], [27]); full Kemeny optimization is NP-hard, but *local*
+// Kemenization (Dwork, Kumar, Naor, Sivakumar) repairs any seed ranking
+// until no adjacent transposition reduces the weighted disagreement with
+// the pairwise evidence. The result is locally Kemeny-optimal and keeps
+// the extended Condorcet property. Included as the classical
+// aggregation-theoretic comparator to Step 4's probabilistic objective,
+// and usable as a cheap polish pass over any baseline's output.
+#pragma once
+
+#include <cstddef>
+
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+/// Weighted pairwise disagreement of `ranking` with an evidence matrix:
+/// sum over ordered pairs (u before v in the ranking) of evidence(v, u) —
+/// i.e. the total vote/preference mass that contradicts the ranking.
+double kemeny_disagreement(const Matrix& evidence, const Ranking& ranking);
+
+/// Repairs `seed` by adjacent transpositions until locally optimal w.r.t.
+/// `evidence` (bubble passes; each swap strictly reduces disagreement, so
+/// termination is guaranteed). Evidence can be a vote tally or any
+/// non-negative preference-mass matrix.
+Ranking local_kemenize(const Matrix& evidence, const Ranking& seed);
+
+/// Convenience baseline: Copeland seed from the raw votes, then local
+/// Kemenization against the vote tally.
+Ranking local_kemeny_ranking(const VoteBatch& votes,
+                             std::size_t object_count);
+
+}  // namespace crowdrank

@@ -1,0 +1,44 @@
+#include "baselines/majority_vote.hpp"
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+Matrix vote_tally(const VoteBatch& votes, std::size_t object_count) {
+  Matrix tally(object_count, object_count, 0.0);
+  for (const Vote& v : votes) {
+    CR_EXPECTS(v.i < object_count && v.j < object_count,
+               "vote references an out-of-range object");
+    if (v.prefers_i) {
+      tally(v.i, v.j) += 1.0;
+    } else {
+      tally(v.j, v.i) += 1.0;
+    }
+  }
+  return tally;
+}
+
+int majority_direction(const Matrix& tally, VertexId i, VertexId j) {
+  const double forward = tally(i, j);
+  const double backward = tally(j, i);
+  if (forward > backward) return 1;
+  if (backward > forward) return -1;
+  return 0;
+}
+
+Ranking majority_vote_ranking(const VoteBatch& votes,
+                              std::size_t object_count) {
+  const Matrix tally = vote_tally(votes, object_count);
+  std::vector<double> copeland(object_count, 0.0);
+  for (VertexId i = 0; i < object_count; ++i) {
+    for (VertexId j = i + 1; j < object_count; ++j) {
+      if (tally(i, j) == 0.0 && tally(j, i) == 0.0) continue;
+      const int dir = majority_direction(tally, i, j);
+      copeland[i] += dir;
+      copeland[j] -= dir;
+    }
+  }
+  return Ranking::from_scores(copeland);
+}
+
+}  // namespace crowdrank

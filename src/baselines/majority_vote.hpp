@@ -1,0 +1,30 @@
+// Majority-vote utilities shared by the heuristic baselines.
+//
+// The paper's §I strawman aggregator: every vote counts equally, a pair's
+// direction is the majority, and objects are ranked by Copeland score
+// (majority wins minus majority losses). Also the substrate of the
+// QuickSort baseline's Condorcet comparator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+/// Dense tally of votes: wins(i, j) = number of votes saying O_i < O_j.
+Matrix vote_tally(const VoteBatch& votes, std::size_t object_count);
+
+/// Majority direction of the pair (i, j) from a tally:
+/// +1 if i wins, -1 if j wins, 0 on a tie or no votes.
+int majority_direction(const Matrix& tally, VertexId i, VertexId j);
+
+/// Copeland ranking: score(v) = #majority wins - #majority losses over the
+/// pairs that received votes; ties broken by object id.
+Ranking majority_vote_ranking(const VoteBatch& votes,
+                              std::size_t object_count);
+
+}  // namespace crowdrank

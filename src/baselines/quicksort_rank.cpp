@@ -1,0 +1,67 @@
+#include "baselines/quicksort_rank.hpp"
+
+#include <vector>
+
+#include "baselines/majority_vote.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// Quicksort with a majority-vote comparator: partitions around a random
+/// pivot; unvoted pairs are decided by coin flip. Iterative (explicit
+/// stack) so adversarial partitions cannot overflow the call stack.
+void condorcet_quicksort(std::vector<VertexId>& items, const Matrix& tally,
+                         Rng& rng) {
+  struct Range {
+    std::size_t lo;
+    std::size_t hi;  // exclusive
+  };
+  std::vector<Range> stack{{0, items.size()}};
+  while (!stack.empty()) {
+    const Range range = stack.back();
+    stack.pop_back();
+    if (range.hi - range.lo <= 1) continue;
+
+    const std::size_t pivot_idx =
+        range.lo + static_cast<std::size_t>(
+                       rng.uniform_index(range.hi - range.lo));
+    const VertexId pivot = items[pivot_idx];
+
+    std::vector<VertexId> before;
+    std::vector<VertexId> after;
+    for (std::size_t idx = range.lo; idx < range.hi; ++idx) {
+      const VertexId v = items[idx];
+      if (v == pivot) continue;
+      int dir = majority_direction(tally, v, pivot);
+      if (dir == 0) {
+        dir = rng.bernoulli(0.5) ? 1 : -1;  // no signal: coin flip
+      }
+      (dir > 0 ? before : after).push_back(v);
+    }
+    std::size_t write = range.lo;
+    for (const VertexId v : before) items[write++] = v;
+    const std::size_t pivot_pos = write;
+    items[write++] = pivot;
+    for (const VertexId v : after) items[write++] = v;
+
+    stack.push_back(Range{range.lo, pivot_pos});
+    stack.push_back(Range{pivot_pos + 1, range.hi});
+  }
+}
+
+}  // namespace
+
+Ranking quicksort_ranking(const VoteBatch& votes, std::size_t object_count,
+                          Rng& rng) {
+  CR_EXPECTS(object_count >= 1, "need at least one object");
+  const Matrix tally = vote_tally(votes, object_count);
+  std::vector<VertexId> items(object_count);
+  for (VertexId v = 0; v < object_count; ++v) items[v] = v;
+  rng.shuffle(items);
+  condorcet_quicksort(items, tally, rng);
+  return Ranking(std::move(items));
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,25 @@
+// QuickSort (QS) baseline — Condorcet-fusion crowdsourced ranking
+// (paper §VI-A2, ref [18]: Montague & Aslam, "Condorcet fusion for improved
+// retrieval").
+//
+// Models the crowd's preferences as a Condorcet graph scored by majority
+// voting and sorts the objects with a randomized quicksort whose comparator
+// is the majority direction of the pivot pair. Pairs the budget never
+// crowdsourced have no majority signal; the comparator then falls back to a
+// coin flip — the reason QS degrades sharply at small selection ratios in
+// Table I and Fig. 6.
+#pragma once
+
+#include <cstddef>
+
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Randomized Condorcet quicksort over the vote tally.
+Ranking quicksort_ranking(const VoteBatch& votes, std::size_t object_count,
+                          Rng& rng);
+
+}  // namespace crowdrank

@@ -1,0 +1,111 @@
+#include "baselines/repeat_choice.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+PartialRanking worker_partial_ranking(const VoteBatch& votes, WorkerId worker,
+                                      std::size_t object_count) {
+  // Local Copeland score over the worker's own votes.
+  std::map<VertexId, double> score;
+  for (const Vote& v : votes) {
+    if (v.worker != worker) continue;
+    CR_EXPECTS(v.i < object_count && v.j < object_count,
+               "vote references an out-of-range object");
+    const VertexId winner = v.prefers_i ? v.i : v.j;
+    const VertexId loser = v.prefers_i ? v.j : v.i;
+    score[winner] += 1.0;
+    score[loser] -= 1.0;
+  }
+  // Bucket seen objects by score, descending.
+  std::map<double, std::vector<VertexId>, std::greater<>> buckets;
+  for (const auto& [v, s] : score) {
+    buckets[s].push_back(v);
+  }
+  PartialRanking partial;
+  for (auto& [_, group] : buckets) {
+    std::sort(group.begin(), group.end());
+    partial.tie_groups.push_back(std::move(group));
+  }
+  return partial;
+}
+
+Ranking repeat_choice(const std::vector<PartialRanking>& inputs,
+                      std::size_t object_count, Rng& rng) {
+  CR_EXPECTS(object_count >= 1, "need at least one object");
+
+  // Current refinement: ordered list of tie classes.
+  std::vector<std::vector<VertexId>> classes;
+  {
+    std::vector<VertexId> all(object_count);
+    for (VertexId v = 0; v < object_count; ++v) all[v] = v;
+    classes.push_back(std::move(all));
+  }
+
+  // Process the inputs in a uniformly random order, each refining every
+  // class it can discriminate within.
+  auto order = rng.permutation(inputs.size());
+  for (const std::size_t idx : order) {
+    const PartialRanking& input = inputs[idx];
+    // Position of each object in this input: tie-group index; absent
+    // objects share the sentinel group (after the last).
+    std::vector<std::size_t> group_of(object_count, input.tie_groups.size());
+    for (std::size_t g = 0; g < input.tie_groups.size(); ++g) {
+      for (const VertexId v : input.tie_groups[g]) {
+        CR_EXPECTS(v < object_count, "partial ranking references bad object");
+        group_of[v] = g;
+      }
+    }
+
+    std::vector<std::vector<VertexId>> refined;
+    refined.reserve(classes.size());
+    for (const auto& cls : classes) {
+      if (cls.size() == 1) {
+        refined.push_back(cls);
+        continue;
+      }
+      // Split the class by this input's tie-group index (stable).
+      std::map<std::size_t, std::vector<VertexId>> split;
+      for (const VertexId v : cls) {
+        split[group_of[v]].push_back(v);
+      }
+      for (auto& [_, part] : split) {
+        refined.push_back(std::move(part));
+      }
+    }
+    classes = std::move(refined);
+  }
+
+  // Random tie-breaking inside any class that is still plural.
+  std::vector<VertexId> final_order;
+  final_order.reserve(object_count);
+  for (auto& cls : classes) {
+    if (cls.size() > 1) {
+      rng.shuffle(cls);
+    }
+    final_order.insert(final_order.end(), cls.begin(), cls.end());
+  }
+  return Ranking(std::move(final_order));
+}
+
+Ranking repeat_choice_from_votes(const VoteBatch& votes,
+                                 std::size_t object_count,
+                                 std::size_t worker_count, Rng& rng) {
+  std::vector<bool> voted(worker_count, false);
+  for (const Vote& v : votes) {
+    CR_EXPECTS(v.worker < worker_count,
+               "vote references an out-of-range worker");
+    voted[v.worker] = true;
+  }
+  std::vector<PartialRanking> inputs;
+  for (WorkerId k = 0; k < worker_count; ++k) {
+    if (!voted[k]) continue;
+    inputs.push_back(worker_partial_ranking(votes, k, object_count));
+  }
+  return repeat_choice(inputs, object_count, rng);
+}
+
+}  // namespace crowdrank

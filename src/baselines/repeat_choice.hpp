@@ -1,0 +1,52 @@
+// RepeatChoice (RC) baseline — rank aggregation over partial rankings
+// (paper §VI-A2, ref [17]: Ailon, "Aggregation of partial rankings,
+// p-ratings and top-m lists").
+//
+// RepeatChoice aggregates m input partial rankings (rankings with ties)
+// into one full ranking: start with all objects in a single equivalence
+// class; repeatedly pick an input ranking uniformly at random (without
+// replacement) and use it to refine every current class by how it orders
+// the class members (members it does not cover stay tied); finish by
+// breaking any remaining ties randomly.
+//
+// In the crowdsourced setting each worker contributes a partial ranking
+// derived from their own votes: objects ordered by the worker's local
+// Copeland score, objects the worker never compared forming the bottom tie
+// class. With a small budget every worker sees only a sliver of the
+// objects, which is exactly why RC collapses at low selection ratios in
+// Table I — the behaviour this reproduction must preserve.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// A partial ranking: tie groups listed best-first; objects absent from all
+/// groups are implicitly one final tie class. Groups must be disjoint.
+struct PartialRanking {
+  std::vector<std::vector<VertexId>> tie_groups;
+};
+
+/// Derives worker k's partial ranking from their votes: order by local
+/// Copeland score (descending), equal scores tied, unseen objects absent.
+PartialRanking worker_partial_ranking(const VoteBatch& votes, WorkerId worker,
+                                      std::size_t object_count);
+
+/// Aggregates partial rankings with RepeatChoice. `rng` drives the random
+/// processing order and the final tie-breaking.
+Ranking repeat_choice(const std::vector<PartialRanking>& inputs,
+                      std::size_t object_count, Rng& rng);
+
+/// Convenience wrapper: derive one partial ranking per worker that voted,
+/// then aggregate.
+Ranking repeat_choice_from_votes(const VoteBatch& votes,
+                                 std::size_t object_count,
+                                 std::size_t worker_count, Rng& rng);
+
+}  // namespace crowdrank

@@ -1,0 +1,60 @@
+#include "core/confidence.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+RankingConfidence ranking_confidence(const Matrix& closure,
+                                     const Ranking& ranking) {
+  CR_EXPECTS(closure.is_square(), "closure matrix must be square");
+  CR_EXPECTS(closure.rows() == ranking.size(),
+             "closure and ranking sizes must match");
+  CR_EXPECTS(ranking.size() >= 2, "need at least two objects");
+
+  RankingConfidence result;
+  const std::size_t n = ranking.size();
+  result.boundary_belief.reserve(n - 1);
+  double log_sum = 0.0;
+  double belief_sum = 0.0;
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    const double w =
+        closure(ranking.object_at(p), ranking.object_at(p + 1));
+    result.boundary_belief.push_back(w);
+    belief_sum += w;
+    log_sum += math::safe_log(w);
+    if (w < result.min_belief) {
+      result.min_belief = w;
+      result.weakest_boundary = p;
+    }
+  }
+  result.mean_belief = belief_sum / static_cast<double>(n - 1);
+  result.per_edge_geometric_mean =
+      std::exp(log_sum / static_cast<double>(n - 1));
+  return result;
+}
+
+std::vector<std::vector<VertexId>> effectively_tied_groups(
+    const Matrix& closure, const Ranking& ranking, double tie_threshold) {
+  CR_EXPECTS(tie_threshold >= 0.5 && tie_threshold <= 1.0,
+             "tie threshold must be in [0.5, 1]");
+  const RankingConfidence confidence =
+      ranking_confidence(closure, ranking);
+
+  std::vector<std::vector<VertexId>> groups;
+  std::vector<VertexId> current{ranking.object_at(0)};
+  for (std::size_t p = 0; p + 1 < ranking.size(); ++p) {
+    if (confidence.boundary_belief[p] < tie_threshold) {
+      current.push_back(ranking.object_at(p + 1));
+    } else {
+      groups.push_back(std::move(current));
+      current = {ranking.object_at(p + 1)};
+    }
+  }
+  groups.push_back(std::move(current));
+  return groups;
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,167 @@
+#include "core/diagnostics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "graph/task_graph.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+RankabilityReport diagnose_votes(const VoteBatch& votes,
+                                 std::size_t object_count,
+                                 std::size_t worker_count,
+                                 const TruthDiscoveryConfig& config) {
+  CR_EXPECTS(object_count >= 2, "need at least two objects");
+  RankabilityReport report;
+  report.object_count = object_count;
+  report.vote_count = votes.size();
+
+  if (votes.empty()) {
+    report.rankable = false;
+    report.findings.push_back("no votes at all — nothing to aggregate");
+    report.objects_never_compared = object_count;
+    return report;
+  }
+
+  const TruthDiscoveryResult step1 =
+      discover_truth(votes, object_count, worker_count, config);
+  report.unique_tasks = step1.truths.size();
+  report.pair_coverage = static_cast<double>(report.unique_tasks) /
+                         static_cast<double>(math::pair_count(object_count));
+
+  // Votes-per-task statistics.
+  std::size_t min_votes = std::numeric_limits<std::size_t>::max();
+  std::size_t total_votes = 0;
+  for (const TaskTruth& t : step1.truths) {
+    min_votes = std::min(min_votes, t.vote_count);
+    total_votes += t.vote_count;
+    if (t.x == 0.0 || t.x == 1.0) {
+      ++report.unanimous_tasks;
+    } else if (t.x > 0.25 && t.x < 0.75) {
+      ++report.contested_tasks;
+    }
+  }
+  report.min_votes_per_task = min_votes;
+  report.mean_votes_per_task =
+      static_cast<double>(total_votes) /
+      static_cast<double>(report.unique_tasks);
+
+  // Worker stats over the workers who actually voted.
+  std::vector<bool> voted(worker_count, false);
+  for (const Vote& v : votes) {
+    voted[v.worker] = true;
+  }
+  double quality_sum = 0.0;
+  std::size_t voters = 0;
+  for (WorkerId k = 0; k < worker_count; ++k) {
+    if (!voted[k]) continue;
+    ++voters;
+    quality_sum += step1.worker_quality[k];
+    report.min_worker_quality =
+        std::min(report.min_worker_quality, step1.worker_quality[k]);
+  }
+  report.worker_count = voters;
+  report.mean_worker_quality =
+      voters > 0 ? quality_sum / static_cast<double>(voters) : 0.0;
+
+  // Object coverage: degree in the task (coverage) graph.
+  TaskGraph coverage(object_count);
+  for (const TaskTruth& t : step1.truths) {
+    coverage.add_edge(t.task.first, t.task.second);
+  }
+  report.min_object_degree = coverage.min_degree();
+  report.max_object_degree = coverage.max_degree();
+  for (VertexId v = 0; v < object_count; ++v) {
+    if (coverage.degree(v) == 0) ++report.objects_never_compared;
+  }
+  report.direct_graph_connected =
+      report.objects_never_compared == 0 && coverage.is_connected();
+
+  // Structure of the direct preference graph.
+  const PreferenceGraph direct = step1.to_preference_graph(object_count);
+  const SccDecomposition scc = strongly_connected_components(direct);
+  report.scc_count = scc.count();
+  report.largest_scc = scc.largest();
+  report.in_nodes = direct.in_nodes().size();
+  report.out_nodes = direct.out_nodes().size();
+
+  // Findings + verdict.
+  auto& findings = report.findings;
+  if (report.objects_never_compared > 0) {
+    findings.push_back(
+        std::to_string(report.objects_never_compared) +
+        " object(s) were never compared — their positions will be pure "
+        "guesses");
+  }
+  if (!report.direct_graph_connected &&
+      report.objects_never_compared == 0) {
+    findings.push_back(
+        "the comparison graph is disconnected — relative order across "
+        "components is undetermined");
+  }
+  if (report.pair_coverage < 0.05) {
+    findings.push_back(
+        "pair coverage below 5% — rely on transitive inference; expect "
+        "reduced accuracy for adjacent ranks");
+  }
+  if (report.min_votes_per_task < 2) {
+    findings.push_back(
+        "some tasks have a single vote — no redundancy for truth "
+        "discovery on those pairs");
+  }
+  if (report.contested_tasks * 4 > report.unique_tasks) {
+    findings.push_back(
+        "over a quarter of tasks are heavily contested — check worker "
+        "quality or task clarity");
+  }
+  if (report.min_worker_quality < 0.5 && voters > 0) {
+    findings.push_back(
+        "at least one worker has calibrated quality below 0.5 — their "
+        "votes are being discounted");
+  }
+  if (report.in_nodes + report.out_nodes > 2) {
+    findings.push_back(
+        std::to_string(report.in_nodes + report.out_nodes) +
+        " in-/out-nodes in the direct graph — smoothing must repair "
+        "these before a full ranking exists (Thm 4.3)");
+  }
+  report.rankable = report.objects_never_compared == 0 &&
+                    report.direct_graph_connected;
+  if (report.rankable && findings.empty()) {
+    findings.push_back("no issues found — the batch aggregates cleanly");
+  }
+  return report;
+}
+
+std::string format_report(const RankabilityReport& r) {
+  std::ostringstream out;
+  out << "rankability report\n";
+  out << "  objects            : " << r.object_count << "\n";
+  out << "  votes              : " << r.vote_count << " over "
+      << r.unique_tasks << " unique pairs (coverage "
+      << static_cast<int>(r.pair_coverage * 100.0 + 0.5) << "%)\n";
+  out << "  votes per task     : mean " << r.mean_votes_per_task << ", min "
+      << r.min_votes_per_task << "\n";
+  out << "  workers            : " << r.worker_count << " (mean quality "
+      << r.mean_worker_quality << ", min " << r.min_worker_quality << ")\n";
+  out << "  task mix           : " << r.unanimous_tasks << " unanimous, "
+      << r.contested_tasks << " contested\n";
+  out << "  object coverage    : degree " << r.min_object_degree << ".."
+      << r.max_object_degree << ", " << r.objects_never_compared
+      << " never compared\n";
+  out << "  direct graph       : " << r.scc_count
+      << " strongly connected component(s), largest " << r.largest_scc
+      << "; " << r.in_nodes << " in-node(s), " << r.out_nodes
+      << " out-node(s)\n";
+  out << "  verdict            : "
+      << (r.rankable ? "RANKABLE" : "NOT CLEANLY RANKABLE") << "\n";
+  for (const auto& finding : r.findings) {
+    out << "  - " << finding << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace crowdrank

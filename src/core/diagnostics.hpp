@@ -1,0 +1,64 @@
+// Rankability diagnostics — "will this vote batch aggregate cleanly, and
+// if not, why?"
+//
+// A requester holding a fresh AMT export wants to know, before trusting
+// any ranking: how much of the pair space was covered, how contested the
+// answers are, whether the evidence graph determines a full order (one
+// giant strongly connected component after smoothing / a near-linear
+// condensation before), and which objects are starved of comparisons.
+// This report packages those signals from the Step-1 output and the raw
+// batch; the CLI exposes it as `crowdrank diagnose`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/truth_discovery.hpp"
+#include "crowd/vote.hpp"
+#include "graph/scc.hpp"
+
+namespace crowdrank {
+
+/// Everything the report measures.
+struct RankabilityReport {
+  std::size_t object_count = 0;
+  std::size_t worker_count = 0;      ///< workers who actually voted
+  std::size_t vote_count = 0;
+  std::size_t unique_tasks = 0;
+  double pair_coverage = 0.0;        ///< unique tasks / C(n,2)
+  double mean_votes_per_task = 0.0;
+  std::size_t min_votes_per_task = 0;
+
+  std::size_t objects_never_compared = 0;  ///< degree-0 objects
+  std::size_t min_object_degree = 0;
+  std::size_t max_object_degree = 0;
+
+  std::size_t unanimous_tasks = 0;   ///< x == 0 or 1 (the 1-edges)
+  std::size_t contested_tasks = 0;   ///< 0.25 < x < 0.75
+  double mean_worker_quality = 0.0;  ///< calibrated q_k mean (voters only)
+  double min_worker_quality = 1.0;
+
+  /// Structure of the *direct* preference graph (before smoothing).
+  std::size_t scc_count = 0;
+  std::size_t largest_scc = 0;
+  std::size_t in_nodes = 0;
+  std::size_t out_nodes = 0;
+  bool direct_graph_connected = false;  ///< underlying undirected coverage
+
+  /// Coarse verdict + human-readable findings.
+  bool rankable = false;
+  std::vector<std::string> findings;
+};
+
+/// Analyzes a batch. Runs Step-1 truth discovery internally (cheap) to get
+/// calibrated qualities and the direct preference graph.
+RankabilityReport diagnose_votes(const VoteBatch& votes,
+                                 std::size_t object_count,
+                                 std::size_t worker_count,
+                                 const TruthDiscoveryConfig& config = {});
+
+/// Renders the report as the CLI's human-readable block.
+std::string format_report(const RankabilityReport& report);
+
+}  // namespace crowdrank

@@ -1,0 +1,171 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "graph/hamiltonian.hpp"
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+InferenceEngine::InferenceEngine(InferenceConfig config)
+    : config_(std::move(config)) {}
+
+InferenceResult InferenceEngine::infer(const VoteBatch& votes,
+                                       std::size_t object_count,
+                                       std::size_t worker_count,
+                                       const HitAssignment& assignment,
+                                       Rng& rng) const {
+  std::map<Edge, std::vector<WorkerId>> task_workers;
+  for (std::size_t t = 0; t < assignment.tasks().size(); ++t) {
+    const Edge& e = assignment.tasks()[t];
+    task_workers.emplace(Edge::canonical(e.first, e.second),
+                         assignment.workers_for_task(t));
+  }
+  return infer_impl(votes, object_count, worker_count, task_workers, rng);
+}
+
+InferenceResult InferenceEngine::infer(const VoteBatch& votes,
+                                       std::size_t object_count,
+                                       std::size_t worker_count,
+                                       Rng& rng) const {
+  // Derive each task's worker list from the batch itself.
+  std::map<Edge, std::vector<WorkerId>> task_workers;
+  for (const Vote& v : votes) {
+    auto& workers = task_workers[Edge::canonical(v.i, v.j)];
+    if (std::find(workers.begin(), workers.end(), v.worker) ==
+        workers.end()) {
+      workers.push_back(v.worker);
+    }
+  }
+  return infer_impl(votes, object_count, worker_count, task_workers, rng);
+}
+
+InferenceResult InferenceEngine::infer_impl(
+    const VoteBatch& votes, std::size_t object_count,
+    std::size_t worker_count,
+    const std::map<Edge, std::vector<WorkerId>>& assignment_workers,
+    Rng& rng) const {
+  InferenceResult result{Ranking::identity(object_count), 0.0, {}, {}, {},
+                         {}, 0, {}};
+
+  // Step 1: truth discovery of the direct pairwise preferences.
+  TruthDiscoveryResult step1;
+  {
+    ScopedPhase phase(result.timings, "step1_truth_discovery");
+    step1 = discover_truth(votes, object_count, worker_count,
+                           config_.truth_discovery);
+  }
+
+  // Wire each discovered task to its workers, in truths[] order (smoothing
+  // consults those workers' qualities).
+  std::vector<std::vector<WorkerId>> task_workers;
+  task_workers.reserve(step1.truths.size());
+  for (const TaskTruth& t : step1.truths) {
+    const auto it = assignment_workers.find(t.task);
+    CR_EXPECTS(it != assignment_workers.end(),
+               "votes reference a task outside the assignment");
+    task_workers.push_back(it->second);
+  }
+
+  // Step 2: preference smoothing of the 1-edges.
+  PreferenceGraph smoothed(object_count);
+  {
+    ScopedPhase phase(result.timings, "step2_smoothing");
+    const PreferenceGraph direct = step1.to_preference_graph(object_count);
+    result.one_edge_count = direct.one_edges().size();
+    smoothed = smooth_preferences(direct, step1, task_workers,
+                                  config_.smoothing, &rng, &result.step2);
+  }
+
+  // Step 3: transitive propagation into a complete, normalized closure.
+  Matrix closure;
+  {
+    ScopedPhase phase(result.timings, "step3_propagation");
+    closure = propagate_preferences(smoothed, config_.propagation,
+                                    &result.step3);
+  }
+
+  // Step 4: find the best ranking (max-probability Hamiltonian path).
+  {
+    ScopedPhase phase(result.timings, "step4_find_best_ranking");
+    switch (config_.search) {
+      case RankSearchMethod::Saps: {
+        const SapsResult saps = saps_search(closure, config_.saps, rng);
+        result.log_probability = -saps.log_cost;
+        result.ranking = Ranking(saps.best_path);
+        break;
+      }
+      case RankSearchMethod::Taps: {
+        const TapsResult taps = taps_search(closure, config_.taps);
+        result.log_probability = taps.log_probability;
+        result.ranking = Ranking(taps.best_paths.front());
+        break;
+      }
+      case RankSearchMethod::HeldKarp: {
+        const auto path = max_probability_hamiltonian_path(closure);
+        CR_ENSURES(path.has_value(),
+                   "complete closure must contain a Hamiltonian path");
+        result.log_probability = -path_log_cost(closure, *path);
+        result.ranking = Ranking(*path);
+        break;
+      }
+    }
+  }
+
+  result.step1 = std::move(step1);
+  result.closure = std::move(closure);
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  CR_EXPECTS(config.object_count >= 2, "need at least two objects");
+  CR_EXPECTS(config.workers_per_task <= config.worker_pool_size,
+             "replication w must not exceed the pool size m");
+  Rng rng(config.seed);
+
+  // Hidden ground truth: a uniformly random permutation.
+  const Ranking truth(
+      [&] {
+        auto perm = rng.permutation(config.object_count);
+        return std::vector<VertexId>(perm.begin(), perm.end());
+      }());
+
+  // Budget -> number of unique comparisons l.
+  const BudgetModel budget = BudgetModel::for_selection_ratio(
+      config.object_count, config.selection_ratio,
+      config.reward_per_comparison, config.workers_per_task);
+  const std::size_t l = budget.unique_task_count();
+
+  // Task assignment (§IV) and HIT construction (§II).
+  TaskAssignment assignment_result =
+      generate_task_assignment(config.object_count, l, rng);
+  const std::vector<Edge> tasks(assignment_result.graph.edges().begin(),
+                                assignment_result.graph.edges().end());
+  const HitConfig hit_config{config.comparisons_per_hit,
+                             config.workers_per_task};
+  const HitAssignment assignment(tasks, hit_config, config.worker_pool_size,
+                                 rng);
+
+  // One non-interactive crowdsourcing round.
+  const auto workers =
+      sample_worker_pool(config.worker_pool_size, config.worker_quality, rng);
+  const SimulatedCrowd crowd(truth, workers);
+  const VoteBatch votes = crowd.collect(assignment, rng);
+
+  // Result inference (§V).
+  const InferenceEngine engine(config.inference);
+  InferenceResult inference =
+      engine.infer(votes, config.object_count, config.worker_pool_size,
+                   assignment, rng);
+
+  ExperimentResult result{truth, std::move(inference),
+                          assignment_result.stats, 0.0, l,
+                          budget.total_cost()};
+  result.accuracy = ranking_accuracy(truth, result.inference.ranking);
+  return result;
+}
+
+}  // namespace crowdrank

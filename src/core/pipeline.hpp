@@ -1,0 +1,129 @@
+// End-to-end engine: the paper's full two-step strategy.
+//
+// InferenceEngine runs result inference (Steps 1-4, §V) over a collected
+// vote batch; run_experiment() additionally drives the front half — task
+// assignment (§IV), HIT construction, and a simulated non-interactive
+// crowdsourcing round — which is what the benches and examples exercise.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/propagation.hpp"
+#include "core/saps.hpp"
+#include "core/smoothing.hpp"
+#include "core/task_assignment.hpp"
+#include "core/taps.hpp"
+#include "core/truth_discovery.hpp"
+#include "crowd/budget.hpp"
+#include "crowd/hit.hpp"
+#include "crowd/simulator.hpp"
+#include "crowd/vote.hpp"
+#include "metrics/ranking.hpp"
+#include "util/timer.hpp"
+
+namespace crowdrank {
+
+/// Which Step-4 search produces the final ranking.
+enum class RankSearchMethod {
+  Saps,      ///< simulated annealing (default; any n)
+  Taps,      ///< threshold-based exact search (small n)
+  HeldKarp,  ///< bitmask-DP exact search (n <= 20; test oracle)
+};
+
+/// Full configuration of the result-inference pipeline.
+struct InferenceConfig {
+  TruthDiscoveryConfig truth_discovery;
+  SmoothingConfig smoothing;
+  /// The engine defaults to SpectralLimit propagation: same O(n^3 log n)
+  /// cost class as the bounded-walk default but covers pairs up to graph
+  /// distance ~n, which matters on sparse (near-spanning-tree) budgets.
+  /// Set mode = PropagationMode::BoundedWalks for the paper-literal sum.
+  PropagationConfig propagation{.mode = PropagationMode::SpectralLimit};
+  RankSearchMethod search = RankSearchMethod::Saps;
+  SapsConfig saps;
+  TapsConfig taps;
+};
+
+/// Everything the pipeline learned, with per-step timings (Fig. 4's
+/// breakdown uses phases "step1_truth_discovery", "step2_smoothing",
+/// "step3_propagation", "step4_find_best_ranking").
+struct InferenceResult {
+  Ranking ranking;                ///< the aggregated full ranking
+  double log_probability = 0.0;   ///< log Pr of the chosen Hamiltonian path
+  TruthDiscoveryResult step1;
+  SmoothingStats step2;
+  PropagationStats step3;
+  PhaseTimer timings;
+  std::size_t one_edge_count = 0;  ///< 1-edges before smoothing
+  /// Step 3's pair-normalized closure (n x n). Downstream consumers build
+  /// on it: core/confidence.hpp annotates the ranking's boundaries,
+  /// core/two_round.hpp targets its most uncertain pairs.
+  Matrix closure;
+};
+
+/// Runs Steps 1-4 over a vote batch.
+///  * `object_count` is n; `worker_count` sizes the quality vector.
+///  * `task_workers(t)` must list the workers assigned to truths[t]'s task;
+///    run_experiment wires this from the HitAssignment automatically.
+/// `rng` drives SAPS and (if configured) sampled smoothing.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(InferenceConfig config = {});
+
+  const InferenceConfig& config() const { return config_; }
+
+  /// Full inference over a collected batch. The assignment supplies the
+  /// per-task worker lists needed by smoothing.
+  InferenceResult infer(const VoteBatch& votes, std::size_t object_count,
+                        std::size_t worker_count,
+                        const HitAssignment& assignment, Rng& rng) const;
+
+  /// Assignment-free variant: the workers consulted by smoothing for each
+  /// task are exactly those who voted on it. Use this when only the raw
+  /// vote export exists (e.g. an AMT result file through the CLI) — for
+  /// a well-formed one-round batch it is equivalent to the assignment
+  /// overload, since every assigned worker answers every task of their
+  /// HIT.
+  InferenceResult infer(const VoteBatch& votes, std::size_t object_count,
+                        std::size_t worker_count, Rng& rng) const;
+
+ private:
+  InferenceResult infer_impl(
+      const VoteBatch& votes, std::size_t object_count,
+      std::size_t worker_count,
+      const std::map<Edge, std::vector<WorkerId>>& task_workers,
+      Rng& rng) const;
+
+  InferenceConfig config_;
+};
+
+/// One simulated non-interactive experiment end to end.
+struct ExperimentConfig {
+  std::size_t object_count = 100;           ///< n
+  double selection_ratio = 0.1;             ///< r: l = r * C(n,2)
+  std::size_t worker_pool_size = 30;        ///< m
+  std::size_t workers_per_task = 3;         ///< w (replication)
+  std::size_t comparisons_per_hit = 5;      ///< c
+  double reward_per_comparison = 0.025;     ///< the paper's AMT rate
+  WorkerPoolConfig worker_quality;
+  InferenceConfig inference;
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  Ranking truth;
+  InferenceResult inference;
+  TaskAssignmentStats assignment_stats;
+  double accuracy = 0.0;  ///< 1 - normalized Kendall tau vs ground truth
+  std::size_t unique_tasks = 0;
+  double total_cost = 0.0;
+};
+
+/// Generates ground truth + workers + assignment + votes, runs inference,
+/// and scores the result — the full loop of §VI's simulated setting.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace crowdrank

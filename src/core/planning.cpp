@@ -1,0 +1,96 @@
+#include "core/planning.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+double probe_accuracy(const PlanningConfig& config, double ratio) {
+  double acc = 0.0;
+  for (std::size_t t = 0; t < config.trials_per_probe; ++t) {
+    ExperimentConfig experiment;
+    experiment.object_count = config.object_count;
+    experiment.selection_ratio = ratio;
+    experiment.worker_pool_size = config.worker_pool_size;
+    experiment.workers_per_task = config.workers_per_task;
+    experiment.reward_per_comparison = config.reward_per_comparison;
+    experiment.worker_quality = config.worker_quality;
+    experiment.seed =
+        config.seed + 7919 * t +
+        static_cast<std::uint64_t>(std::llround(ratio * 1e4));
+    acc += run_experiment(experiment).accuracy;
+  }
+  return acc / static_cast<double>(config.trials_per_probe);
+}
+
+BudgetPlan make_plan(const PlanningConfig& config, double ratio,
+                     double accuracy, std::size_t probes) {
+  const BudgetModel budget = BudgetModel::for_selection_ratio(
+      config.object_count, ratio, config.reward_per_comparison,
+      config.workers_per_task);
+  BudgetPlan plan;
+  plan.selection_ratio = ratio;
+  plan.unique_comparisons = budget.unique_task_count();
+  plan.total_cost = budget.total_cost();
+  plan.estimated_accuracy = accuracy;
+  plan.probes_run = probes;
+  return plan;
+}
+
+}  // namespace
+
+std::optional<BudgetPlan> plan_budget_for_accuracy(
+    const PlanningConfig& config) {
+  CR_EXPECTS(config.object_count >= 2, "need at least two objects");
+  CR_EXPECTS(config.target_accuracy > 0.5 && config.target_accuracy < 1.0,
+             "target accuracy must be in (0.5, 1)");
+  CR_EXPECTS(config.trials_per_probe >= 1, "need at least one trial");
+  CR_EXPECTS(config.max_probes >= 2, "need at least two probes");
+  CR_EXPECTS(config.ratio_resolution > 0.0 && config.ratio_resolution < 1.0,
+             "ratio resolution must be in (0, 1)");
+
+  std::size_t probes = 0;
+
+  // The floor ratio: the connectivity minimum l = n - 1.
+  const double floor_ratio =
+      static_cast<double>(config.object_count - 1) /
+      static_cast<double>(math::pair_count(config.object_count));
+
+  // Can the cheapest plan already do it?
+  const double floor_acc = probe_accuracy(config, floor_ratio);
+  ++probes;
+  if (floor_acc >= config.target_accuracy) {
+    return make_plan(config, floor_ratio, floor_acc, probes);
+  }
+
+  // Can any plan do it?
+  const double full_acc = probe_accuracy(config, 1.0);
+  ++probes;
+  if (full_acc < config.target_accuracy) {
+    return std::nullopt;
+  }
+
+  // Bisection: invariant lo misses the target, hi clears it.
+  double lo = floor_ratio;
+  double hi = 1.0;
+  double hi_acc = full_acc;
+  while (probes < config.max_probes &&
+         hi - lo > config.ratio_resolution) {
+    const double mid = 0.5 * (lo + hi);
+    const double mid_acc = probe_accuracy(config, mid);
+    ++probes;
+    if (mid_acc >= config.target_accuracy) {
+      hi = mid;
+      hi_acc = mid_acc;
+    } else {
+      lo = mid;
+    }
+  }
+  return make_plan(config, hi, hi_acc, probes);
+}
+
+}  // namespace crowdrank

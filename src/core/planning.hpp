@@ -1,0 +1,48 @@
+// Budget planning — the paper's other future-work objective (§VIII):
+// instead of "fix the budget, maximize accuracy", find the *smallest*
+// budget whose expected accuracy clears a target.
+//
+// Accuracy is monotone (in expectation) in the selection ratio, so the
+// planner runs a bisection over the ratio, estimating each candidate's
+// accuracy by averaging a few simulated experiments with the requester's
+// assumed worker-quality profile. The output is a concrete posting plan:
+// number of comparisons, selection ratio, dollar cost, and the achieved
+// estimate.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/pipeline.hpp"
+
+namespace crowdrank {
+
+struct PlanningConfig {
+  std::size_t object_count = 100;
+  double target_accuracy = 0.9;         ///< in (0.5, 1)
+  std::size_t worker_pool_size = 30;    ///< m assumed available
+  std::size_t workers_per_task = 3;     ///< w replication
+  double reward_per_comparison = 0.025;
+  WorkerPoolConfig worker_quality;      ///< assumed crowd profile
+  std::size_t trials_per_probe = 3;     ///< simulations averaged per ratio
+  std::size_t max_probes = 8;           ///< bisection depth
+  double ratio_resolution = 0.02;       ///< stop refining below this width
+  std::uint64_t seed = 1;
+};
+
+struct BudgetPlan {
+  double selection_ratio = 0.0;
+  std::size_t unique_comparisons = 0;
+  double total_cost = 0.0;
+  double estimated_accuracy = 0.0;
+  std::size_t probes_run = 0;
+};
+
+/// Finds (by bisection on the selection ratio) the cheapest plan whose
+/// simulated mean accuracy reaches the target. Returns nullopt when even
+/// the all-pairs budget misses the target under the assumed crowd —
+/// the requester needs better workers or more replication, not more pairs.
+std::optional<BudgetPlan> plan_budget_for_accuracy(
+    const PlanningConfig& config);
+
+}  // namespace crowdrank

@@ -1,0 +1,189 @@
+#include "core/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/transitive_closure.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// S = sum_{k=1..L} W^k by doubling, max-renormalized each step (only the
+/// entry *ratios* of S survive, which is all the pair-normalized closure
+/// needs). L = smallest power of two >= target_length.
+Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
+  const std::size_t n = w.rows();
+  double w_max = 0.0;
+  for (const double v : w.data()) w_max = std::max(w_max, v);
+  if (w_max <= 0.0) {
+    return Matrix(n, n, 0.0);  // edgeless graph: no evidence anywhere
+  }
+
+  const auto renormalize = [](Matrix& m) {
+    double max_entry = 0.0;
+    for (const double v : m.data()) max_entry = std::max(max_entry, v);
+    if (max_entry > 0.0) {
+      m *= 1.0 / max_entry;
+    }
+    return max_entry;
+  };
+
+  // Invariants: s_hat ∝ S(m), p_hat = W^m / e^{lp} with max entry 1.
+  Matrix s_hat = w;
+  renormalize(s_hat);
+  Matrix p_hat = s_hat;
+  double lp = std::log(w_max);
+  std::size_t length = 1;
+  while (length < target_length) {
+    // S(2m) = S(m) + W^m * S(m)  ==>  (up to global scale)
+    // s' = p_hat * s_hat + e^{-lp} * s_hat.
+    if (lp <= -700.0) {
+      // W^m is vanishingly small against S(m): the sum has converged.
+      break;
+    }
+    Matrix next = Matrix::multiply(p_hat, s_hat);
+    if (lp < 700.0) {  // outside this band one term fully dominates
+      const double carry = std::exp(-lp);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto dst = next.row(i);
+        const auto src = s_hat.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+          dst[j] += carry * src[j];
+        }
+      }
+    }
+    renormalize(next);
+    s_hat = std::move(next);
+
+    Matrix p_next = Matrix::multiply(p_hat, p_hat);
+    const double scale = renormalize(p_next);
+    p_hat = std::move(p_next);
+    lp = 2.0 * lp + std::log(std::max(scale, 1e-300));
+    length *= 2;
+  }
+  return s_hat;
+}
+
+}  // namespace
+
+Matrix propagate_preferences(const PreferenceGraph& smoothed,
+                             const PropagationConfig& config,
+                             PropagationStats* stats) {
+  CR_EXPECTS(config.alpha >= 0.0 && config.alpha <= 1.0,
+             "alpha must be in [0, 1]");
+  CR_EXPECTS(config.max_length >= 2, "indirect paths have length >= 2");
+  CR_EXPECTS(config.completeness_floor > 0.0 &&
+                 config.completeness_floor < 0.5,
+             "completeness floor must be in (0, 0.5)");
+  const std::size_t n = smoothed.vertex_count();
+
+  const Matrix& direct = smoothed.weights();
+
+  if (config.mode == PropagationMode::SpectralLimit) {
+    // The doubling sum already contains the direct (k = 1) term and its
+    // global scale is normalized away, so the closure is simply the
+    // pair-normalized sum (alpha is documented as ignored).
+    const std::size_t target = std::max(config.max_length, n);
+    const Matrix sum = spectral_walk_sum(direct, target);
+    PropagationStats local;
+    Matrix closure(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double wij = sum(i, j);
+        double wji = sum(j, i);
+        const double total = wij + wji;
+        if (total <= 0.0) {
+          wij = 0.5;
+          wji = 0.5;
+          ++local.pairs_without_evidence;
+        } else {
+          const double floor = config.completeness_floor;
+          wij = std::clamp(wij / total, floor, 1.0 - floor);
+          wji = std::clamp(wji / total, floor, 1.0 - floor);
+        }
+        closure(i, j) = wij;
+        closure(j, i) = wji;
+      }
+    }
+    local.complete = true;
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return closure;
+  }
+
+  Matrix indirect =
+      config.mode == PropagationMode::BoundedWalks
+          ? walk_indirect_preferences(direct, config.max_length)
+          : exact_indirect_preferences(smoothed, config.max_length);
+
+  if (config.aggregation == PathAggregation::Average) {
+    // Divide each pair's walk-sum by the number of contributing walks so
+    // w* stays on the direct weights' [0,1] scale. The count matrix reuses
+    // the same power-sum over the 0/1 adjacency indicator.
+    Matrix adjacency(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (direct(i, j) > 0.0) adjacency(i, j) = 1.0;
+      }
+    }
+    const Matrix counts =
+        config.mode == PropagationMode::BoundedWalks
+            ? walk_indirect_preferences(adjacency, config.max_length)
+            : exact_indirect_preferences(
+                  PreferenceGraph::from_matrix(adjacency),
+                  config.max_length);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (counts(i, j) > 0.0) {
+          indirect(i, j) /= counts(i, j);
+        }
+      }
+    }
+  }
+
+  PropagationStats local;
+  Matrix closure(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double wij = config.alpha * direct(i, j) +
+                   (1.0 - config.alpha) * indirect(i, j);
+      double wji = config.alpha * direct(j, i) +
+                   (1.0 - config.alpha) * indirect(j, i);
+      const double total = wij + wji;
+      if (total <= 0.0) {
+        // No direct vote and no transitive evidence within max_length:
+        // uninformative prior keeps the closure complete (Thm 5.1).
+        wij = 0.5;
+        wji = 0.5;
+        ++local.pairs_without_evidence;
+      } else {
+        wij /= total;
+        wji /= total;
+        const double floor = config.completeness_floor;
+        wij = std::clamp(wij, floor, 1.0 - floor);
+        wji = std::clamp(wji, floor, 1.0 - floor);
+      }
+      closure(i, j) = wij;
+      closure(j, i) = wji;
+    }
+  }
+
+  local.complete = true;
+  for (std::size_t i = 0; i < n && local.complete; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && closure(i, j) <= 0.0) {
+        local.complete = false;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return closure;
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,96 @@
+// Step 4 (heuristic) — simulated-annealing path search, SAPS (paper §V-D2).
+//
+// Minimizes the equivalent objective sum over path edges of log(1/w) —
+// i.e. maximizes the preference probability — with the three permutation
+// moves of Algorithm 2 (Rotate, Reverse, RandomSwap) applied per iteration,
+// each accepted via Algorithm 3's Metropolis rule: better always, worse
+// with probability exp(-(d_next - d_cur) / T), with geometric cooling
+// T <- T * c.
+//
+// Algorithm 2 restarts the chain from initial paths anchored at each vertex
+// (greedy nearest-neighbor, or the out-/in-weight-difference ranking). A
+// full n-restart sweep is quadratic-ish at n = 1000, so the restart count
+// is configurable; `paper_mode` restores the literal per-vertex sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// How restart chains build their initial Hamiltonian path.
+enum class SapsInitMode {
+  /// From the start vertex, repeatedly hop to the unvisited successor of
+  /// maximum edge weight (Algorithm 2's "nearest neighbors").
+  GreedyNearestNeighbor,
+  /// Rank all vertices by (sum of out-weights - sum of in-weights),
+  /// descending (Algorithm 2's degree-difference ranking); the start vertex
+  /// is forced to the front.
+  WeightDifferenceRanking,
+  /// Uniformly random permutation (ablation bench baseline).
+  RandomPermutation,
+};
+
+struct SapsConfig {
+  std::size_t iterations = 3000;  ///< N: annealing steps per restart
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.995;  ///< c in T <- T * c
+  /// Number of restart chains; each starts from a distinct anchor vertex
+  /// (cycling through 0..n-1). Ignored when paper_mode is set.
+  std::size_t restarts = 4;
+  /// Restart from *every* vertex as Algorithm 2 line 2 literally says.
+  bool paper_mode = false;
+  /// Default is the weight-difference ranking (Algorithm 2 line 3's second
+  /// option): on pair-normalized closures greedy nearest-neighbor is
+  /// pathological — the highest-weight successor of any vertex is the most
+  /// *dominated* object, so the greedy chain starts near-reversed and
+  /// annealing must undo it. bench/ablation_saps quantifies this.
+  SapsInitMode init_mode = SapsInitMode::WeightDifferenceRanking;
+  /// Move toggles (ablation bench flips these).
+  bool use_rotate = true;
+  bool use_reverse = true;
+  bool use_swap = true;
+};
+
+struct SapsResult {
+  Path best_path;
+  double log_cost = 0.0;       ///< sum log(1/w); lower is better
+  double probability = 0.0;    ///< exp(-log_cost); may underflow to 0
+  std::size_t moves_accepted = 0;
+  std::size_t moves_proposed = 0;
+  std::size_t restarts_run = 0;
+};
+
+/// Runs SAPS on a preference closure (typically Step 3's complete matrix;
+/// any square weight matrix with weights in [0,1] works — missing edges are
+/// treated as a huge but finite cost so chains can cross them and recover).
+SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
+                       Rng& rng);
+
+/// The three permutation moves, exposed for tests and the micro benches.
+/// All preserve the permutation property. Index preconditions mirror
+/// std::rotate / std::reverse / swap semantics on [first, last] inclusive.
+void saps_rotate(Path& path, std::size_t first, std::size_t middle,
+                 std::size_t last);
+void saps_reverse(Path& path, std::size_t first, std::size_t last);
+void saps_swap(Path& path, std::size_t a, std::size_t b);
+
+/// Incremental objective deltas: the change in path_log_cost if the move
+/// were applied, computed without copying or mutating the path — O(1) for
+/// rotate (block-internal edges survive) and swap, O(last - first) for
+/// reverse (its interior edges flip direction). The annealing loop
+/// evaluates proposals through these; tests pin them to the brute-force
+/// recompute.
+double saps_rotate_delta(const Matrix& w, const Path& path,
+                         std::size_t first, std::size_t middle,
+                         std::size_t last);
+double saps_reverse_delta(const Matrix& w, const Path& path,
+                          std::size_t first, std::size_t last);
+double saps_swap_delta(const Matrix& w, const Path& path, std::size_t a,
+                       std::size_t b);
+
+}  // namespace crowdrank

@@ -1,0 +1,210 @@
+#include "core/taps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// Search-tree node: a partial path reconstructed through parent links.
+struct Node {
+  std::uint64_t mask;
+  std::uint32_t last;
+  double g;             // sum of log weights of the partial path
+  std::int64_t parent;  // arena index, -1 at the start vertex
+};
+
+struct QueueEntry {
+  double priority;  // g + admissible bound on the remaining edges
+  std::int64_t node;
+  bool operator<(const QueueEntry& other) const {
+    return priority < other.priority;  // max-heap
+  }
+};
+
+}  // namespace
+
+TapsResult taps_search(const Matrix& closure, const TapsConfig& config) {
+  CR_EXPECTS(closure.is_square(), "closure matrix must be square");
+  const std::size_t n = closure.rows();
+  CR_EXPECTS(n >= 2, "need at least two objects");
+  CR_EXPECTS(n <= 57, "TAPS state encoding limited to n <= 57");
+
+  // Per-position sorted access structure: all directed log-weights sorted
+  // descending; prefix_top[r] = sum of the r largest. The threshold for a
+  // partial path with r edges left is g + prefix_top[r] — exactly the TA
+  // theta built from the heads of the unexamined sorted lists.
+  std::vector<double> logs;
+  logs.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w = closure(i, j);
+      CR_EXPECTS(w > 0.0 && w <= 1.0,
+                 "TAPS requires a complete closure with weights in (0, 1]");
+      logs.push_back(std::log(w));
+    }
+  }
+  std::sort(logs.begin(), logs.end(), std::greater<>());
+  std::vector<double> prefix_top(n, 0.0);
+  for (std::size_t r = 1; r < n; ++r) {
+    prefix_top[r] = prefix_top[r - 1] + logs[r - 1];
+  }
+
+  // Second, tighter admissible bound used for pop-time pruning: every
+  // remaining edge starts at a *distinct* source (the current endpoint or
+  // an unvisited vertex), so the remaining product is bounded by
+  // max_out(last) times the product of the |S|-1 best max_out values over
+  // the unvisited set S. max_out uses all targets (a superset of the true
+  // remaining targets), which keeps the bound admissible.
+  std::vector<double> log_max_out(n, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        log_max_out[i] = std::max(log_max_out[i], std::log(closure(i, j)));
+      }
+    }
+  }
+  // Vertices sorted by max_out descending for fast top-(k) scans.
+  std::vector<std::uint32_t> by_max_out(n);
+  for (std::uint32_t v = 0; v < n; ++v) by_max_out[v] = v;
+  std::sort(by_max_out.begin(), by_max_out.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return log_max_out[a] > log_max_out[b];
+            });
+
+  // Source bound of a popped state: g + max_out(last) + sum of the top
+  // (|S| - 1) max_out among unvisited vertices. O(n) per call.
+  const auto source_bound = [&](const std::uint64_t mask,
+                                const std::uint32_t last, const double g,
+                                const std::size_t remaining) {
+    if (remaining == 0) return g;
+    double bound = g + log_max_out[last];
+    std::size_t taken = 0;
+    for (const std::uint32_t v : by_max_out) {
+      if (taken + 1 >= remaining) break;
+      if (mask & (std::uint64_t{1} << v)) continue;
+      bound += log_max_out[v];
+      ++taken;
+    }
+    return bound;
+  };
+
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+
+  std::vector<Node> arena;
+  arena.reserve(1024);
+  std::priority_queue<QueueEntry> queue;
+  // Dominated-state pruning: strictly worse g for the same (mask, last) can
+  // never produce a better *or tying* full path, so drop it. Ties survive.
+  std::unordered_map<std::uint64_t, double> best_g;
+  best_g.reserve(1024);
+
+  const auto state_key = [](std::uint64_t mask, std::uint32_t last) {
+    return (mask << 6) | last;  // last < n <= 57 < 64 fits in the low bits
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint64_t mask = std::uint64_t{1} << v;
+    arena.push_back(Node{mask, v, 0.0, -1});
+    best_g[state_key(mask, v)] = 0.0;
+    queue.push(QueueEntry{prefix_top[n - 1],
+                          static_cast<std::int64_t>(arena.size()) - 1});
+  }
+
+  TapsResult result;
+  double best_log = -std::numeric_limits<double>::infinity();
+  std::vector<std::int64_t> best_nodes;
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    // TA stop rule: the bound of the best unexamined candidate is theta;
+    // once max >= theta nothing unseen can beat (or tie) the best.
+    if (top.priority < best_log - config.tie_tolerance) {
+      break;
+    }
+    const Node node = arena[static_cast<std::size_t>(top.node)];
+    if (++result.expansions > config.max_expansions) {
+      throw Error("TAPS expansion cap exceeded — use SAPS for this size");
+    }
+
+    if (node.mask == full) {
+      if (node.g > best_log + config.tie_tolerance) {
+        best_log = node.g;
+        best_nodes.assign(1, top.node);
+      } else if (config.collect_ties &&
+                 std::abs(node.g - best_log) <= config.tie_tolerance) {
+        best_nodes.push_back(top.node);
+      }
+      if (!config.collect_ties) {
+        break;  // the first completed pop is provably optimal
+      }
+      continue;
+    }
+
+    // A stale entry (a strictly better g was found for this state after it
+    // was queued) cannot contribute an optimum or a tie.
+    const auto it = best_g.find(state_key(node.mask, node.last));
+    if (it != best_g.end() && node.g < it->second - config.tie_tolerance) {
+      continue;
+    }
+
+    std::size_t visited = 0;
+    for (std::uint64_t m = node.mask; m != 0; m &= m - 1) ++visited;
+    const std::size_t remaining = n - visited;  // edges left to place
+
+    // Tighter per-source bound: prune states whose optimistic completion
+    // cannot reach (or tie) the incumbent. Admissible, so exactness and
+    // tie collection are unaffected — only wasted expansions go away.
+    if (source_bound(node.mask, node.last, node.g, remaining) <
+        best_log - config.tie_tolerance) {
+      continue;
+    }
+
+    for (std::uint32_t next = 0; next < n; ++next) {
+      if (node.mask & (std::uint64_t{1} << next)) continue;
+      const double w = closure(node.last, next);
+      const double g2 = node.g + std::log(w);
+      const std::uint64_t mask2 = node.mask | (std::uint64_t{1} << next);
+      const auto key = state_key(mask2, next);
+      const auto found = best_g.find(key);
+      if (found != best_g.end() && g2 < found->second - config.tie_tolerance) {
+        continue;  // dominated
+      }
+      if (found == best_g.end() || g2 > found->second) {
+        best_g[key] = g2;
+      }
+      arena.push_back(Node{mask2, next, g2,
+                           top.node});
+      queue.push(QueueEntry{g2 + prefix_top[remaining - 1],
+                            static_cast<std::int64_t>(arena.size()) - 1});
+    }
+  }
+
+  CR_ENSURES(!best_nodes.empty(), "TAPS found no Hamiltonian path");
+  for (const std::int64_t leaf : best_nodes) {
+    Path path;
+    path.reserve(n);
+    for (std::int64_t cur = leaf; cur >= 0;
+         cur = arena[static_cast<std::size_t>(cur)].parent) {
+      path.push_back(arena[static_cast<std::size_t>(cur)].last);
+    }
+    std::reverse(path.begin(), path.end());
+    result.best_paths.push_back(std::move(path));
+  }
+  result.log_probability = best_log;
+  result.probability = std::exp(best_log);
+  return result;
+}
+
+}  // namespace crowdrank

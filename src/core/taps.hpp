@@ -1,0 +1,51 @@
+// Step 4 (exact) — threshold-based path search, TAPS (paper §V-D1).
+//
+// Finds the Hamiltonian path of maximum preference probability
+// Pr[P] = prod of edge weights, with the Threshold-Algorithm stop rule of
+// Fagin et al.: candidates are examined in best-first order under an upper
+// bound built from per-position sorted edge lists, and the search halts as
+// soon as the best complete path's probability meets the bound of every
+// unexamined candidate (max >= theta). The paper materializes n! path rows
+// across n-1 sorted lists; we generate the same candidate order lazily by
+// best-first expansion of partial paths, which keeps the identical
+// semantics — exact top-1 with all ties, early termination — without the
+// factorial table (DESIGN.md substitution #4).
+//
+// Like the paper, TAPS is intended for the small-n regime (the 10/20-image
+// AMT settings); tests cross-check it against Held-Karp and brute force.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+struct TapsConfig {
+  /// Hard cap on priority-queue expansions; beyond it TAPS throws (the
+  /// caller should switch to SAPS or Held-Karp). The default covers
+  /// n <= ~16 even on flat closures and n <= ~20 on peaked ones; each
+  /// expansion can push up to n ~32-byte search nodes, so the cap also
+  /// bounds memory (~0.5 GB at the default for n = 20).
+  std::size_t max_expansions = 1'000'000;
+  /// Return every tying optimum (the paper's Step 1 keeps tie paths in Y).
+  bool collect_ties = true;
+  /// Relative slack for tie detection on log-probabilities.
+  double tie_tolerance = 1e-12;
+};
+
+struct TapsResult {
+  /// Optimal path(s): all share the maximum probability. Non-empty.
+  std::vector<Path> best_paths;
+  double log_probability = 0.0;  ///< log Pr of the optimum
+  double probability = 0.0;      ///< Pr of the optimum (may underflow to 0)
+  std::size_t expansions = 0;    ///< nodes popped before the threshold hit
+};
+
+/// Runs TAPS on a complete preference closure (all off-diagonal weights in
+/// (0, 1)). Throws crowdrank::Error if the expansion cap is exceeded.
+TapsResult taps_search(const Matrix& closure, const TapsConfig& config = {});
+
+}  // namespace crowdrank

@@ -1,0 +1,38 @@
+// TAPS exactly as §V-D1 writes it — the materialized-lists reference.
+//
+// The paper's TAPS builds n-1 sorted lists, one per Hamiltonian-path edge
+// position; list L_i holds a <pathID, edgeWeight> row for *every* HP's
+// i-th edge, sorted by weight descending. The algorithm does sorted access
+// across the lists in parallel, random-accesses each newly seen path's
+// other edges to score it, and halts once the best seen score meets the
+// threshold theta = prod_i (last weight seen under sorted access in L_i).
+//
+// Materializing n! rows per list is hopeless beyond tiny n — the paper's
+// own space bound is n!(2n-1) — so the production `taps_search` generates
+// candidates lazily (DESIGN.md substitution #4). This reference exists to
+// pin the substitution down: tests assert both implementations return the
+// same optimum on every instance the reference can afford (n <= 7).
+#pragma once
+
+#include <cstddef>
+
+#include "core/taps.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+struct TapsReferenceResult {
+  std::vector<Path> best_paths;  ///< all optima (ties included)
+  double log_probability = 0.0;
+  double probability = 0.0;
+  /// Sorted-access depth at which the threshold rule fired (rows per
+  /// list); n! means the lists were exhausted.
+  std::size_t sorted_access_depth = 0;
+};
+
+/// Runs the literal materialized-lists TAPS. Requires 2 <= n <= 7 (7! =
+/// 5040 paths keeps the n!(2n-1)-sized table affordable). Weights must be
+/// a complete closure (off-diagonal entries in (0, 1]).
+TapsReferenceResult taps_reference_search(const Matrix& closure);
+
+}  // namespace crowdrank

@@ -1,0 +1,70 @@
+// Task assignment (paper §IV).
+//
+// Generates the l pairwise-comparison tasks as a task graph that is
+//  * budget-conscious: exactly l edges,
+//  * fair (Def 4.1 / Thm 4.1): every vertex has (near-)identical degree, so
+//    every object has the same probability 2/3^d of ending up an in-/out-
+//    node of the preference graph (Eq. 2), and
+//  * of high HP-likelihood (Thm 4.4): the regular degree 2l/n maximizes the
+//    lower bound Pr_l on the closure containing a Hamiltonian path.
+//
+// Algorithm 1: seed the graph with a random Hamiltonian path (which also
+// guarantees connectivity, a prerequisite for smoothing to yield a strongly
+// connected graph), then top vertices up to their target degree with random
+// partners. When 2l is not divisible by n the surplus is spread by giving
+// 2l mod n randomly chosen vertices one extra unit of degree — the closest
+// achievable approximation of d_min = d_max = 2l/n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Diagnostics reported alongside a generated task graph.
+struct TaskAssignmentStats {
+  std::size_t edge_count = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  bool fair = false;             ///< max_degree - min_degree <= 1
+  bool strictly_regular = false; ///< all degrees equal (Thm 4.1 exactly)
+  double hp_likelihood_lower_bound = 0.0;  ///< Pr_l of Thm 4.4
+  std::size_t repair_operations = 0;  ///< edge swaps needed to finish
+};
+
+/// Probability that a degree-d vertex is an in- OR out-node of a uniformly
+/// random preference-graph instance of the task graph (Eq. 2): 2 / 3^d.
+double io_node_probability(std::size_t degree);
+
+/// The Thm 4.4 lower bound Pr_l on the probability that the closure of any
+/// preference instance has at most one in-node and at most one out-node:
+/// (1 - 2/3^dmin)^n * [1 + 2n/(3^dmax - 2) + n(n-1) / (2 (3^dmax - 2)^2)].
+double hp_likelihood_lower_bound(std::size_t n, std::size_t d_min,
+                                 std::size_t d_max);
+
+/// Result of HIT generation: the graph plus its fairness diagnostics.
+struct TaskAssignment {
+  TaskGraph graph;
+  TaskAssignmentStats stats;
+};
+
+/// Algorithm 1 (HITs generation). Requires n >= 2 and
+/// n-1 <= num_edges <= C(n,2). Throws crowdrank::Error when the degree
+/// targets cannot be met (does not happen for valid inputs; the internal
+/// swap-repair resolves greedy dead ends).
+TaskAssignment generate_task_assignment(std::size_t n, std::size_t num_edges,
+                                        Rng& rng);
+
+/// Baseline assignment for the ablation bench: num_edges edges sampled
+/// uniformly from all C(n,2) pairs with no fairness control. May be
+/// disconnected and irregular — that is the point.
+TaskAssignment generate_random_assignment(std::size_t n,
+                                          std::size_t num_edges, Rng& rng);
+
+/// All-pairs assignment (selection ratio 1): the paper's baseline setting.
+TaskAssignment generate_all_pairs_assignment(std::size_t n);
+
+}  // namespace crowdrank

@@ -1,0 +1,89 @@
+// Step 1 — truth discovery of direct pairwise comparisons (paper §V-A).
+//
+// Jointly estimates, from the raw vote batch,
+//  * the true preference x_ij in [0,1] of every crowdsourced task (the
+//    probability that O_i < O_j), and
+//  * the quality q_k in [0,1] of every worker,
+// by CRH-style alternation: truths are quality-weighted vote averages
+// (Eq. 4); a worker's quality is proportional to
+// chi2(alpha/2, |T_k|) / sum_over_their_tasks (x^k - x_hat)^2 (Eq. 5),
+// max-normalized into [0,1]. Iterates until both estimate vectors move less
+// than `tolerance` or `max_iterations` is hit — the paper reports
+// convergence within ~10 iterations, which bench/truth_convergence checks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/vote.hpp"
+#include "crowd/worker.hpp"
+#include "graph/preference_graph.hpp"
+#include "graph/types.hpp"
+
+namespace crowdrank {
+
+/// Tunables for the iterative truth-discovery loop.
+struct TruthDiscoveryConfig {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;   ///< max |change| in any x or q to stop
+  double alpha = 0.05;       ///< chi-squared confidence parameter (Eq. 5)
+  /// Ablation switch: when false, the Eq. 4/5 alternation is skipped —
+  /// every worker keeps weight 1 (plain averaging, i.e. soft majority
+  /// voting) and only the calibrated qualities are still computed for
+  /// Step 2. bench/ablation_assignment-style studies use this to price
+  /// the paper's truth-discovery step in isolation.
+  bool use_quality_weighting = true;
+  /// Per-answer floor added to a worker's squared deviation before
+  /// inversion (total floor = deviation_floor * |T_k|). Scaling by the task
+  /// count keeps Eq. 5's chi2(|T_k|) / deviation ratio comparable across
+  /// workers with different workloads: a flat floor would hand workers with
+  /// few tasks a spuriously tiny quality whenever everyone is near-perfect,
+  /// and Step 2 would then smooth unanimous edges into coin flips.
+  double deviation_floor = 1e-4;
+};
+
+/// Estimated truth of one crowdsourced comparison task.
+struct TaskTruth {
+  Edge task;       ///< canonical pair (first < second)
+  double x = 0.5;  ///< P(O_first < O_second) in [0, 1]
+  std::size_t vote_count = 0;
+};
+
+/// Output of Step 1.
+struct TruthDiscoveryResult {
+  std::vector<TaskTruth> truths;  ///< one entry per unique task
+  /// Calibrated worker quality q_k in [0,1]: q_k = exp(-sigma_hat_k), where
+  /// sigma_hat_k is the worker's empirical root-mean-square deviation from
+  /// the discovered truths. This inverts the paper's own sigma_k =
+  /// -log(q_k) convention (§V-B), so Step 2 recovers exactly the error
+  /// scale the data exhibits. (Eq. 5's weights are only defined up to a
+  /// proportionality constant — usable for the iteration below, but not as
+  /// absolute probabilities.)
+  std::vector<double> worker_quality;
+  /// Raw Eq.-5 iteration weights, max-normalized into [0,1]; exposed for
+  /// diagnostics and the ablation benches.
+  std::vector<double> worker_weight;
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  /// Builds the preference graph G_P from the estimated truths: for each
+  /// task (i, j) with truth x, edge i->j gets weight x and j->i gets 1-x
+  /// (a weight of 0 means the edge is absent, so unanimous tasks produce
+  /// exactly the paper's 1-edges).
+  PreferenceGraph to_preference_graph(std::size_t n) const;
+};
+
+/// Runs Step 1. `worker_count` sizes the quality vector (workers with no
+/// votes keep the neutral prior quality 1 but influence nothing).
+/// Throws when `votes` is empty or references out-of-range ids.
+TruthDiscoveryResult discover_truth(const VoteBatch& votes,
+                                    std::size_t object_count,
+                                    std::size_t worker_count,
+                                    const TruthDiscoveryConfig& config = {});
+
+/// Plain majority voting over the same vote batch (every worker weight 1,
+/// single pass). The paper's §I strawman; used by baselines and ablations.
+std::vector<TaskTruth> majority_vote_truth(const VoteBatch& votes,
+                                           std::size_t object_count);
+
+}  // namespace crowdrank

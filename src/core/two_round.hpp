@@ -1,0 +1,53 @@
+// Two-round extension: spend most of the budget non-interactively, then
+// target the leftovers at the pairs round 1 left uncertain.
+//
+// The paper positions one-shot crowdsourcing against fully interactive
+// systems (one round-trip vs thousands). This extension sits between: TWO
+// round-trips total, same dollars. Round 1 runs the standard fair
+// assignment on a fraction f of the budget; Steps 1-3 then score every
+// pair's closure confidence |w - 0.5|, and round 2 re-crowdsources the
+// (1-f) most uncertain pairs (contested tasks get more redundancy, unseen
+// near-ties get their first direct votes). Inference finally runs on the
+// merged batch. bench/extension_two_round measures what the second
+// round-trip buys at equal total cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+/// Pairs ordered by closure uncertainty, most uncertain first: the `count`
+/// pairs (i, j) with the smallest |closure(i, j) - 0.5|; ties broken by
+/// canonical pair order. The closure must be pair-normalized.
+std::vector<Edge> most_uncertain_pairs(const Matrix& closure,
+                                       std::size_t count);
+
+struct TwoRoundConfig {
+  /// Base experiment: object count, *total* budget (selection_ratio),
+  /// worker pool, quality — identical meaning to run_experiment.
+  ExperimentConfig base;
+  /// Fraction of the unique-comparison budget spent in round 1 (the fair
+  /// blind assignment). Must be in (0, 1]; 1.0 degenerates to one round.
+  double round1_fraction = 0.7;
+};
+
+struct TwoRoundResult {
+  Ranking truth;
+  InferenceResult inference;   ///< over the merged two-round batch
+  double accuracy = 0.0;
+  std::size_t round1_tasks = 0;
+  std::size_t round2_tasks = 0;
+  /// How many round-2 pairs had already been asked in round 1 (extra
+  /// redundancy) vs brand new pairs.
+  std::size_t round2_repeats = 0;
+  double total_cost = 0.0;
+};
+
+/// Runs the full two-round protocol against a simulated crowd.
+TwoRoundResult run_two_round_experiment(const TwoRoundConfig& config);
+
+}  // namespace crowdrank

@@ -1,0 +1,87 @@
+#include "crowd/amt_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+AmtSmileDataset::AmtSmileDataset(const AmtDatasetConfig& config, Rng& rng)
+    : config_(config), machine_ranking_(Ranking::identity(2)) {
+  CR_EXPECTS(config.num_images >= 2, "need at least two study images");
+  CR_EXPECTS(config.max_adjacent_gap >= 1, "adjacent gap bound must be >= 1");
+  CR_EXPECTS(
+      config.universe_size >=
+          config.num_images * (config.max_adjacent_gap + 1),
+      "universe too small for the requested selection");
+  CR_EXPECTS(config.perceptual_noise > 0.0,
+             "perceptual noise must be positive");
+
+  // Latent smile scores for the whole universe, then sort descending: index
+  // 0 of `sorted` is the most-smiling virtual image.
+  std::vector<double> universe(config.universe_size);
+  for (double& s : universe) {
+    s = rng.normal();
+  }
+  std::vector<std::size_t> by_rank(config.universe_size);
+  for (std::size_t i = 0; i < by_rank.size(); ++i) by_rank[i] = i;
+  std::sort(by_rank.begin(), by_rank.end(), [&](std::size_t a, std::size_t b) {
+    return universe[a] > universe[b];
+  });
+
+  // Pick num_images positions with adjacent gaps uniform in
+  // [1, max_adjacent_gap], starting somewhere that leaves room.
+  const std::size_t worst_span =
+      (config.num_images - 1) * config.max_adjacent_gap;
+  const std::size_t max_start = config.universe_size - 1 - worst_span;
+  std::size_t pos = static_cast<std::size_t>(rng.uniform_index(max_start + 1));
+  universe_positions_.push_back(pos);
+  for (std::size_t k = 1; k < config.num_images; ++k) {
+    pos += 1 + static_cast<std::size_t>(
+                   rng.uniform_index(config.max_adjacent_gap));
+    universe_positions_.push_back(pos);
+  }
+
+  scores_.reserve(config.num_images);
+  for (const std::size_t p : universe_positions_) {
+    scores_.push_back(universe[by_rank[p]]);
+  }
+
+  // Machine ranking of the *study* images by latent score (descending).
+  machine_ranking_ = Ranking::from_scores(scores_);
+}
+
+double AmtSmileDataset::latent_score(VertexId v) const {
+  CR_EXPECTS(v < scores_.size(), "image id out of range");
+  return scores_[v];
+}
+
+Vote AmtSmileDataset::answer(const WorkerProfile& worker, VertexId i,
+                             VertexId j, Rng& rng) const {
+  CR_EXPECTS(i < scores_.size() && j < scores_.size(),
+             "image id out of range");
+  CR_EXPECTS(i != j, "cannot compare an image with itself");
+  const double gap = scores_[i] - scores_[j];
+  const double noise_sigma = config_.perceptual_noise * (1.0 + worker.sigma);
+  const double perceived = gap + rng.normal(0.0, noise_sigma);
+  return Vote{worker.id, i, j, perceived > 0.0};
+}
+
+VoteBatch AmtSmileDataset::collect(const HitAssignment& assignment,
+                                   const std::vector<WorkerProfile>& workers,
+                                   Rng& rng) const {
+  VoteBatch batch;
+  batch.reserve(assignment.total_answer_count());
+  const auto& tasks = assignment.tasks();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Edge& e = tasks[t];
+    for (const WorkerId k : assignment.workers_for_task(t)) {
+      CR_EXPECTS(k < workers.size(), "assignment references unknown worker");
+      batch.push_back(answer(workers[k], e.first, e.second, rng));
+    }
+  }
+  return batch;
+}
+
+}  // namespace crowdrank

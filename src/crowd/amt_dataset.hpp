@@ -1,0 +1,78 @@
+// Synthetic stand-in for the paper's AMT image-ranking experiment
+// (§VI-A3; DESIGN.md substitution #2).
+//
+// The paper picked celebrity photos from the 1,800-image PubFig set, ranked
+// them once with a relative-attributes model, and kept only photos whose
+// adjacent machine-rank gaps never exceed 46 — i.e. deliberately
+// hard-to-distinguish images — then asked AMT workers "who smiled more?".
+// We reproduce the *statistical* situation: 1,800 virtual images with
+// latent smile scores; a selection of 10/20 images with bounded adjacent
+// rank gaps; and a Thurstonian vote model where the probability of a
+// conflicting vote grows as two latent scores approach each other. The
+// machine ranking is exposed for reference but — exactly as the paper
+// stresses — is NOT ground truth; evaluation compares TAPS vs SAPS
+// agreement instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/hit.hpp"
+#include "crowd/vote.hpp"
+#include "crowd/worker.hpp"
+#include "metrics/ranking.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Configuration of the synthetic smile-ranking study.
+struct AmtDatasetConfig {
+  std::size_t universe_size = 1800;   ///< PubFig-sized image universe
+  std::size_t num_images = 10;        ///< 10- or 20-image setting
+  std::size_t max_adjacent_gap = 46;  ///< paper's rank-closeness filter
+  /// Thurstone comparison noise: the std-dev of the perceptual difference
+  /// judgment for a score gap of 1.0. Larger = more conflicting opinions.
+  double perceptual_noise = 1.0;
+};
+
+/// The selected image set plus its vote model.
+class AmtSmileDataset {
+ public:
+  /// Samples the universe, applies the closeness filter, selects the study
+  /// images. Deterministic given `rng`.
+  AmtSmileDataset(const AmtDatasetConfig& config, Rng& rng);
+
+  std::size_t num_images() const { return scores_.size(); }
+
+  /// Latent smile score of study image v (hidden from algorithms).
+  double latent_score(VertexId v) const;
+
+  /// Ranking of the study images by latent score — the analog of the
+  /// paper's machine ranking; a reference point, not ground truth.
+  const Ranking& machine_ranking() const { return machine_ranking_; }
+
+  /// Positions (in the 1800-image machine ranking) of the selected images,
+  /// ascending; adjacent gaps are <= max_adjacent_gap by construction.
+  const std::vector<std::size_t>& universe_positions() const {
+    return universe_positions_;
+  }
+
+  /// One worker's vote: Thurstonian — the worker perceives
+  /// (s_i - s_j) + noise where noise ~ N(0, (perceptual_noise * (1 +
+  /// sigma_k))^2) and votes for the image perceived to smile more.
+  Vote answer(const WorkerProfile& worker, VertexId i, VertexId j,
+              Rng& rng) const;
+
+  /// Collects one non-interactive round over a pre-built assignment.
+  VoteBatch collect(const HitAssignment& assignment,
+                    const std::vector<WorkerProfile>& workers,
+                    Rng& rng) const;
+
+ private:
+  AmtDatasetConfig config_;
+  std::vector<double> scores_;  ///< latent scores of the selected images
+  std::vector<std::size_t> universe_positions_;
+  Ranking machine_ranking_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,68 @@
+#include "crowd/behaviors.hpp"
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+BehavioralCrowd::BehavioralCrowd(
+    const SimulatedCrowd& base,
+    std::unordered_map<WorkerId, WorkerBehavior> overrides)
+    : base_(base), overrides_(std::move(overrides)) {
+  for (const auto& [worker, behavior] : overrides_) {
+    CR_EXPECTS(worker < base.workers().size(),
+               "behavior override for an unknown worker");
+    (void)behavior;
+  }
+}
+
+WorkerBehavior BehavioralCrowd::behavior(WorkerId k) const {
+  const auto it = overrides_.find(k);
+  return it == overrides_.end() ? WorkerBehavior::Honest : it->second;
+}
+
+Vote BehavioralCrowd::answer(WorkerId worker, VertexId i, VertexId j,
+                             Rng& rng) const {
+  CR_EXPECTS(i != j, "cannot compare an object with itself");
+  switch (behavior(worker)) {
+    case WorkerBehavior::Honest:
+      return base_.answer(worker, i, j, rng);
+    case WorkerBehavior::Spammer:
+      return Vote{worker, i, j, rng.bernoulli(0.5)};
+    case WorkerBehavior::Adversary: {
+      const bool truth_prefers_i =
+          base_.truth().position_of(i) < base_.truth().position_of(j);
+      return Vote{worker, i, j, !truth_prefers_i};
+    }
+    case WorkerBehavior::FirstBiased:
+      return Vote{worker, i, j, true};
+    case WorkerBehavior::LowIdBiased:
+      return Vote{worker, i, j, i < j};
+  }
+  throw Error("unknown worker behavior");
+}
+
+VoteBatch BehavioralCrowd::collect(const HitAssignment& assignment,
+                                   Rng& rng) const {
+  VoteBatch batch;
+  batch.reserve(assignment.total_answer_count());
+  const auto& tasks = assignment.tasks();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Edge& e = tasks[t];
+    for (const WorkerId k : assignment.workers_for_task(t)) {
+      batch.push_back(answer(k, e.first, e.second, rng));
+    }
+  }
+  return batch;
+}
+
+double BehavioralCrowd::contamination_rate() const {
+  std::size_t contaminated = 0;
+  for (const auto& [worker, behavior] : overrides_) {
+    (void)worker;
+    if (behavior != WorkerBehavior::Honest) ++contaminated;
+  }
+  return static_cast<double>(contaminated) /
+         static_cast<double>(base_.workers().size());
+}
+
+}  // namespace crowdrank

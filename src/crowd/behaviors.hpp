@@ -1,0 +1,59 @@
+// Behavioral crowd personas — failure-injection beyond the paper's
+// Gaussian-error model.
+//
+// Real crowdsourcing rounds contain workers the N(0, sigma^2) model does
+// not describe: spammers who click uniformly, adversaries who invert every
+// answer, position-biased workers who favor whichever object is presented
+// first, and lazy workers who answer a constant. BehavioralCrowd wraps the
+// paper-faithful SimulatedCrowd and overrides designated workers with such
+// personas, so robustness experiments (tests and the failure-injection
+// bench) can mix them in controlled proportions.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "crowd/hit.hpp"
+#include "crowd/simulator.hpp"
+#include "crowd/vote.hpp"
+
+namespace crowdrank {
+
+/// Non-honest worker archetypes.
+enum class WorkerBehavior {
+  Honest,       ///< delegate to the underlying error model
+  Spammer,      ///< uniform coin flip, ignores the objects
+  Adversary,    ///< inverts the ground-truth comparison deliberately
+  FirstBiased,  ///< always prefers the first-presented object
+  LowIdBiased,  ///< always prefers the object with the smaller id
+};
+
+/// SimulatedCrowd decorator that overrides designated workers' behavior.
+class BehavioralCrowd {
+ public:
+  /// `overrides` maps worker ids to non-honest personas; all other workers
+  /// answer via `base`'s paper model.
+  BehavioralCrowd(const SimulatedCrowd& base,
+                  std::unordered_map<WorkerId, WorkerBehavior> overrides);
+
+  const SimulatedCrowd& base() const { return base_; }
+
+  /// Persona of worker k (Honest unless overridden).
+  WorkerBehavior behavior(WorkerId k) const;
+
+  /// One vote under the worker's persona.
+  Vote answer(WorkerId worker, VertexId i, VertexId j, Rng& rng) const;
+
+  /// Full non-interactive round, like SimulatedCrowd::collect.
+  VoteBatch collect(const HitAssignment& assignment, Rng& rng) const;
+
+  /// Fraction of the pool that is not honest.
+  double contamination_rate() const;
+
+ private:
+  const SimulatedCrowd& base_;
+  std::unordered_map<WorkerId, WorkerBehavior> overrides_;
+};
+
+}  // namespace crowdrank

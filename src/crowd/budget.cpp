@@ -1,0 +1,76 @@
+#include "crowd/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+BudgetModel::BudgetModel(double budget, double reward_per_comparison,
+                         std::size_t workers_per_task,
+                         double platform_fee_rate)
+    : budget_(budget),
+      reward_(reward_per_comparison),
+      workers_per_task_(workers_per_task),
+      fee_rate_(platform_fee_rate) {
+  CR_EXPECTS(budget > 0.0, "budget must be positive");
+  CR_EXPECTS(reward_per_comparison > 0.0, "reward must be positive");
+  CR_EXPECTS(workers_per_task >= 1, "each task needs at least one worker");
+  CR_EXPECTS(platform_fee_rate >= 0.0,
+             "platform fee rate must be non-negative");
+}
+
+BudgetModel BudgetModel::for_unique_tasks(std::size_t unique_tasks,
+                                          double reward_per_comparison,
+                                          std::size_t workers_per_task,
+                                          double platform_fee_rate) {
+  CR_EXPECTS(unique_tasks >= 1, "need at least one task");
+  const double budget = static_cast<double>(unique_tasks) *
+                        static_cast<double>(workers_per_task) *
+                        reward_per_comparison * (1.0 + platform_fee_rate);
+  return BudgetModel(budget, reward_per_comparison, workers_per_task,
+                     platform_fee_rate);
+}
+
+BudgetModel BudgetModel::for_selection_ratio(std::size_t n, double ratio,
+                                             double reward_per_comparison,
+                                             std::size_t workers_per_task,
+                                             double platform_fee_rate) {
+  CR_EXPECTS(n >= 2, "need at least two objects");
+  CR_EXPECTS(ratio > 0.0 && ratio <= 1.0, "selection ratio must be in (0,1]");
+  const std::size_t all_pairs = math::pair_count(n);
+  auto l = static_cast<std::size_t>(
+      std::llround(ratio * static_cast<double>(all_pairs)));
+  l = std::clamp(l, n - 1, all_pairs);
+  return for_unique_tasks(l, reward_per_comparison, workers_per_task,
+                          platform_fee_rate);
+}
+
+std::size_t BudgetModel::unique_task_count() const {
+  // Floor with a relative epsilon: budgets constructed as l * w * cost
+  // must recover exactly l despite the round trip through floating point.
+  const double exact =
+      budget_ /
+      (static_cast<double>(workers_per_task_) * cost_per_answer());
+  return static_cast<std::size_t>(std::floor(exact * (1.0 + 1e-12) + 1e-9));
+}
+
+double BudgetModel::selection_ratio(std::size_t n) const {
+  CR_EXPECTS(n >= 2, "need at least two objects");
+  return static_cast<double>(unique_task_count()) /
+         static_cast<double>(math::pair_count(n));
+}
+
+double BudgetModel::total_cost() const {
+  return static_cast<double>(unique_task_count()) *
+         static_cast<double>(workers_per_task_) * cost_per_answer();
+}
+
+double BudgetModel::total_fees() const {
+  return static_cast<double>(unique_task_count()) *
+         static_cast<double>(workers_per_task_) * reward_ * fee_rate_;
+}
+
+}  // namespace crowdrank

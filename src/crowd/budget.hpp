@@ -1,0 +1,66 @@
+// Budget model (paper §II).
+//
+// The requester has budget B; each pairwise comparison pays reward r and is
+// replicated to w > 1 workers, so the number of unique comparison tasks the
+// budget affords is l = floor(B / (w * r)). The *selection ratio*
+// r_sel = l / C(n, 2) is the knob the evaluation sweeps (Figs 4-6).
+#pragma once
+
+#include <cstddef>
+
+namespace crowdrank {
+
+/// Crowdsourcing budget: dollars, per-comparison reward, replication
+/// factor, and the platform's commission (AMT charges the requester a fee
+/// of 20-40% *on top of* each reward; the paper's B/(w r) formula is the
+/// fee-free special case).
+class BudgetModel {
+ public:
+  /// budget > 0, reward_per_comparison > 0, workers_per_task >= 1,
+  /// platform_fee_rate >= 0 (0.2 = a 20% commission on every reward).
+  BudgetModel(double budget, double reward_per_comparison,
+              std::size_t workers_per_task, double platform_fee_rate = 0.0);
+
+  /// Builds the budget that yields exactly `unique_tasks` comparisons.
+  static BudgetModel for_unique_tasks(std::size_t unique_tasks,
+                                      double reward_per_comparison,
+                                      std::size_t workers_per_task,
+                                      double platform_fee_rate = 0.0);
+
+  /// Builds the budget for a target selection ratio over n objects:
+  /// l = round(ratio * C(n, 2)), clamped to [n-1, C(n, 2)] so the task
+  /// graph can stay connected (l >= n-1 is required for any spanning HP).
+  static BudgetModel for_selection_ratio(std::size_t n, double ratio,
+                                         double reward_per_comparison,
+                                         std::size_t workers_per_task,
+                                         double platform_fee_rate = 0.0);
+
+  double budget() const { return budget_; }
+  double reward_per_comparison() const { return reward_; }
+  std::size_t workers_per_task() const { return workers_per_task_; }
+  double platform_fee_rate() const { return fee_rate_; }
+
+  /// What one answer actually costs the requester: reward * (1 + fee).
+  double cost_per_answer() const { return reward_ * (1.0 + fee_rate_); }
+
+  /// l = floor(B / (w * cost_per_answer)) — affordable unique comparisons.
+  std::size_t unique_task_count() const;
+
+  /// unique_task_count() / C(n, 2).
+  double selection_ratio(std::size_t n) const;
+
+  /// Total paid out if the whole budget's worth of tasks is crowdsourced:
+  /// l * w * cost_per_answer (<= budget by construction).
+  double total_cost() const;
+
+  /// The platform's cut of total_cost().
+  double total_fees() const;
+
+ private:
+  double budget_;
+  double reward_;
+  std::size_t workers_per_task_;
+  double fee_rate_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,60 @@
+// HIT (Human Intelligence Task) model (paper §II).
+//
+// The requester groups the l unique pairwise comparisons into HITs of
+// c >= 1 comparisons each, and assigns every HIT to w > 1 distinct workers
+// out of the pool of m workers (w <= m). The assignment is one-time
+// (non-interactive): it is fixed before any answer is seen.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/worker.hpp"
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// One HIT: a batch of pairwise comparison tasks plus the workers assigned.
+struct Hit {
+  std::vector<Edge> comparisons;   ///< the c pairwise tasks in this HIT
+  std::vector<WorkerId> workers;   ///< the w workers assigned to it
+};
+
+/// Configuration of HIT construction.
+struct HitConfig {
+  std::size_t comparisons_per_hit = 1;  ///< c
+  std::size_t workers_per_hit = 3;      ///< w (replication factor)
+};
+
+/// The full one-round assignment: HITs plus fast lookup indexes.
+class HitAssignment {
+ public:
+  /// Packs `tasks` into HITs of c comparisons and assigns each HIT to w
+  /// distinct workers sampled uniformly from the pool. Requires
+  /// w <= pool size and at least one task.
+  HitAssignment(const std::vector<Edge>& tasks, const HitConfig& config,
+                std::size_t worker_pool_size, Rng& rng);
+
+  const std::vector<Hit>& hits() const { return hits_; }
+  std::size_t unique_task_count() const { return tasks_.size(); }
+  const std::vector<Edge>& tasks() const { return tasks_; }
+
+  /// Workers assigned to task index t (into tasks()).
+  const std::vector<WorkerId>& workers_for_task(std::size_t t) const;
+
+  /// Task indices assigned to worker k (empty if the worker got none).
+  const std::vector<std::size_t>& tasks_for_worker(WorkerId k) const;
+
+  /// Total pairwise answers that will be collected (sum over tasks of its
+  /// replication) — what the budget actually pays for.
+  std::size_t total_answer_count() const;
+
+ private:
+  std::vector<Hit> hits_;
+  std::vector<Edge> tasks_;
+  std::vector<std::vector<WorkerId>> task_workers_;
+  std::vector<std::vector<std::size_t>> worker_tasks_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,38 @@
+#include "crowd/interactive.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+InteractiveCrowd::InteractiveCrowd(const SimulatedCrowd& crowd,
+                                   const BudgetModel& budget, Rng& rng)
+    : crowd_(crowd),
+      reward_(budget.reward_per_comparison()),
+      remaining_(budget.budget()),
+      rng_(rng) {}
+
+std::size_t InteractiveCrowd::remaining_answers() const {
+  if (remaining_ < reward_) return 0;
+  return static_cast<std::size_t>(std::floor(remaining_ / reward_));
+}
+
+std::optional<Vote> InteractiveCrowd::query(WorkerId k, VertexId i,
+                                            VertexId j) {
+  if (!can_query()) {
+    return std::nullopt;
+  }
+  remaining_ -= reward_;
+  ++purchased_;
+  return crowd_.answer(k, i, j, rng_);
+}
+
+std::optional<Vote> InteractiveCrowd::query_random_worker(VertexId i,
+                                                          VertexId j) {
+  const auto k = static_cast<WorkerId>(
+      rng_.uniform_index(crowd_.workers().size()));
+  return query(k, i, j);
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,55 @@
+// Interactive crowdsourcing oracle (paper §VI-B baselines).
+//
+// CrowdBT operates in the *interactive* setting: it repeatedly picks the
+// next pair to crowdsource based on everything seen so far, until the
+// budget runs out. This class wraps a SimulatedCrowd behind a pay-per-query
+// interface with strict budget metering so interactive baselines spend
+// exactly the same dollars as the non-interactive pipeline they are
+// compared against.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "crowd/budget.hpp"
+#include "crowd/simulator.hpp"
+#include "crowd/vote.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Budget-metered interactive access to a simulated crowd.
+class InteractiveCrowd {
+ public:
+  /// The oracle charges `budget.reward_per_comparison()` per answer.
+  InteractiveCrowd(const SimulatedCrowd& crowd, const BudgetModel& budget,
+                   Rng& rng);
+
+  /// Remaining budget in dollars.
+  double remaining_budget() const { return remaining_; }
+
+  /// Answers remaining before the budget runs out.
+  std::size_t remaining_answers() const;
+
+  /// True while at least one more answer is affordable.
+  bool can_query() const { return remaining_answers() > 0; }
+
+  /// Asks worker `k` to compare (i, j). Returns nullopt when the budget is
+  /// exhausted; otherwise charges one reward and returns the vote.
+  std::optional<Vote> query(WorkerId k, VertexId i, VertexId j);
+
+  /// Asks a uniformly random worker. Returns nullopt when broke.
+  std::optional<Vote> query_random_worker(VertexId i, VertexId j);
+
+  /// Total answers purchased so far.
+  std::size_t answers_purchased() const { return purchased_; }
+
+ private:
+  const SimulatedCrowd& crowd_;
+  double reward_;
+  double remaining_;
+  std::size_t purchased_ = 0;
+  Rng& rng_;
+};
+
+}  // namespace crowdrank

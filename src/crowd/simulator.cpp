@@ -1,0 +1,50 @@
+#include "crowd/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+SimulatedCrowd::SimulatedCrowd(Ranking truth,
+                               std::vector<WorkerProfile> workers)
+    : truth_(std::move(truth)), workers_(std::move(workers)) {
+  CR_EXPECTS(!workers_.empty(), "need at least one worker");
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    CR_EXPECTS(workers_[k].id == k,
+               "worker ids must be contiguous pool indices");
+    CR_EXPECTS(workers_[k].sigma >= 0.0, "worker sigma must be >= 0");
+  }
+}
+
+double SimulatedCrowd::sample_error_probability(const WorkerProfile& worker,
+                                                Rng& rng) const {
+  return std::clamp(std::abs(rng.normal(0.0, worker.sigma)), 0.0, 1.0);
+}
+
+Vote SimulatedCrowd::answer(WorkerId worker, VertexId i, VertexId j,
+                            Rng& rng) const {
+  CR_EXPECTS(worker < workers_.size(), "worker id out of range");
+  CR_EXPECTS(i != j, "cannot compare an object with itself");
+  const bool truth_prefers_i = truth_.position_of(i) < truth_.position_of(j);
+  const double p_err = sample_error_probability(workers_[worker], rng);
+  const bool correct = !rng.bernoulli(p_err);
+  return Vote{worker, i, j, correct == truth_prefers_i};
+}
+
+VoteBatch SimulatedCrowd::collect(const HitAssignment& assignment,
+                                  Rng& rng) const {
+  VoteBatch batch;
+  batch.reserve(assignment.total_answer_count());
+  const auto& tasks = assignment.tasks();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Edge& e = tasks[t];
+    for (const WorkerId k : assignment.workers_for_task(t)) {
+      batch.push_back(answer(k, e.first, e.second, rng));
+    }
+  }
+  return batch;
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,46 @@
+// Non-interactive crowd simulator (paper §VI-A4; DESIGN.md substitution #1).
+//
+// Given a hidden ground-truth ranking and a worker pool, produces the
+// one-shot batch of votes a real AMT round would return: for each
+// (worker, task) pair the worker votes the *wrong* direction with
+// probability clamp(|N(0, sigma_k^2)|, 0, 1), drawn independently per
+// answer — the paper's error model verbatim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/hit.hpp"
+#include "crowd/vote.hpp"
+#include "crowd/worker.hpp"
+#include "metrics/ranking.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Simulates one non-interactive crowdsourcing round.
+class SimulatedCrowd {
+ public:
+  /// `truth` is the hidden full ranking; `workers` the sampled pool.
+  SimulatedCrowd(Ranking truth, std::vector<WorkerProfile> workers);
+
+  const Ranking& truth() const { return truth_; }
+  const std::vector<WorkerProfile>& workers() const { return workers_; }
+
+  /// Probability that worker k answers a comparison incorrectly on this
+  /// draw: clamp(|N(0, sigma_k^2)|, 0, 1).
+  double sample_error_probability(const WorkerProfile& worker, Rng& rng) const;
+
+  /// One worker's vote on the comparison (i, j).
+  Vote answer(WorkerId worker, VertexId i, VertexId j, Rng& rng) const;
+
+  /// Answers an entire pre-built assignment: every task, every assigned
+  /// worker, one vote each. This is the non-interactive round.
+  VoteBatch collect(const HitAssignment& assignment, Rng& rng) const;
+
+ private:
+  Ranking truth_;
+  std::vector<WorkerProfile> workers_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,26 @@
+// A single pairwise preference returned by one worker (paper §II):
+// the worker voted either O_i < O_j ("i preferred") or O_j < O_i.
+#pragma once
+
+#include <vector>
+
+#include "crowd/worker.hpp"
+#include "graph/types.hpp"
+
+namespace crowdrank {
+
+/// One worker's answer to one pairwise comparison task (O_i, O_j).
+struct Vote {
+  WorkerId worker = 0;
+  VertexId i = 0;
+  VertexId j = 0;
+  /// true: O_i is preferred to O_j (x_ij^k = 1); false: the reverse.
+  bool prefers_i = true;
+
+  bool operator==(const Vote&) const = default;
+};
+
+/// The one-shot batch a non-interactive crowdsourcing round produces.
+using VoteBatch = std::vector<Vote>;
+
+}  // namespace crowdrank

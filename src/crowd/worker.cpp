@@ -1,0 +1,72 @@
+#include "crowd/worker.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+double gaussian_sigma_s(QualityLevel level) {
+  switch (level) {
+    case QualityLevel::High:
+      return 0.01;
+    case QualityLevel::Medium:
+      return 0.1;
+    case QualityLevel::Low:
+      return 1.0;
+  }
+  throw Error("unknown quality level");
+}
+
+std::pair<double, double> uniform_sigma_range(QualityLevel level) {
+  switch (level) {
+    case QualityLevel::High:
+      return {0.0, 0.2};
+    case QualityLevel::Medium:
+      return {0.1, 0.3};
+    case QualityLevel::Low:
+      return {0.2, 0.4};
+  }
+  throw Error("unknown quality level");
+}
+
+std::vector<WorkerProfile> sample_worker_pool(std::size_t count,
+                                              const WorkerPoolConfig& config,
+                                              Rng& rng) {
+  CR_EXPECTS(count > 0, "a worker pool needs at least one worker");
+  std::vector<WorkerProfile> pool;
+  pool.reserve(count);
+  for (WorkerId id = 0; id < count; ++id) {
+    double sigma = 0.0;
+    switch (config.distribution) {
+      case QualityDistribution::Gaussian:
+        sigma = std::abs(rng.normal(0.0, gaussian_sigma_s(config.level)));
+        break;
+      case QualityDistribution::Uniform: {
+        const auto [lo, hi] = uniform_sigma_range(config.level);
+        sigma = lo == hi ? lo : rng.uniform(lo, hi);
+        break;
+      }
+    }
+    pool.push_back(WorkerProfile{id, sigma});
+  }
+  return pool;
+}
+
+std::string to_string(QualityDistribution d) {
+  return d == QualityDistribution::Gaussian ? "Gaussian" : "Uniform";
+}
+
+std::string to_string(QualityLevel l) {
+  switch (l) {
+    case QualityLevel::High:
+      return "high";
+    case QualityLevel::Medium:
+      return "medium";
+    case QualityLevel::Low:
+      return "low";
+  }
+  return "?";
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,56 @@
+// Worker model (paper §VI-A4).
+//
+// Worker W_k's voting error follows N(0, sigma_k^2); the smaller sigma_k,
+// the higher the quality. The paper draws sigma_k from one of two families:
+//   * Gaussian: sigma_k ~ N(0, sigma_s^2) with sigma_s in {0.01, 0.1, 1}
+//     for high / medium / low quality (we take |.| since a std-dev is
+//     non-negative — see DESIGN.md substitution #1);
+//   * Uniform: sigma_k ~ U[a, b] with [0,.2] / [.1,.3] / [.2,.4] for
+//     high / medium / low quality.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Identifier of a crowd worker (index into the worker pool).
+using WorkerId = std::size_t;
+
+/// Which family the per-worker error std-devs are drawn from.
+enum class QualityDistribution { Gaussian, Uniform };
+
+/// The three quality regimes the paper evaluates.
+enum class QualityLevel { High, Medium, Low };
+
+/// A single simulated worker: the std-dev of their voting error.
+struct WorkerProfile {
+  WorkerId id = 0;
+  double sigma = 0.0;  ///< error std-dev; >= 0, smaller = better worker
+};
+
+/// Configuration of a worker pool draw.
+struct WorkerPoolConfig {
+  QualityDistribution distribution = QualityDistribution::Gaussian;
+  QualityLevel level = QualityLevel::Medium;
+};
+
+/// The paper's sigma_s for a Gaussian-quality level (0.01 / 0.1 / 1).
+double gaussian_sigma_s(QualityLevel level);
+
+/// The paper's uniform range for a quality level ([0,.2]/[.1,.3]/[.2,.4]).
+std::pair<double, double> uniform_sigma_range(QualityLevel level);
+
+/// Draws `count` workers with std-devs from the configured family.
+std::vector<WorkerProfile> sample_worker_pool(std::size_t count,
+                                              const WorkerPoolConfig& config,
+                                              Rng& rng);
+
+/// Human-readable names for bench/table output.
+std::string to_string(QualityDistribution d);
+std::string to_string(QualityLevel l);
+
+}  // namespace crowdrank

@@ -1,0 +1,177 @@
+#include "graph/hamiltonian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+bool is_permutation_path(const Path& path, std::size_t n) {
+  if (path.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const VertexId v : path) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+double path_probability(const Matrix& weights, const Path& path) {
+  double prob = 1.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double w = weights(path[i], path[i + 1]);
+    if (w <= 0.0) return 0.0;
+    prob *= w;
+  }
+  return prob;
+}
+
+double path_log_cost(const Matrix& weights, const Path& path) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    cost -= math::safe_log(weights(path[i], path[i + 1]));
+  }
+  return cost;
+}
+
+namespace {
+
+/// Bitmask DP over "can a path covering `mask` end at v?". Generic over an
+/// edge predicate so the directed and undirected variants share code.
+template <typename EdgeFn>
+bool hp_exists_dp(std::size_t n, EdgeFn has_dir_edge) {
+  CR_EXPECTS(n <= 24, "Hamiltonian existence DP limited to n <= 24");
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  // reachable[mask] = bitset of possible end vertices for paths over mask.
+  std::vector<std::uint32_t> reachable(full + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    reachable[std::size_t{1} << v] =
+        static_cast<std::uint32_t>(std::size_t{1} << v);
+  }
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    const std::uint32_t ends = reachable[mask];
+    if (ends == 0) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!(ends & (std::uint32_t{1} << v))) continue;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (mask & (std::size_t{1} << u)) continue;
+        if (has_dir_edge(v, u)) {
+          reachable[mask | (std::size_t{1} << u)] |= std::uint32_t{1} << u;
+        }
+      }
+    }
+  }
+  return reachable[full] != 0;
+}
+
+}  // namespace
+
+bool has_hamiltonian_path(const PreferenceGraph& g) {
+  return hp_exists_dp(g.vertex_count(), [&](std::size_t v, std::size_t u) {
+    return g.weight(v, u) > 0.0;
+  });
+}
+
+bool has_hamiltonian_path(const TaskGraph& g) {
+  return hp_exists_dp(g.vertex_count(), [&](std::size_t v, std::size_t u) {
+    return g.has_edge(v, u);
+  });
+}
+
+namespace {
+
+void enumerate_rec(const PreferenceGraph& g, Path& prefix,
+                   std::vector<bool>& used, std::vector<Path>& out) {
+  const std::size_t n = g.vertex_count();
+  if (prefix.size() == n) {
+    out.push_back(prefix);
+    return;
+  }
+  for (VertexId next = 0; next < n; ++next) {
+    if (used[next]) continue;
+    if (!prefix.empty() && g.weight(prefix.back(), next) <= 0.0) continue;
+    used[next] = true;
+    prefix.push_back(next);
+    enumerate_rec(g, prefix, used, out);
+    prefix.pop_back();
+    used[next] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_hamiltonian_paths(const PreferenceGraph& g) {
+  CR_EXPECTS(g.vertex_count() <= 10,
+             "exhaustive HP enumeration limited to n <= 10");
+  std::vector<Path> out;
+  Path prefix;
+  std::vector<bool> used(g.vertex_count(), false);
+  enumerate_rec(g, prefix, used, out);
+  return out;
+}
+
+std::optional<Path> max_probability_hamiltonian_path(const Matrix& weights) {
+  CR_EXPECTS(weights.is_square(), "weight matrix must be square");
+  const std::size_t n = weights.rows();
+  CR_EXPECTS(n >= 2 && n <= 20, "Held-Karp limited to 2 <= n <= 20");
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const std::size_t full = (std::size_t{1} << n) - 1;
+
+  // best[mask * n + v]: max sum of log-weights over paths covering mask and
+  // ending at v. parent reconstructs the argmax path.
+  std::vector<double> best((full + 1) * n, kNegInf);
+  std::vector<std::int32_t> parent((full + 1) * n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    best[(std::size_t{1} << v) * n + v] = 0.0;
+  }
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const double score = best[mask * n + v];
+      if (score == kNegInf) continue;
+      if (!(mask & (std::size_t{1} << v))) continue;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (mask & (std::size_t{1} << u)) continue;
+        const double w = weights(v, u);
+        if (w <= 0.0) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << u);
+        const double cand = score + std::log(w);
+        if (cand > best[next_mask * n + u]) {
+          best[next_mask * n + u] = cand;
+          parent[next_mask * n + u] = static_cast<std::int32_t>(v);
+        }
+      }
+    }
+  }
+
+  std::size_t best_end = n;
+  double best_score = kNegInf;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (best[full * n + v] > best_score) {
+      best_score = best[full * n + v];
+      best_end = v;
+    }
+  }
+  if (best_end == n) {
+    return std::nullopt;
+  }
+
+  Path path;
+  path.reserve(n);
+  std::size_t mask = full;
+  std::size_t v = best_end;
+  while (true) {
+    path.push_back(v);
+    const std::int32_t p = parent[mask * n + v];
+    if (p < 0) break;
+    mask &= ~(std::size_t{1} << v);
+    v = static_cast<std::size_t>(p);
+  }
+  std::reverse(path.begin(), path.end());
+  CR_ENSURES(is_permutation_path(path, n), "Held-Karp produced a non-HP");
+  return path;
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,50 @@
+// Hamiltonian-path utilities (paper §III, §V-D).
+//
+// A full ranking of n objects is exactly a Hamiltonian path of the
+// (transitively closed) preference graph; its preference probability is the
+// product of the edge weights along the path, maximized in log-space to
+// avoid underflow at large n.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/preference_graph.hpp"
+#include "graph/task_graph.hpp"
+#include "graph/types.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+/// True if `path` visits every vertex of an n-vertex graph exactly once.
+bool is_permutation_path(const Path& path, std::size_t n);
+
+/// Preference probability Pr[P] = prod of w(path[i] -> path[i+1]).
+/// Zero if any edge is missing.
+double path_probability(const Matrix& weights, const Path& path);
+
+/// Sum of log(1/w) along the path (the SAPS objective; lower is better).
+/// Missing edges contribute the -safe_log floor, i.e. a huge penalty.
+double path_log_cost(const Matrix& weights, const Path& path);
+
+/// Exact Hamiltonian-path existence in a *directed* weighted graph via
+/// bitmask DP. O(2^n * n^2); requires n <= 24.
+bool has_hamiltonian_path(const PreferenceGraph& g);
+
+/// Exact Hamiltonian-path existence in an undirected task graph via bitmask
+/// DP. O(2^n * n^2); requires n <= 24. (Thm 4.2: a task graph without an HP
+/// can never yield a preference closure with one.)
+bool has_hamiltonian_path(const TaskGraph& g);
+
+/// Enumerates every Hamiltonian path of the directed graph (edges = weight
+/// > 0). Exponential; requires n <= 10. Used as a brute-force oracle in
+/// tests for TAPS/SAPS.
+std::vector<Path> enumerate_hamiltonian_paths(const PreferenceGraph& g);
+
+/// Maximum-probability Hamiltonian path by Held-Karp bitmask DP over
+/// log-weights. Exact; O(2^n * n^2) time, O(2^n * n) space; requires
+/// n <= 20. Returns nullopt when the graph has no HP at all.
+std::optional<Path> max_probability_hamiltonian_path(const Matrix& weights);
+
+}  // namespace crowdrank

@@ -1,0 +1,148 @@
+#include "graph/preference_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+PreferenceGraph::PreferenceGraph(std::size_t n)
+    : n_(n), weights_(n, n, 0.0) {
+  CR_EXPECTS(n >= 2, "a preference graph needs at least two objects");
+}
+
+void PreferenceGraph::check_vertex(VertexId v) const {
+  CR_EXPECTS(v < n_, "vertex id out of range");
+}
+
+std::size_t PreferenceGraph::edge_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (weights_(i, j) > 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+void PreferenceGraph::set_weight(VertexId from, VertexId to, double weight) {
+  check_vertex(from);
+  check_vertex(to);
+  CR_EXPECTS(from != to, "self-preference is not allowed");
+  CR_EXPECTS(weight >= 0.0 && weight <= 1.0,
+             "preference weight must lie in [0, 1]");
+  weights_(from, to) = weight;
+}
+
+double PreferenceGraph::weight(VertexId from, VertexId to) const {
+  check_vertex(from);
+  check_vertex(to);
+  return weights_(from, to);
+}
+
+std::size_t PreferenceGraph::in_degree(VertexId v) const {
+  check_vertex(v);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (weights_(i, v) > 0.0) ++count;
+  }
+  return count;
+}
+
+std::size_t PreferenceGraph::out_degree(VertexId v) const {
+  check_vertex(v);
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (weights_(v, j) > 0.0) ++count;
+  }
+  return count;
+}
+
+bool PreferenceGraph::is_in_node(VertexId v) const {
+  return in_degree(v) > 0 && out_degree(v) == 0;
+}
+
+bool PreferenceGraph::is_out_node(VertexId v) const {
+  return out_degree(v) > 0 && in_degree(v) == 0;
+}
+
+std::vector<VertexId> PreferenceGraph::in_nodes() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (is_in_node(v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<VertexId> PreferenceGraph::out_nodes() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (is_out_node(v)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> PreferenceGraph::one_edges()
+    const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (weights_(i, j) == 1.0) {
+        result.emplace_back(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+bool PreferenceGraph::is_complete() const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j && weights_(i, j) <= 0.0) return false;
+    }
+  }
+  return true;
+}
+
+bool PreferenceGraph::is_strongly_connected() const {
+  // Kosaraju without recursion: forward DFS reachability from vertex 0,
+  // then backward DFS reachability; strongly connected iff both cover V.
+  const auto reaches_all = [&](bool forward) {
+    std::vector<bool> seen(n_, false);
+    std::vector<VertexId> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u = 0; u < n_; ++u) {
+        const double w = forward ? weights_(v, u) : weights_(u, v);
+        if (w > 0.0 && !seen[u]) {
+          seen[u] = true;
+          ++visited;
+          stack.push_back(u);
+        }
+      }
+    }
+    return visited == n_;
+  };
+  return reaches_all(true) && reaches_all(false);
+}
+
+PreferenceGraph PreferenceGraph::from_matrix(const Matrix& weights) {
+  CR_EXPECTS(weights.is_square(), "weight matrix must be square");
+  PreferenceGraph g(weights.rows());
+  for (std::size_t i = 0; i < weights.rows(); ++i) {
+    for (std::size_t j = 0; j < weights.cols(); ++j) {
+      if (i == j) {
+        CR_EXPECTS(weights(i, j) == 0.0,
+                   "weight matrix diagonal must be zero");
+        continue;
+      }
+      g.set_weight(i, j, weights(i, j));
+    }
+  }
+  return g;
+}
+
+}  // namespace crowdrank

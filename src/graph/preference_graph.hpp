@@ -1,0 +1,76 @@
+// Preference graph (paper §III): a weighted, directed graph over the same
+// vertices as the task graph. The weight w_ij in (0, 1] of edge v_i -> v_j
+// is the truth confidence of "O_i is preferred to O_j"; w_ij == 0 means the
+// edge is absent. The graph is stored densely (n x n weight matrix) because
+// inference Step 3 turns it into a complete digraph anyway.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+
+/// Weighted digraph with dense weight storage. Invariants enforced:
+/// weights lie in [0, 1]; the diagonal is always 0 (no self-preference).
+class PreferenceGraph {
+ public:
+  /// n isolated vertices; n >= 2.
+  explicit PreferenceGraph(std::size_t n);
+
+  std::size_t vertex_count() const { return n_; }
+
+  /// Number of directed edges (entries with weight > 0).
+  std::size_t edge_count() const;
+
+  /// Sets w(from -> to). Requires weight in [0, 1] and from != to.
+  /// weight == 0 removes the edge.
+  void set_weight(VertexId from, VertexId to, double weight);
+
+  /// w(from -> to); 0 when the edge is absent.
+  double weight(VertexId from, VertexId to) const;
+
+  bool has_edge(VertexId from, VertexId to) const {
+    return weight(from, to) > 0.0;
+  }
+
+  /// Number of incoming / outgoing edges of v.
+  std::size_t in_degree(VertexId v) const;
+  std::size_t out_degree(VertexId v) const;
+
+  /// An *in-node* has only incoming edges (and at least one); an *out-node*
+  /// has only outgoing edges (paper §III). In-nodes must rank last,
+  /// out-nodes first; two of either kind rule out any Hamiltonian path
+  /// (Thm 4.3).
+  bool is_in_node(VertexId v) const;
+  bool is_out_node(VertexId v) const;
+  std::vector<VertexId> in_nodes() const;
+  std::vector<VertexId> out_nodes() const;
+
+  /// Directed edges carrying weight exactly 1 ("1-edges", §V-B): unanimous
+  /// votes. These are what preference smoothing adjusts.
+  std::vector<std::pair<VertexId, VertexId>> one_edges() const;
+
+  /// True when every ordered pair (i, j), i != j, has weight > 0.
+  bool is_complete() const;
+
+  /// Strong connectivity via Kosaraju's two-pass DFS (iterative).
+  /// The smoothed graph must be strongly connected for Thm 5.1 to hold.
+  bool is_strongly_connected() const;
+
+  /// The underlying weight matrix (dense, row = from, col = to).
+  const Matrix& weights() const { return weights_; }
+
+  /// Builds a graph directly from a weight matrix (validating invariants).
+  static PreferenceGraph from_matrix(const Matrix& weights);
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  std::size_t n_;
+  Matrix weights_;
+};
+
+}  // namespace crowdrank

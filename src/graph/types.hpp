@@ -1,0 +1,31 @@
+// Shared vocabulary types for the graph layer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace crowdrank {
+
+/// Vertex identifier: vertices of an n-vertex graph are 0..n-1 and map 1:1
+/// onto the objects being ranked (paper §III).
+using VertexId = std::size_t;
+
+/// Unordered pair of distinct vertices; canonical form has first < second.
+struct Edge {
+  VertexId first;
+  VertexId second;
+
+  /// Canonicalizes so that first < second (an edge is unordered).
+  static Edge canonical(VertexId a, VertexId b) {
+    return a < b ? Edge{a, b} : Edge{b, a};
+  }
+
+  bool operator==(const Edge&) const = default;
+  auto operator<=>(const Edge&) const = default;
+};
+
+/// A path through distinct vertices; a Hamiltonian path visits all n.
+using Path = std::vector<VertexId>;
+
+}  // namespace crowdrank

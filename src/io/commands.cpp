@@ -1,0 +1,320 @@
+#include "io/commands.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "core/confidence.hpp"
+#include "core/diagnostics.hpp"
+#include "core/pipeline.hpp"
+#include "core/planning.hpp"
+#include "io/args.hpp"
+#include "io/records.hpp"
+#include "metrics/kendall.hpp"
+#include "metrics/spearman.hpp"
+#include "metrics/topk.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank::io {
+
+namespace {
+
+std::vector<const char*> to_argv(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return argv;
+}
+
+WorkerPoolConfig parse_quality(const Args& args) {
+  WorkerPoolConfig config;
+  const std::string dist = args.get_string("distribution", "gaussian");
+  if (dist == "gaussian") {
+    config.distribution = QualityDistribution::Gaussian;
+  } else if (dist == "uniform") {
+    config.distribution = QualityDistribution::Uniform;
+  } else {
+    throw Error("--distribution must be gaussian or uniform");
+  }
+  const std::string level = args.get_string("quality", "medium");
+  if (level == "high") {
+    config.level = QualityLevel::High;
+  } else if (level == "medium") {
+    config.level = QualityLevel::Medium;
+  } else if (level == "low") {
+    config.level = QualityLevel::Low;
+  } else {
+    throw Error("--quality must be high, medium, or low");
+  }
+  return config;
+}
+
+RankSearchMethod parse_search(const Args& args) {
+  const std::string method = args.get_string("search", "saps");
+  if (method == "saps") return RankSearchMethod::Saps;
+  if (method == "taps") return RankSearchMethod::Taps;
+  if (method == "heldkarp") return RankSearchMethod::HeldKarp;
+  throw Error("--search must be saps, taps, or heldkarp");
+}
+
+int cmd_assign(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"objects", "ratio", "budget", "reward", "replication",
+                   "seed", "tasks-out"},
+                  {});
+  const std::size_t n = args.require_size("objects");
+  const double reward = args.get_double("reward", 0.025);
+  const std::size_t w = args.get_size("replication", 3);
+  Rng rng(args.get_seed("seed", 42));
+
+  BudgetModel budget = args.has("budget")
+                           ? BudgetModel(args.get_double("budget", 0.0),
+                                         reward, w)
+                           : BudgetModel::for_selection_ratio(
+                                 n, args.get_double("ratio", 0.1), reward,
+                                 w);
+  const auto assignment =
+      generate_task_assignment(n, budget.unique_task_count(), rng);
+  const std::vector<Edge> tasks(assignment.graph.edges().begin(),
+                                assignment.graph.edges().end());
+
+  out << "objects " << n << ", comparisons " << tasks.size() << " (ratio "
+      << budget.selection_ratio(n) << "), degrees "
+      << assignment.stats.min_degree << ".." << assignment.stats.max_degree
+      << ", Pr_l " << assignment.stats.hp_likelihood_lower_bound
+      << ", cost $" << budget.total_cost() << "\n";
+  if (args.has("tasks-out")) {
+    save_tasks(args.value("tasks-out"), tasks);
+    out << "wrote " << args.value("tasks-out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"objects", "ratio", "pool", "replication", "reward",
+                   "quality", "distribution", "seed", "votes-out",
+                   "truth-out", "tasks-out"},
+                  {});
+  const std::size_t n = args.require_size("objects");
+  Rng rng(args.get_seed("seed", 42));
+
+  const auto truth_perm = rng.permutation(n);
+  const Ranking truth(
+      std::vector<VertexId>(truth_perm.begin(), truth_perm.end()));
+  const std::size_t pool = args.get_size("pool", 30);
+  const auto workers = sample_worker_pool(pool, parse_quality(args), rng);
+  const BudgetModel budget = BudgetModel::for_selection_ratio(
+      n, args.get_double("ratio", 0.1), args.get_double("reward", 0.025),
+      args.get_size("replication", 3));
+  const auto assignment =
+      generate_task_assignment(n, budget.unique_task_count(), rng);
+  const std::vector<Edge> tasks(assignment.graph.edges().begin(),
+                                assignment.graph.edges().end());
+  const HitAssignment hits(tasks, HitConfig{5, args.get_size("replication",
+                                                             3)},
+                           pool, rng);
+  const SimulatedCrowd crowd(truth, workers);
+  const VoteBatch votes = crowd.collect(hits, rng);
+
+  out << "simulated " << votes.size() << " votes over " << tasks.size()
+      << " comparisons of " << n << " objects ($" << budget.total_cost()
+      << ")\n";
+  if (args.has("votes-out")) {
+    save_votes(args.value("votes-out"), votes);
+    out << "wrote " << args.value("votes-out") << "\n";
+  }
+  if (args.has("truth-out")) {
+    save_ranking(args.value("truth-out"), truth);
+    out << "wrote " << args.value("truth-out") << "\n";
+  }
+  if (args.has("tasks-out")) {
+    save_tasks(args.value("tasks-out"), tasks);
+    out << "wrote " << args.value("tasks-out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"votes", "objects", "workers", "search", "seed",
+                   "ranking-out", "saps-iterations"},
+                  {});
+  const VoteBatch votes = load_votes(args.require_string("votes"));
+  CR_EXPECTS(!votes.empty(), "votes file contains no votes");
+
+  // Derive n and m from the data when not given.
+  std::size_t max_object = 0;
+  WorkerId max_worker = 0;
+  for (const Vote& v : votes) {
+    max_object = std::max({max_object, v.i, v.j});
+    max_worker = std::max(max_worker, v.worker);
+  }
+  const std::size_t n = args.get_size("objects", max_object + 1);
+  const std::size_t m = args.get_size("workers", max_worker + 1);
+
+  InferenceConfig config;
+  config.search = parse_search(args);
+  config.saps.iterations =
+      args.get_size("saps-iterations", config.saps.iterations);
+  const InferenceEngine engine(config);
+  Rng rng(args.get_seed("seed", 1));
+  const InferenceResult result = engine.infer(votes, n, m, rng);
+
+  out << "inferred full ranking of " << n << " objects from "
+      << votes.size() << " votes by " << m << " workers\n";
+  out << "truth discovery: " << result.step1.iterations << " iterations, "
+      << result.one_edge_count << " 1-edges smoothed\n";
+  out << "log preference probability: " << result.log_probability << "\n";
+  const RankingConfidence confidence =
+      ranking_confidence(result.closure, result.ranking);
+  const auto tied =
+      effectively_tied_groups(result.closure, result.ranking, 0.55);
+  out << "boundary confidence: mean " << confidence.mean_belief << ", min "
+      << confidence.min_belief << " (weakest boundary at position "
+      << confidence.weakest_boundary << "); " << tied.size()
+      << " groups at tie threshold 0.55\n";
+  out << "ranking:";
+  for (std::size_t p = 0; p < std::min<std::size_t>(n, 20); ++p) {
+    out << ' ' << result.ranking.object_at(p);
+  }
+  if (n > 20) out << " ...";
+  out << "\n";
+  if (args.has("ranking-out")) {
+    save_ranking(args.value("ranking-out"), result.ranking);
+    out << "wrote " << args.value("ranking-out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"reference", "ranking", "k"}, {});
+  const Ranking reference = load_ranking(args.require_string("reference"));
+  const Ranking ranking = load_ranking(args.require_string("ranking"));
+  CR_EXPECTS(reference.size() == ranking.size(),
+             "rankings cover different object counts");
+
+  out << "objects            : " << reference.size() << "\n";
+  out << "accuracy (1 - KT)  : " << ranking_accuracy(reference, ranking)
+      << "\n";
+  out << "kendall tau coeff  : "
+      << kendall_tau_coefficient(reference, ranking) << "\n";
+  out << "spearman rho       : " << spearman_rho(reference, ranking) << "\n";
+  if (args.has("k")) {
+    const std::size_t k = args.get_size("k", 5);
+    out << "top-" << k << " precision    : "
+        << top_k_precision(reference, ranking, k) << "\n";
+    out << "top-" << k << " pair accuracy: "
+        << top_k_pair_accuracy(reference, ranking, k) << "\n";
+  }
+  return 0;
+}
+
+int cmd_diagnose(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"votes", "objects", "workers"}, {});
+  const VoteBatch votes = load_votes(args.require_string("votes"));
+  CR_EXPECTS(!votes.empty(), "votes file contains no votes");
+  std::size_t max_object = 0;
+  WorkerId max_worker = 0;
+  for (const Vote& v : votes) {
+    max_object = std::max({max_object, v.i, v.j});
+    max_worker = std::max(max_worker, v.worker);
+  }
+  const std::size_t n = args.get_size("objects", max_object + 1);
+  const std::size_t m = args.get_size("workers", max_worker + 1);
+  const RankabilityReport report = diagnose_votes(votes, n, m);
+  out << format_report(report);
+  return report.rankable ? 0 : 2;
+}
+
+int cmd_plan(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
+                  {"objects", "target", "pool", "replication", "reward",
+                   "quality", "distribution", "seed"},
+                  {});
+  PlanningConfig config;
+  config.object_count = args.require_size("objects");
+  config.target_accuracy = args.get_double("target", 0.9);
+  config.worker_pool_size = args.get_size("pool", 30);
+  config.workers_per_task = args.get_size("replication", 3);
+  config.reward_per_comparison = args.get_double("reward", 0.025);
+  config.worker_quality = parse_quality(args);
+  config.seed = args.get_seed("seed", 1);
+
+  const auto plan = plan_budget_for_accuracy(config);
+  if (!plan.has_value()) {
+    out << "no budget reaches accuracy " << config.target_accuracy
+        << " with this crowd profile (even all pairs miss it)\n";
+    return 1;
+  }
+  out << "cheapest plan clearing accuracy " << config.target_accuracy
+      << ":\n";
+  out << "  selection ratio   : " << plan->selection_ratio << "\n";
+  out << "  comparisons       : " << plan->unique_comparisons << "\n";
+  out << "  cost              : $" << plan->total_cost << "\n";
+  out << "  estimated accuracy: " << plan->estimated_accuracy << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  std::ostringstream usage;
+  usage
+      << "crowdrank — pairwise ranking aggregation by non-interactive "
+         "crowdsourcing\n\n"
+      << "usage: crowdrank <command> [options]\n\n"
+      << "commands:\n"
+      << "  assign    --objects N [--ratio R | --budget $] [--reward $]\n"
+      << "            [--replication W] [--seed S] [--tasks-out F]\n"
+      << "  simulate  --objects N [--ratio R] [--pool M] [--replication W]\n"
+      << "            [--quality high|medium|low]\n"
+      << "            [--distribution gaussian|uniform] [--seed S]\n"
+      << "            [--votes-out F] [--truth-out F] [--tasks-out F]\n"
+      << "  infer     --votes F [--objects N] [--workers M]\n"
+      << "            [--search saps|taps|heldkarp] [--saps-iterations I]\n"
+      << "            [--seed S] [--ranking-out F]\n"
+      << "  eval      --reference F --ranking F [--k K]\n"
+      << "  diagnose  --votes F [--objects N] [--workers M]\n"
+      << "            (exit 0 rankable, 2 not cleanly rankable)\n"
+      << "  plan      --objects N [--target A] [--pool M]\n"
+      << "            [--replication W] [--reward $] [--quality ...]\n"
+      << "            [--distribution ...] [--seed S]\n";
+  return usage.str();
+}
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (argv.size() < 2) {
+      err << cli_usage();
+      return 1;
+    }
+    const std::string& command = argv[1];
+    if (command == "assign") return cmd_assign(argv, out);
+    if (command == "simulate") return cmd_simulate(argv, out);
+    if (command == "infer") return cmd_infer(argv, out);
+    if (command == "eval") return cmd_eval(argv, out);
+    if (command == "plan") return cmd_plan(argv, out);
+    if (command == "diagnose") return cmd_diagnose(argv, out);
+    if (command == "help" || command == "--help") {
+      out << cli_usage();
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n\n" << cli_usage();
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace crowdrank::io

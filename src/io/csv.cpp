@@ -1,0 +1,122 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace crowdrank::io {
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const std::size_t len = text.size();
+  std::size_t i = 0;
+  const auto end_cell = [&]() {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&]() {
+    end_cell();
+    doc.rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  while (i < len) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < len && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;  // swallow; the \n ends the row
+        break;
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) {
+          end_row();
+        }
+        ++i;
+        break;
+      default:
+        cell += c;
+        row_has_content = true;
+        ++i;
+    }
+  }
+  CR_EXPECTS(!in_quotes, "CSV ends inside a quoted field");
+  if (row_has_content || !cell.empty() || !row.empty()) {
+    end_row();
+  }
+  return doc;
+}
+
+CsvDocument read_csv(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+void write_csv(std::ostream& out,
+               const std::vector<std::vector<std::string>>& rows) {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << escape(row[c]);
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  }
+}
+
+CsvDocument load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  CR_EXPECTS(in.good(), "cannot open CSV file: " + path);
+  return read_csv(in);
+}
+
+void save_csv_file(const std::string& path,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  CR_EXPECTS(out.good(), "cannot write CSV file: " + path);
+  write_csv(out, rows);
+  CR_EXPECTS(out.good(), "write to CSV file failed: " + path);
+}
+
+}  // namespace crowdrank::io

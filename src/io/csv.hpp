@@ -1,0 +1,44 @@
+// Minimal RFC-4180-ish CSV parsing/serialization for the I/O layer.
+//
+// The CLI tool exchanges votes, rankings, and task lists as CSV because
+// that is what crowdsourcing platforms (AMT result downloads in
+// particular) emit. Supports quoted fields with embedded commas/quotes/
+// newlines, optional header rows, and CRLF input.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crowdrank::io {
+
+/// A parsed CSV document: rows of string cells.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+
+  bool empty() const { return rows.empty(); }
+  std::size_t row_count() const { return rows.size(); }
+};
+
+/// Parses CSV text. Handles quoted fields ("" escapes a quote), CRLF and
+/// LF line endings, and a trailing newline. Throws crowdrank::Error on an
+/// unterminated quoted field.
+CsvDocument parse_csv(const std::string& text);
+
+/// Reads an entire stream and parses it.
+CsvDocument read_csv(std::istream& in);
+
+/// Serializes rows as CSV, quoting any cell containing a comma, quote, or
+/// newline.
+void write_csv(std::ostream& out,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Loads a file; throws crowdrank::Error when it cannot be opened.
+CsvDocument load_csv_file(const std::string& path);
+
+/// Saves rows to a file; throws crowdrank::Error when it cannot be written.
+void save_csv_file(const std::string& path,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace crowdrank::io

@@ -1,0 +1,175 @@
+#include "io/records.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank::io {
+
+namespace {
+
+std::size_t parse_index(const std::string& cell, std::size_t line,
+                        const char* what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+    throw Error("line " + std::to_string(line) + ": invalid " + what +
+                " '" + cell + "'");
+  }
+  return value;
+}
+
+void expect_header(const CsvDocument& doc,
+                   const std::vector<std::string>& expected,
+                   const char* format_name) {
+  CR_EXPECTS(!doc.empty(), std::string(format_name) + ": empty document");
+  CR_EXPECTS(doc.rows.front() == expected,
+             std::string(format_name) + ": missing or wrong header row");
+}
+
+}  // namespace
+
+VoteBatch parse_votes(const std::string& csv_text) {
+  const CsvDocument doc = parse_csv(csv_text);
+  expect_header(doc, {"worker", "i", "j", "prefers_i"}, "votes.csv");
+  VoteBatch votes;
+  votes.reserve(doc.row_count() - 1);
+  for (std::size_t r = 1; r < doc.row_count(); ++r) {
+    const auto& row = doc.rows[r];
+    CR_EXPECTS(row.size() == 4, "votes.csv line " + std::to_string(r + 1) +
+                                    ": expected 4 fields");
+    Vote v;
+    v.worker = parse_index(row[0], r + 1, "worker id");
+    v.i = parse_index(row[1], r + 1, "object id");
+    v.j = parse_index(row[2], r + 1, "object id");
+    const std::size_t flag = parse_index(row[3], r + 1, "prefers_i flag");
+    CR_EXPECTS(flag <= 1, "votes.csv line " + std::to_string(r + 1) +
+                              ": prefers_i must be 0 or 1");
+    CR_EXPECTS(v.i != v.j, "votes.csv line " + std::to_string(r + 1) +
+                               ": self-comparison");
+    v.prefers_i = flag == 1;
+    votes.push_back(v);
+  }
+  return votes;
+}
+
+std::string format_votes(const VoteBatch& votes) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(votes.size() + 1);
+  rows.push_back({"worker", "i", "j", "prefers_i"});
+  for (const Vote& v : votes) {
+    rows.push_back({std::to_string(v.worker), std::to_string(v.i),
+                    std::to_string(v.j), v.prefers_i ? "1" : "0"});
+  }
+  std::ostringstream out;
+  write_csv(out, rows);
+  return out.str();
+}
+
+Ranking parse_ranking(const std::string& csv_text) {
+  const CsvDocument doc = parse_csv(csv_text);
+  expect_header(doc, {"position", "object"}, "ranking.csv");
+  const std::size_t n = doc.row_count() - 1;
+  CR_EXPECTS(n >= 1, "ranking.csv: no data rows");
+  std::vector<VertexId> order(n, n);  // sentinel
+  for (std::size_t r = 1; r < doc.row_count(); ++r) {
+    const auto& row = doc.rows[r];
+    CR_EXPECTS(row.size() == 2, "ranking.csv line " + std::to_string(r + 1) +
+                                    ": expected 2 fields");
+    const std::size_t position = parse_index(row[0], r + 1, "position");
+    const std::size_t object = parse_index(row[1], r + 1, "object id");
+    CR_EXPECTS(position < n, "ranking.csv line " + std::to_string(r + 1) +
+                                 ": position out of range");
+    CR_EXPECTS(order[position] == n,
+               "ranking.csv line " + std::to_string(r + 1) +
+                   ": duplicate position");
+    order[position] = object;
+  }
+  return Ranking(std::move(order));  // validates the permutation
+}
+
+std::string format_ranking(const Ranking& ranking) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(ranking.size() + 1);
+  rows.push_back({"position", "object"});
+  for (std::size_t p = 0; p < ranking.size(); ++p) {
+    rows.push_back({std::to_string(p), std::to_string(ranking.object_at(p))});
+  }
+  std::ostringstream out;
+  write_csv(out, rows);
+  return out.str();
+}
+
+std::vector<Edge> parse_tasks(const std::string& csv_text) {
+  const CsvDocument doc = parse_csv(csv_text);
+  expect_header(doc, {"i", "j"}, "tasks.csv");
+  std::vector<Edge> tasks;
+  tasks.reserve(doc.row_count() - 1);
+  for (std::size_t r = 1; r < doc.row_count(); ++r) {
+    const auto& row = doc.rows[r];
+    CR_EXPECTS(row.size() == 2, "tasks.csv line " + std::to_string(r + 1) +
+                                    ": expected 2 fields");
+    const std::size_t i = parse_index(row[0], r + 1, "object id");
+    const std::size_t j = parse_index(row[1], r + 1, "object id");
+    CR_EXPECTS(i != j, "tasks.csv line " + std::to_string(r + 1) +
+                           ": self-comparison");
+    tasks.push_back(Edge::canonical(i, j));
+  }
+  return tasks;
+}
+
+std::string format_tasks(const std::vector<Edge>& tasks) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tasks.size() + 1);
+  rows.push_back({"i", "j"});
+  for (const Edge& e : tasks) {
+    rows.push_back({std::to_string(e.first), std::to_string(e.second)});
+  }
+  std::ostringstream out;
+  write_csv(out, rows);
+  return out.str();
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  CR_EXPECTS(in.good(), "cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spill(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  CR_EXPECTS(out.good(), "cannot write file: " + path);
+  out << text;
+  CR_EXPECTS(out.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+VoteBatch load_votes(const std::string& path) {
+  return parse_votes(slurp(path));
+}
+void save_votes(const std::string& path, const VoteBatch& votes) {
+  spill(path, format_votes(votes));
+}
+Ranking load_ranking(const std::string& path) {
+  return parse_ranking(slurp(path));
+}
+void save_ranking(const std::string& path, const Ranking& ranking) {
+  spill(path, format_ranking(ranking));
+}
+std::vector<Edge> load_tasks(const std::string& path) {
+  return parse_tasks(slurp(path));
+}
+void save_tasks(const std::string& path, const std::vector<Edge>& tasks) {
+  spill(path, format_tasks(tasks));
+}
+
+}  // namespace crowdrank::io

@@ -1,0 +1,47 @@
+// Typed CSV record formats for the objects the CLI exchanges.
+//
+// All formats have a mandatory header row (so files are self-describing
+// and column order is explicit) and integer ids:
+//   votes.csv     : worker,i,j,prefers_i          (prefers_i in {0,1})
+//   ranking.csv   : position,object               (position 0 = best)
+//   tasks.csv     : i,j                           (canonical i < j)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crowd/vote.hpp"
+#include "graph/types.hpp"
+#include "metrics/ranking.hpp"
+
+namespace crowdrank::io {
+
+/// Parses votes.csv. Validates the header and every field; throws
+/// crowdrank::Error with the offending line number on malformed input.
+VoteBatch parse_votes(const std::string& csv_text);
+
+/// Serializes a vote batch (with header).
+std::string format_votes(const VoteBatch& votes);
+
+/// Parses ranking.csv into a Ranking (positions must be 0..n-1, objects a
+/// permutation — enforced by the Ranking constructor).
+Ranking parse_ranking(const std::string& csv_text);
+
+/// Serializes a ranking (with header).
+std::string format_ranking(const Ranking& ranking);
+
+/// Parses tasks.csv into canonical edges.
+std::vector<Edge> parse_tasks(const std::string& csv_text);
+
+/// Serializes a task list (with header).
+std::string format_tasks(const std::vector<Edge>& tasks);
+
+/// File-level conveniences (load/save via io::*_csv_file).
+VoteBatch load_votes(const std::string& path);
+void save_votes(const std::string& path, const VoteBatch& votes);
+Ranking load_ranking(const std::string& path);
+void save_ranking(const std::string& path, const Ranking& ranking);
+std::vector<Edge> load_tasks(const std::string& path);
+void save_tasks(const std::string& path, const std::vector<Edge>& tasks);
+
+}  // namespace crowdrank::io

@@ -1,0 +1,73 @@
+#include "metrics/kendall.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// Counts inversions in `values` by bottom-up merge sort. O(n log n).
+std::size_t count_inversions(std::vector<std::size_t>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> buffer(n);
+  std::size_t inversions = 0;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t i = lo;
+      std::size_t j = mid;
+      std::size_t k = lo;
+      while (i < mid && j < hi) {
+        if (values[i] <= values[j]) {
+          buffer[k++] = values[i++];
+        } else {
+          inversions += mid - i;  // values[i..mid) all exceed values[j]
+          buffer[k++] = values[j++];
+        }
+      }
+      while (i < mid) buffer[k++] = values[i++];
+      while (j < hi) buffer[k++] = values[j++];
+      for (std::size_t p = lo; p < hi; ++p) values[p] = buffer[p];
+    }
+  }
+  return inversions;
+}
+
+}  // namespace
+
+std::size_t kendall_tau_distance(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() == b.size(),
+             "rankings must cover the same number of objects");
+  const std::size_t n = a.size();
+  // Walk objects in a's order and record their positions in b; discordant
+  // pairs are exactly the inversions of that sequence.
+  std::vector<std::size_t> b_positions(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    b_positions[p] = b.position_of(a.object_at(p));
+  }
+  return count_inversions(b_positions);
+}
+
+double normalized_kendall_tau_distance(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() >= 2, "normalized distance needs n >= 2");
+  const auto pairs = math::pair_count(a.size());
+  return static_cast<double>(kendall_tau_distance(a, b)) /
+         static_cast<double>(pairs);
+}
+
+double ranking_accuracy(const Ranking& truth, const Ranking& estimate) {
+  return 1.0 - normalized_kendall_tau_distance(truth, estimate);
+}
+
+double kendall_tau_coefficient(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() >= 2, "tau coefficient needs n >= 2");
+  const auto pairs = static_cast<double>(math::pair_count(a.size()));
+  const auto discordant = static_cast<double>(kendall_tau_distance(a, b));
+  return (pairs - 2.0 * discordant) / pairs;
+}
+
+}  // namespace crowdrank

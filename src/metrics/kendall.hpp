@@ -1,0 +1,29 @@
+// Kendall-tau distance (paper §VI-A5, refs [22][28]).
+//
+// The paper's accuracy metric is 1 - d where d is the *normalized* Kendall
+// tau distance (fraction of discordant pairs) between the aggregated ranking
+// and the ground truth. Counting discordant pairs is an inversion count,
+// done here with Knight's O(n log n) merge-sort method.
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/ranking.hpp"
+
+namespace crowdrank {
+
+/// Number of discordant object pairs between two rankings of the same n.
+/// 0 when identical; C(n,2) when exactly reversed.
+std::size_t kendall_tau_distance(const Ranking& a, const Ranking& b);
+
+/// Discordant pairs / C(n, 2), in [0, 1]. Requires n >= 2.
+double normalized_kendall_tau_distance(const Ranking& a, const Ranking& b);
+
+/// The paper's accuracy: 1 - normalized Kendall tau distance.
+double ranking_accuracy(const Ranking& truth, const Ranking& estimate);
+
+/// Kendall's tau-a correlation coefficient in [-1, 1]:
+/// (concordant - discordant) / C(n, 2).
+double kendall_tau_coefficient(const Ranking& a, const Ranking& b);
+
+}  // namespace crowdrank

@@ -1,0 +1,54 @@
+#include "metrics/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+Ranking::Ranking(std::vector<VertexId> order) : order_(std::move(order)) {
+  CR_EXPECTS(!order_.empty(), "a ranking must contain at least one object");
+  const std::size_t n = order_.size();
+  positions_.assign(n, n);  // sentinel n = unseen
+  for (std::size_t p = 0; p < n; ++p) {
+    const VertexId v = order_[p];
+    CR_EXPECTS(v < n, "ranking contains an out-of-range object id");
+    CR_EXPECTS(positions_[v] == n, "ranking contains a duplicate object");
+    positions_[v] = p;
+  }
+}
+
+Ranking Ranking::identity(std::size_t n) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return Ranking(std::move(order));
+}
+
+Ranking Ranking::from_scores(std::span<const double> scores) {
+  std::vector<VertexId> order(scores.size());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  return Ranking(std::move(order));
+}
+
+VertexId Ranking::object_at(std::size_t position) const {
+  CR_EXPECTS(position < order_.size(), "position out of range");
+  return order_[position];
+}
+
+std::size_t Ranking::position_of(VertexId v) const {
+  CR_EXPECTS(v < positions_.size(), "object id out of range");
+  return positions_[v];
+}
+
+Ranking Ranking::reversed() const {
+  std::vector<VertexId> rev(order_.rbegin(), order_.rend());
+  return Ranking(std::move(rev));
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,55 @@
+// Ranking value type.
+//
+// A Ranking is a full ranking (total order, no ties) of n objects — the
+// output the paper's requester wants. Internally it is the "order"
+// representation: order()[p] is the object at position p (position 0 is the
+// most preferred, matching an out-node / the head of the Hamiltonian path).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace crowdrank {
+
+/// Immutable full ranking of n objects.
+class Ranking {
+ public:
+  /// Builds from an order vector (object at each position). Throws unless
+  /// `order` is a permutation of 0..n-1 with n >= 1.
+  explicit Ranking(std::vector<VertexId> order);
+
+  /// The identity ranking 0, 1, ..., n-1.
+  static Ranking identity(std::size_t n);
+
+  /// Ranks objects by descending score; ties broken by lower object id so
+  /// the result is deterministic. (Score-based baselines use this.)
+  static Ranking from_scores(std::span<const double> scores);
+
+  std::size_t size() const { return order_.size(); }
+
+  /// Object at position p (0 = most preferred).
+  VertexId object_at(std::size_t position) const;
+
+  /// Position of object v (0 = most preferred).
+  std::size_t position_of(VertexId v) const;
+
+  /// order()[p] = object at position p.
+  std::span<const VertexId> order() const { return order_; }
+
+  /// positions()[v] = position of object v (the inverse permutation).
+  std::span<const std::size_t> positions() const { return positions_; }
+
+  /// The reverse ranking.
+  Ranking reversed() const;
+
+  bool operator==(const Ranking& other) const = default;
+
+ private:
+  std::vector<VertexId> order_;
+  std::vector<std::size_t> positions_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,43 @@
+#include "metrics/spearman.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+std::size_t spearman_footrule(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() == b.size(),
+             "rankings must cover the same number of objects");
+  std::size_t total = 0;
+  for (VertexId v = 0; v < a.size(); ++v) {
+    const auto pa = a.position_of(v);
+    const auto pb = b.position_of(v);
+    total += pa > pb ? pa - pb : pb - pa;
+  }
+  return total;
+}
+
+double normalized_spearman_footrule(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() >= 2, "normalized footrule needs n >= 2");
+  const std::size_t n = a.size();
+  const std::size_t max_footrule = (n * n) / 2;
+  return static_cast<double>(spearman_footrule(a, b)) /
+         static_cast<double>(max_footrule);
+}
+
+double spearman_rho(const Ranking& a, const Ranking& b) {
+  CR_EXPECTS(a.size() == b.size(),
+             "rankings must cover the same number of objects");
+  CR_EXPECTS(a.size() >= 2, "spearman rho needs n >= 2");
+  const auto n = static_cast<double>(a.size());
+  double sum_sq = 0.0;
+  for (VertexId v = 0; v < a.size(); ++v) {
+    const double d = static_cast<double>(a.position_of(v)) -
+                     static_cast<double>(b.position_of(v));
+    sum_sq += d * d;
+  }
+  return 1.0 - 6.0 * sum_sq / (n * (n * n - 1.0));
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,22 @@
+// Spearman rank statistics (paper §VII cites Spearman's rho [26] as the
+// other standard rank-aggregation disagreement measure; we provide it for
+// cross-checking results and for the ablation benches).
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/ranking.hpp"
+
+namespace crowdrank {
+
+/// Spearman footrule: sum over objects of |pos_a(v) - pos_b(v)|.
+std::size_t spearman_footrule(const Ranking& a, const Ranking& b);
+
+/// Footrule normalized by its maximum (floor(n^2 / 2)), in [0, 1].
+double normalized_spearman_footrule(const Ranking& a, const Ranking& b);
+
+/// Spearman's rho correlation in [-1, 1]:
+/// 1 - 6 * sum d_v^2 / (n (n^2 - 1)), d_v = position difference of object v.
+double spearman_rho(const Ranking& a, const Ranking& b);
+
+}  // namespace crowdrank

@@ -1,0 +1,61 @@
+#include "metrics/topk.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+double top_k_precision(const Ranking& truth, const Ranking& estimate,
+                       std::size_t k) {
+  CR_EXPECTS(truth.size() == estimate.size(),
+             "rankings must cover the same number of objects");
+  CR_EXPECTS(k >= 1 && k <= truth.size(), "k must be in [1, n]");
+  std::size_t hits = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    if (estimate.position_of(truth.object_at(p)) < k) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double top_k_pair_accuracy(const Ranking& truth, const Ranking& estimate,
+                           std::size_t k) {
+  CR_EXPECTS(truth.size() == estimate.size(),
+             "rankings must cover the same number of objects");
+  CR_EXPECTS(k >= 2 && k <= truth.size(), "k must be in [2, n]");
+  std::size_t concordant = 0;
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const VertexId u = truth.object_at(a);  // truth says u before v
+      const VertexId v = truth.object_at(b);
+      ++total;
+      if (estimate.position_of(u) < estimate.position_of(v)) {
+        ++concordant;
+      }
+    }
+  }
+  return static_cast<double>(concordant) / static_cast<double>(total);
+}
+
+double top_k_displacement(const Ranking& truth, const Ranking& estimate,
+                          std::size_t k) {
+  CR_EXPECTS(truth.size() == estimate.size(),
+             "rankings must cover the same number of objects");
+  CR_EXPECTS(k >= 1 && k <= truth.size(), "k must be in [1, n]");
+  CR_EXPECTS(truth.size() >= 2, "need at least two objects");
+  double total = 0.0;
+  for (std::size_t p = 0; p < k; ++p) {
+    const VertexId v = truth.object_at(p);
+    const auto pe = static_cast<double>(estimate.position_of(v));
+    const auto pt = static_cast<double>(p);
+    total += std::abs(pe - pt);
+  }
+  const double max_disp = static_cast<double>(truth.size() - 1);
+  return total / (static_cast<double>(k) * max_disp);
+}
+
+}  // namespace crowdrank

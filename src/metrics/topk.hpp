@@ -1,0 +1,31 @@
+// Top-k ranking metrics — the paper's closing future-work direction
+// ("consider the same setting for top-k ranking", §VIII).
+//
+// crowdrank's pipeline always produces a full ranking; these metrics score
+// only its head, which is what a top-k requester cares about.
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/ranking.hpp"
+
+namespace crowdrank {
+
+/// |top-k(truth) ∩ top-k(estimate)| / k: set recall of the head,
+/// order-insensitive. Requires 1 <= k <= n.
+double top_k_precision(const Ranking& truth, const Ranking& estimate,
+                       std::size_t k);
+
+/// Kendall-style accuracy restricted to the *true* top-k objects: the
+/// fraction of the C(k,2) pairs of true-top-k objects that the estimate
+/// orders the same way as the truth. Requires 2 <= k <= n.
+double top_k_pair_accuracy(const Ranking& truth, const Ranking& estimate,
+                           std::size_t k);
+
+/// Mean displacement of the true top-k objects in the estimate:
+/// (1/k) * sum over the true top-k v of |pos_est(v) - pos_truth(v)|,
+/// normalized by (n - 1) into [0, 1]. 0 = the head is perfectly placed.
+double top_k_displacement(const Ranking& truth, const Ranking& estimate,
+                          std::size_t k);
+
+}  // namespace crowdrank

@@ -1,0 +1,18 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace crowdrank::detail {
+
+void raise_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace crowdrank::detail

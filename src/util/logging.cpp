@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace crowdrank {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  const char* prefix = "?";
+  switch (level) {
+    case LogLevel::Debug:
+      prefix = "DEBUG";
+      break;
+    case LogLevel::Info:
+      prefix = "INFO ";
+      break;
+    case LogLevel::Warn:
+      prefix = "WARN ";
+      break;
+    case LogLevel::Error:
+      prefix = "ERROR";
+      break;
+    case LogLevel::Off:
+      return;
+  }
+  std::cerr << '[' << prefix << "] " << message << '\n';
+}
+
+namespace detail {
+
+LogLine::~LogLine() {
+  if (Logger::instance().enabled(level_)) {
+    Logger::instance().write(level_, stream_.str());
+  }
+}
+
+}  // namespace detail
+
+}  // namespace crowdrank

@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default (Core Guidelines: libraries should
+// not write to stdout); benches and examples raise the level to Info to
+// narrate progress. The logger is a process-wide singleton guarded for
+// single-threaded use (all crowdrank pipelines are single-threaded by
+// design — determinism beats parallelism for a reproduction study).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crowdrank {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log configuration + sink (stderr).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Writes one line with a level prefix to stderr.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+/// Stream-style one-shot message builder: emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::Debug);
+}
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace crowdrank

@@ -1,0 +1,207 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace crowdrank::math {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = std::numeric_limits<double>::epsilon();
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEpsilon;
+
+/// Series representation of P(a, x), good for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::abs(del) < std::abs(sum) * kEpsilon) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Lentz continued fraction for Q(a, x), good for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  CR_EXPECTS(a > 0.0, "gamma_p requires a > 0");
+  CR_EXPECTS(x >= 0.0, "gamma_p requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) {
+    return gamma_p_series(a, x);
+  }
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  CR_EXPECTS(a > 0.0, "gamma_q requires a > 0");
+  CR_EXPECTS(x >= 0.0, "gamma_q requires x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) {
+    return 1.0 - gamma_p_series(a, x);
+  }
+  return gamma_q_cf(a, x);
+}
+
+double chi_squared_cdf(double x, double k) {
+  CR_EXPECTS(k > 0.0, "chi-squared degrees of freedom must be positive");
+  if (x <= 0.0) return 0.0;
+  return gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi_squared_quantile(double p, double k) {
+  CR_EXPECTS(p > 0.0 && p < 1.0, "chi-squared quantile requires p in (0,1)");
+  CR_EXPECTS(k > 0.0, "chi-squared degrees of freedom must be positive");
+  // Wilson-Hilferty: X ~ k * (1 - 2/(9k) + z * sqrt(2/(9k)))^3.
+  const double z = normal_quantile(p);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  double x = k * t * t * t;
+  if (x <= 0.0) {
+    x = 0.5 * k;  // fall back to a positive bracket for extreme p, small k
+  }
+  // Newton refinement on F(x) - p with F' = chi2 pdf.
+  for (int i = 0; i < 60; ++i) {
+    const double f = chi_squared_cdf(x, k) - p;
+    const double a = k / 2.0;
+    const double log_pdf = (a - 1.0) * std::log(x / 2.0) - x / 2.0 -
+                           std::lgamma(a) - std::log(2.0);
+    const double pdf = std::exp(log_pdf);
+    if (pdf <= 0.0) break;
+    const double step = f / pdf;
+    double next = x - step;
+    if (next <= 0.0) {
+      next = x / 2.0;  // keep the iterate in the domain
+    }
+    if (std::abs(next - x) < 1e-12 * std::max(1.0, x)) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double normal_pdf(double x) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * M_PI);
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  CR_EXPECTS(p > 0.0 && p < 1.0, "normal quantile requires p in (0,1)");
+  // Acklam's rational approximation (relative error ~1.15e-9)...
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // ...polished by one Halley step against the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double expected_abs_normal(double sigma) {
+  CR_EXPECTS(sigma >= 0.0, "sigma must be non-negative");
+  return sigma * std::sqrt(2.0 / M_PI);
+}
+
+double mean(std::span<const double> values) {
+  CR_EXPECTS(!values.empty(), "mean of an empty range");
+  return kahan_sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  CR_EXPECTS(!values.empty(), "variance of an empty range");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+double safe_log(double x, double floor_log) {
+  if (x <= 0.0) return floor_log;
+  return std::max(std::log(x), floor_log);
+}
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (const double v : values) {
+    const double y = v - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double log_factorial(std::size_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }
+
+}  // namespace crowdrank::math

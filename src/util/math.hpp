@@ -1,0 +1,69 @@
+// Special functions and small statistics helpers.
+//
+// The truth-discovery step (paper Eq. 5) scales worker weights by the
+// alpha/2-percentile of a chi-squared distribution with |T_k| degrees of
+// freedom; the worker model needs normal CDF/quantiles; the smoothing step
+// needs E|N(0, sigma^2)|. None of these are in the C++ standard library, so
+// we implement them here with well-known numerically robust algorithms
+// (Numerical-Recipes-style series/continued fractions for the incomplete
+// gamma, Acklam's rational approximation refined by Halley steps for the
+// normal quantile).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace crowdrank::math {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
+/// Requires a > 0, x >= 0. Accurate to ~1e-12 over the usual range.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Chi-squared CDF with k degrees of freedom evaluated at x >= 0.
+double chi_squared_cdf(double x, double k);
+
+/// Chi-squared quantile (inverse CDF): the x with CDF(x; k) = p.
+/// Requires p in (0, 1) and k > 0. Wilson-Hilferty initial guess refined by
+/// Newton iterations on the regularized incomplete gamma.
+double chi_squared_quantile(double p, double k);
+
+/// Standard normal PDF.
+double normal_pdf(double x);
+
+/// Standard normal CDF via erfc.
+double normal_cdf(double x);
+
+/// Standard normal quantile (probit). Requires p in (0, 1).
+double normal_quantile(double p);
+
+/// E|X| for X ~ N(0, sigma^2): sigma * sqrt(2/pi). Used by preference
+/// smoothing to turn a worker's error std-dev into an expected error mass.
+double expected_abs_normal(double sigma);
+
+/// Arithmetic mean of a non-empty range.
+double mean(std::span<const double> values);
+
+/// Population variance (divides by n) of a non-empty range.
+double variance(std::span<const double> values);
+
+/// Clamps v into [0, 1].
+double clamp01(double v);
+
+/// Numerically safe log(x) that maps x <= 0 to -infinity guard `floor_log`
+/// (default -745, below log(DBL_MIN)). Used for log-weight path scores.
+double safe_log(double x, double floor_log = -745.0);
+
+/// Kahan-compensated sum, for long accumulations in propagation/benches.
+double kahan_sum(std::span<const double> values);
+
+/// log(n!) via lgamma.
+double log_factorial(std::size_t n);
+
+/// Binomial coefficient C(n, 2) as a size_t convenience (pair count).
+std::size_t pair_count(std::size_t n);
+
+}  // namespace crowdrank::math

@@ -1,0 +1,78 @@
+// Dense row-major square-friendly matrix used by preference propagation.
+//
+// Step 3 of the inference pipeline computes W* = sum_{k=2..L} W^k over the
+// n x n smoothed preference matrix; at n = 1000 this is the hot loop of the
+// whole system, so multiply() is cache-blocked (i-k-j loop order with a
+// hoisted A(i,k)), which is within a small factor of a tuned BLAS for the
+// sizes we need without adding a dependency.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized (or filled with `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Square n x n zero matrix.
+  static Matrix zero(std::size_t n);
+
+  /// Square n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access (throws on out-of-range).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// View of row r.
+  std::span<const double> row(std::size_t r) const;
+  std::span<double> row(std::size_t r);
+
+  /// Raw storage (row-major).
+  std::span<const double> data() const { return data_; }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  /// Cache-blocked matrix product; requires lhs.cols() == rhs.rows().
+  static Matrix multiply(const Matrix& lhs, const Matrix& rhs);
+
+  /// Sum of powers: W^from + W^{from+1} + ... + W^to (from >= 1).
+  /// Used by bounded-length walk propagation.
+  static Matrix power_sum(const Matrix& w, std::size_t from, std::size_t to);
+
+  /// Max |a - b| over all entries; requires equal shapes.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  CR_EXPECTS(count_ > 0, "mean of an empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  CR_EXPECTS(count_ > 0, "min of an empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  CR_EXPECTS(count_ > 0, "max of an empty accumulator");
+  return max_;
+}
+
+BootstrapInterval bootstrap_ci(std::span<const double> values,
+                               std::size_t resamples, double alpha,
+                               Rng& rng) {
+  CR_EXPECTS(!values.empty(), "bootstrap needs at least one sample");
+  CR_EXPECTS(resamples >= 10, "bootstrap needs at least 10 resamples");
+  CR_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += values[rng.uniform_index(values.size())];
+    }
+    means.push_back(sum / static_cast<double>(values.size()));
+  }
+  std::sort(means.begin(), means.end());
+
+  double total = 0.0;
+  for (const double v : values) total += v;
+
+  const auto percentile = [&](double p) {
+    const double idx = p * static_cast<double>(means.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, means.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+
+  BootstrapInterval ci;
+  ci.mean = total / static_cast<double>(values.size());
+  ci.lower = percentile(alpha / 2.0);
+  ci.upper = percentile(1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace crowdrank

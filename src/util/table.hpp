@@ -1,0 +1,40 @@
+// Aligned-text and CSV table emission for the bench harnesses.
+//
+// Every bench binary reproduces one table/figure from the paper; TableWriter
+// lets them print the same rows both human-readably (aligned columns, like
+// the paper's Table I) and machine-readably (CSV for re-plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crowdrank {
+
+/// Collects rows of string cells under a fixed header and renders them.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_percent(double fraction, int precision = 1);
+  static std::string fmt_seconds(double seconds, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with space-padded columns and a header rule.
+  void print_aligned(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdrank

@@ -1,0 +1,31 @@
+#include "util/timer.hpp"
+
+namespace crowdrank {
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  auto [it, inserted] = totals_.try_emplace(phase, 0.0);
+  if (inserted) {
+    order_.push_back(phase);
+  }
+  it->second += seconds;
+}
+
+double PhaseTimer::seconds(const std::string& phase) const {
+  const auto it = totals_.find(phase);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [_, secs] : totals_) {
+    total += secs;
+  }
+  return total;
+}
+
+void PhaseTimer::clear() {
+  totals_.clear();
+  order_.clear();
+}
+
+}  // namespace crowdrank

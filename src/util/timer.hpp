@@ -1,0 +1,69 @@
+// Wall-clock timing helpers used by the pipeline's per-step breakdown
+// (paper Fig. 4) and the bench harnesses.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdrank {
+
+/// Monotonic stopwatch. start() on construction; elapsed_*() reads without
+/// stopping, restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations, preserving first-seen order. The
+/// inference pipeline uses this to report Step 1-4 timings like Fig. 4.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase (creating it on first use).
+  void add(const std::string& phase, double seconds);
+
+  /// Total seconds recorded for the phase (0 if never recorded).
+  double seconds(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double total_seconds() const;
+
+  /// Phases in first-recorded order.
+  const std::vector<std::string>& phases() const { return order_; }
+
+  void clear();
+
+ private:
+  std::unordered_map<std::string, double> totals_;
+  std::vector<std::string> order_;
+};
+
+/// RAII guard: adds the scope's duration to `timer[phase]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { timer_.add(phase_, watch_.elapsed_seconds()); }
+
+ private:
+  PhaseTimer& timer_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace crowdrank

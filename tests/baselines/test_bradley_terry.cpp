@@ -1,0 +1,98 @@
+// Unit tests for the plain Bradley-Terry MM baseline.
+#include "baselines/bradley_terry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+TEST(BradleyTerry, CleanChainRecovered) {
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 5; ++k) {
+    for (VertexId i = 0; i < 5; ++i) {
+      for (VertexId j = i + 1; j < 5; ++j) {
+        votes.push_back(vote(k, i, j, true));  // identity order
+      }
+    }
+  }
+  const Ranking r = bradley_terry_ranking(votes, 5);
+  EXPECT_EQ(r, Ranking::identity(5));
+}
+
+TEST(BradleyTerry, SkillsNormalizedToMeanOne) {
+  VoteBatch votes{vote(0, 0, 1, true), vote(1, 0, 1, true),
+                  vote(2, 1, 2, true)};
+  const auto fit = fit_bradley_terry(votes, 3);
+  double sum = 0.0;
+  for (const double g : fit.skills) {
+    EXPECT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / 3.0, 1.0, 1e-9);
+}
+
+TEST(BradleyTerry, ConvergesOnSmallInput) {
+  VoteBatch votes;
+  Rng rng(1);
+  for (int e = 0; e < 50; ++e) {
+    const auto pick = rng.sample_without_replacement(8, 2);
+    votes.push_back(vote(0, pick[0], pick[1], pick[0] < pick[1]));
+  }
+  const auto fit = fit_bradley_terry(votes, 8);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(fit.iterations, 500u);
+}
+
+TEST(BradleyTerry, WinRatioOrdersSkills) {
+  // 0 beats 1 in 8/10 votes; skill(0) > skill(1).
+  VoteBatch votes;
+  for (int v = 0; v < 8; ++v) votes.push_back(vote(0, 0, 1, true));
+  for (int v = 0; v < 2; ++v) votes.push_back(vote(0, 0, 1, false));
+  const auto fit = fit_bradley_terry(votes, 2);
+  EXPECT_GT(fit.skills[0], fit.skills[1]);
+  // MLE for a single pair: gamma0/gamma1 ~= 8/2 (prior slightly shrinks).
+  EXPECT_NEAR(fit.skills[0] / fit.skills[1], 4.0, 0.5);
+}
+
+TEST(BradleyTerry, UncomparedObjectsKeepNeutralSkill) {
+  const VoteBatch votes{vote(0, 0, 1, true)};
+  const auto fit = fit_bradley_terry(votes, 4);
+  EXPECT_NEAR(fit.skills[2], fit.skills[3], 1e-12);
+}
+
+TEST(BradleyTerry, NoisyTournamentStillWellCorrelated) {
+  Rng rng(2);
+  const std::size_t n = 20;
+  const auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  VoteBatch votes;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      for (WorkerId k = 0; k < 3; ++k) {
+        const bool fwd = truth.position_of(i) < truth.position_of(j);
+        const bool flip = rng.bernoulli(0.15);
+        votes.push_back(vote(k, i, j, flip ? !fwd : fwd));
+      }
+    }
+  }
+  const Ranking r = bradley_terry_ranking(votes, n);
+  EXPECT_GT(ranking_accuracy(truth, r), 0.85);
+}
+
+TEST(BradleyTerry, Validates) {
+  EXPECT_THROW(fit_bradley_terry({}, 1), Error);
+  BradleyTerryConfig bad;
+  bad.prior_pseudo_wins = -1.0;
+  EXPECT_THROW(fit_bradley_terry({vote(0, 0, 1, true)}, 2, bad), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

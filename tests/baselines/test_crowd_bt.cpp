@@ -1,0 +1,115 @@
+// Unit tests for the CrowdBT interactive baseline (§VI-A2, ref [7]).
+#include "baselines/crowd_bt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+SimulatedCrowd make_crowd(const Ranking& truth, std::size_t workers,
+                          double sigma) {
+  std::vector<WorkerProfile> pool;
+  for (WorkerId k = 0; k < workers; ++k) {
+    pool.push_back(WorkerProfile{k, sigma});
+  }
+  return SimulatedCrowd(truth, std::move(pool));
+}
+
+TEST(CrowdBt, OfflinePassOnCleanVotesRecoversOrder) {
+  VoteBatch votes;
+  for (int round = 0; round < 10; ++round) {
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = i + 1; j < 6; ++j) {
+        votes.push_back(Vote{static_cast<WorkerId>(round % 3), i, j, true});
+      }
+    }
+  }
+  const auto result = crowd_bt_offline(votes, 6, 3, {});
+  EXPECT_EQ(result.ranking, Ranking::identity(6));
+  EXPECT_EQ(result.answers_used, votes.size());
+  // Skill means must be strictly decreasing along the true order.
+  for (VertexId v = 0; v + 1 < 6; ++v) {
+    EXPECT_GT(result.mu[v], result.mu[v + 1]);
+  }
+}
+
+TEST(CrowdBt, ConsistentWorkersGainQuality) {
+  VoteBatch votes;
+  for (int round = 0; round < 20; ++round) {
+    votes.push_back(Vote{0, 0, 1, true});   // consistent
+    votes.push_back(Vote{1, 0, 1, false});  // contrarian
+    votes.push_back(Vote{2, 0, 1, true});
+  }
+  const auto result = crowd_bt_offline(votes, 2, 3, {});
+  EXPECT_GT(result.eta[0], result.eta[1]);
+  EXPECT_GT(result.eta[2], result.eta[1]);
+}
+
+TEST(CrowdBt, InteractiveStopsAtBudget) {
+  Rng rng(1);
+  const Ranking truth = Ranking::identity(10);
+  const auto crowd = make_crowd(truth, 5, 0.05);
+  const BudgetModel budget = BudgetModel::for_unique_tasks(40, 0.025, 2);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  const auto result = crowd_bt_interactive(oracle, 10, 5, {}, rng);
+  EXPECT_EQ(result.answers_used, 80u);  // l * w answers
+  EXPECT_FALSE(oracle.can_query());
+  EXPECT_EQ(result.ranking.size(), 10u);
+}
+
+TEST(CrowdBt, InteractiveLearnsWithGoodWorkers) {
+  Rng rng(2);
+  const std::size_t n = 12;
+  Rng truth_rng(3);
+  const auto perm = truth_rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  const auto crowd = make_crowd(truth, 8, 0.02);
+  // Generous budget: ~4x all pairs.
+  const BudgetModel budget = BudgetModel::for_unique_tasks(264, 0.025, 1);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  const auto result = crowd_bt_interactive(oracle, n, 8, {}, rng);
+  EXPECT_GT(ranking_accuracy(truth, result.ranking), 0.85);
+}
+
+TEST(CrowdBt, SampledActiveLearningAlsoLearns) {
+  Rng rng(4);
+  const std::size_t n = 15;
+  const Ranking truth = Ranking::identity(n);
+  const auto crowd = make_crowd(truth, 6, 0.05);
+  const BudgetModel budget = BudgetModel::for_unique_tasks(300, 0.025, 1);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  CrowdBtConfig config;
+  config.candidate_sample_size = 30;
+  const auto result = crowd_bt_interactive(oracle, n, 6, config, rng);
+  EXPECT_GT(ranking_accuracy(truth, result.ranking), 0.8);
+}
+
+TEST(CrowdBt, VarianceShrinksWithEvidence) {
+  VoteBatch votes;
+  for (int round = 0; round < 50; ++round) {
+    votes.push_back(Vote{0, 0, 1, true});
+  }
+  CrowdBtConfig config;
+  const auto result = crowd_bt_offline(votes, 3, 1, config);
+  // Objects 0 and 1 were measured heavily; 2 never.
+  EXPECT_LT(result.sigma2[0], config.initial_sigma2);
+  EXPECT_DOUBLE_EQ(result.sigma2[2], config.initial_sigma2);
+  EXPECT_GE(result.sigma2[0], config.min_sigma2);
+}
+
+TEST(CrowdBt, Validates) {
+  EXPECT_THROW(crowd_bt_offline({}, 3, 1, {}), Error);
+  CrowdBtConfig bad;
+  bad.initial_sigma2 = 0.0;
+  EXPECT_THROW(crowd_bt_offline({Vote{0, 0, 1, true}}, 2, 1, bad), Error);
+  bad = {};
+  bad.prior_alpha = 0.0;
+  EXPECT_THROW(crowd_bt_offline({Vote{0, 0, 1, true}}, 2, 1, bad), Error);
+  EXPECT_THROW(crowd_bt_offline({Vote{9, 0, 1, true}}, 2, 1, {}), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,106 @@
+// Unit tests for the local Kemenization baseline.
+#include "baselines/local_kemeny.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/majority_vote.hpp"
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+TEST(KemenyDisagreement, CountsContradictingMass) {
+  // Tally: 3 votes 0<1, 1 vote 1<0.
+  Matrix tally(2, 2, 0.0);
+  tally(0, 1) = 3.0;
+  tally(1, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(kemeny_disagreement(tally, Ranking({0, 1})), 1.0);
+  EXPECT_DOUBLE_EQ(kemeny_disagreement(tally, Ranking({1, 0})), 3.0);
+}
+
+TEST(KemenyDisagreement, Validates) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(kemeny_disagreement(rect, Ranking({0, 1})), Error);
+  Matrix small(2, 2);
+  EXPECT_THROW(kemeny_disagreement(small, Ranking({0, 1, 2})), Error);
+}
+
+TEST(LocalKemenize, FixesAdjacentInversions) {
+  // Evidence strongly supports 0 < 1 < 2 but the seed is reversed.
+  Matrix evidence(3, 3, 0.0);
+  evidence(0, 1) = evidence(1, 2) = evidence(0, 2) = 5.0;
+  const Ranking repaired = local_kemenize(evidence, Ranking({2, 1, 0}));
+  EXPECT_EQ(repaired, Ranking::identity(3));
+}
+
+TEST(LocalKemenize, NeverIncreasesDisagreement) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10;
+    Matrix evidence(n, n, 0.0);
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = 0; j < n; ++j) {
+        if (i != j) evidence(i, j) = rng.uniform(0.0, 5.0);
+      }
+    }
+    const auto seed_perm = rng.permutation(n);
+    const Ranking seed(
+        std::vector<VertexId>(seed_perm.begin(), seed_perm.end()));
+    const Ranking repaired = local_kemenize(evidence, seed);
+    EXPECT_LE(kemeny_disagreement(evidence, repaired),
+              kemeny_disagreement(evidence, seed) + 1e-12);
+    // Local optimality: no adjacent swap can improve further.
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      const VertexId u = repaired.object_at(p);
+      const VertexId v = repaired.object_at(p + 1);
+      EXPECT_LE(evidence(v, u), evidence(u, v) + 1e-12);
+    }
+  }
+}
+
+TEST(LocalKemenize, RespectsUnanimousEvidenceCompletely) {
+  // Unanimous all-pairs votes: the repaired ranking equals the truth.
+  Rng rng(2);
+  const std::size_t n = 12;
+  const auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  VoteBatch votes;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      votes.push_back(vote(0, i, j,
+                           truth.position_of(i) < truth.position_of(j)));
+    }
+  }
+  EXPECT_EQ(local_kemeny_ranking(votes, n), truth);
+}
+
+TEST(LocalKemenize, ImprovesNoisyCopelandSeed) {
+  Rng rng(3);
+  const std::size_t n = 30;
+  const auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  VoteBatch votes;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      for (WorkerId k = 0; k < 3; ++k) {
+        const bool fwd = truth.position_of(i) < truth.position_of(j);
+        votes.push_back(vote(k, i, j, rng.bernoulli(0.2) ? !fwd : fwd));
+      }
+    }
+  }
+  const Matrix tally = vote_tally(votes, n);
+  const Ranking seed = majority_vote_ranking(votes, n);
+  const Ranking polished = local_kemenize(tally, seed);
+  EXPECT_LE(kemeny_disagreement(tally, polished),
+            kemeny_disagreement(tally, seed));
+  EXPECT_GT(ranking_accuracy(truth, polished), 0.85);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,73 @@
+// Unit tests for the majority-vote substrate and Copeland ranking.
+#include "baselines/majority_vote.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+TEST(VoteTally, CountsDirectedWins) {
+  const VoteBatch votes{vote(0, 0, 1, true), vote(1, 0, 1, true),
+                        vote(2, 0, 1, false), vote(0, 1, 2, false)};
+  const Matrix tally = vote_tally(votes, 3);
+  EXPECT_DOUBLE_EQ(tally(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(tally(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tally(2, 1), 1.0);  // "prefers_i false" on (1,2)
+  EXPECT_DOUBLE_EQ(tally(1, 2), 0.0);
+}
+
+TEST(VoteTally, RejectsBadObjects) {
+  EXPECT_THROW(vote_tally({vote(0, 0, 9, true)}, 3), Error);
+}
+
+TEST(MajorityDirection, ThreeOutcomes) {
+  Matrix tally(2, 2, 0.0);
+  tally(0, 1) = 3.0;
+  tally(1, 0) = 1.0;
+  EXPECT_EQ(majority_direction(tally, 0, 1), 1);
+  EXPECT_EQ(majority_direction(tally, 1, 0), -1);
+  Matrix tie(2, 2, 0.0);
+  EXPECT_EQ(majority_direction(tie, 0, 1), 0);
+}
+
+TEST(MajorityVoteRanking, RecoversCleanOrder) {
+  // Unanimous votes consistent with 2 < 0 < 1.
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 3; ++k) {
+    votes.push_back(vote(k, 2, 0, true));
+    votes.push_back(vote(k, 0, 1, true));
+    votes.push_back(vote(k, 2, 1, true));
+  }
+  const Ranking r = majority_vote_ranking(votes, 3);
+  EXPECT_EQ(r.object_at(0), 2u);
+  EXPECT_EQ(r.object_at(1), 0u);
+  EXPECT_EQ(r.object_at(2), 1u);
+}
+
+TEST(MajorityVoteRanking, OutvotedMinorityIgnored) {
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 5; ++k) {
+    votes.push_back(vote(k, 0, 1, true));
+  }
+  votes.push_back(vote(5, 0, 1, false));
+  votes.push_back(vote(6, 0, 1, false));
+  const Ranking r = majority_vote_ranking(votes, 2);
+  EXPECT_EQ(r.object_at(0), 0u);
+}
+
+TEST(MajorityVoteRanking, UnvotedObjectsFallToIdOrder) {
+  const VoteBatch votes{vote(0, 2, 3, true)};
+  const Ranking r = majority_vote_ranking(votes, 5);
+  // 2 beats 3; 0, 1, 4 have score 0 and sort by id among themselves.
+  EXPECT_LT(r.position_of(2), r.position_of(3));
+  EXPECT_EQ(r.size(), 5u);
+}
+
+}  // namespace
+}  // namespace crowdrank

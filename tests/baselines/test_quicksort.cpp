@@ -1,0 +1,100 @@
+// Unit tests for the QuickSort Condorcet baseline (§VI-A2, ref [18]).
+#include "baselines/quicksort_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/kendall.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+/// Unanimous all-pairs votes for the given truth.
+VoteBatch all_pairs_votes(const Ranking& truth, std::size_t replicas) {
+  VoteBatch votes;
+  const std::size_t n = truth.size();
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      const bool fwd = truth.position_of(i) < truth.position_of(j);
+      for (WorkerId k = 0; k < replicas; ++k) {
+        votes.push_back(vote(k, i, j, fwd));
+      }
+    }
+  }
+  return votes;
+}
+
+TEST(QuickSort, FullCoverageRecoversTruthExactly) {
+  Rng rng(1);
+  const auto perm = rng.permutation(12);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  const VoteBatch votes = all_pairs_votes(truth, 3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng sort_rng(trial);
+    const Ranking r = quicksort_ranking(votes, 12, sort_rng);
+    EXPECT_EQ(r, truth) << "trial " << trial;
+  }
+}
+
+TEST(QuickSort, SingleObjectAndPair) {
+  Rng rng(2);
+  const Ranking one = quicksort_ranking({}, 1, rng);
+  EXPECT_EQ(one.size(), 1u);
+  const VoteBatch votes{vote(0, 1, 0, true)};
+  const Ranking two = quicksort_ranking(votes, 2, rng);
+  EXPECT_EQ(two.object_at(0), 1u);
+}
+
+TEST(QuickSort, MissingPairsDegradeAccuracy) {
+  // With only a sliver of pairs voted, unvoted comparisons are coin flips
+  // and QS accuracy collapses toward 0.5 — the Table-I shape.
+  Rng rng(3);
+  const std::size_t n = 40;
+  const auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  VoteBatch votes;
+  for (int e = 0; e < 40; ++e) {  // ~5% of pairs
+    const auto pick = rng.sample_without_replacement(n, 2);
+    const bool fwd = truth.position_of(pick[0]) < truth.position_of(pick[1]);
+    votes.push_back(vote(0, pick[0], pick[1], fwd));
+  }
+  double acc = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng sort_rng(200 + t);
+    acc += ranking_accuracy(truth, quicksort_ranking(votes, n, sort_rng));
+  }
+  acc /= trials;
+  EXPECT_GT(acc, 0.4);
+  EXPECT_LT(acc, 0.75);
+}
+
+TEST(QuickSort, MajorityDecidesConflicts) {
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 5; ++k) votes.push_back(vote(k, 0, 1, true));
+  for (WorkerId k = 5; k < 7; ++k) votes.push_back(vote(k, 0, 1, false));
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(trial);
+    const Ranking r = quicksort_ranking(votes, 2, rng);
+    EXPECT_EQ(r.object_at(0), 0u);
+  }
+}
+
+TEST(QuickSort, AlwaysReturnsValidPermutation) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    VoteBatch votes;
+    for (int e = 0; e < 30; ++e) {
+      const auto pick = rng.sample_without_replacement(25, 2);
+      votes.push_back(vote(0, pick[0], pick[1], rng.bernoulli(0.5)));
+    }
+    const Ranking r = quicksort_ranking(votes, 25, rng);
+    EXPECT_EQ(r.size(), 25u);  // Ranking ctor enforces permutation
+  }
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,119 @@
+// Unit tests for the RepeatChoice baseline (§VI-A2, ref [17]).
+#include "baselines/repeat_choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+TEST(WorkerPartialRanking, CopelandBuckets) {
+  // Worker 0 saw a clean chain 0 < 1 < 2: scores 2, 0, -2.
+  const VoteBatch votes{vote(0, 0, 1, true), vote(0, 1, 2, true),
+                        vote(0, 0, 2, true)};
+  const PartialRanking pr = worker_partial_ranking(votes, 0, 4);
+  ASSERT_EQ(pr.tie_groups.size(), 3u);
+  EXPECT_EQ(pr.tie_groups[0], std::vector<VertexId>{0});
+  EXPECT_EQ(pr.tie_groups[1], std::vector<VertexId>{1});
+  EXPECT_EQ(pr.tie_groups[2], std::vector<VertexId>{2});
+}
+
+TEST(WorkerPartialRanking, UnseenObjectsAbsent) {
+  const VoteBatch votes{vote(0, 0, 1, true), vote(1, 2, 3, true)};
+  const PartialRanking pr = worker_partial_ranking(votes, 0, 4);
+  std::size_t covered = 0;
+  for (const auto& g : pr.tie_groups) covered += g.size();
+  EXPECT_EQ(covered, 2u);  // only 0 and 1
+}
+
+TEST(RepeatChoice, FullInputsRecoverConsensus) {
+  // Three workers each provide the same full chain as a partial ranking.
+  PartialRanking chain;
+  chain.tie_groups = {{3}, {1}, {0}, {2}};
+  Rng rng(1);
+  const Ranking r = repeat_choice({chain, chain, chain}, 4, rng);
+  EXPECT_EQ(r.object_at(0), 3u);
+  EXPECT_EQ(r.object_at(1), 1u);
+  EXPECT_EQ(r.object_at(2), 0u);
+  EXPECT_EQ(r.object_at(3), 2u);
+}
+
+TEST(RepeatChoice, LaterInputsRefineTies) {
+  // First input splits {0,1,2,3} into {0,1} before {2,3}; second orders
+  // within each pair.
+  PartialRanking coarse;
+  coarse.tie_groups = {{0, 1}, {2, 3}};
+  PartialRanking fine;
+  fine.tie_groups = {{1}, {0}, {3}, {2}};
+  Rng rng(2);
+  const Ranking r = repeat_choice({coarse, fine}, 4, rng);
+  // Regardless of processing order the result must respect both inputs
+  // where they are consistent: coarse's class split and fine's in-class
+  // order.
+  EXPECT_LT(r.position_of(1), r.position_of(0));
+  EXPECT_LT(r.position_of(3), r.position_of(2));
+}
+
+TEST(RepeatChoice, NoInputsRandomFullRanking) {
+  Rng rng(3);
+  const Ranking r = repeat_choice({}, 6, rng);
+  EXPECT_EQ(r.size(), 6u);  // random but valid (Ranking ctor validates)
+}
+
+TEST(RepeatChoice, FromVotesProducesValidRanking) {
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 4; ++k) {
+    votes.push_back(vote(k, 0, 1, true));
+    votes.push_back(vote(k, 1, 2, true));
+  }
+  Rng rng(4);
+  const Ranking r = repeat_choice_from_votes(votes, 5, 4, rng);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_LT(r.position_of(0), r.position_of(1));
+}
+
+TEST(RepeatChoice, SparseCoverageIsNearRandom) {
+  // The Table-I behaviour: when each worker sees a sliver of the objects,
+  // RC cannot do much better than chance.
+  Rng rng(5);
+  const std::size_t n = 60;
+  const auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  VoteBatch votes;
+  // 30 workers, each votes on 3 random disjoint-ish pairs, always correct.
+  for (WorkerId k = 0; k < 30; ++k) {
+    for (int p = 0; p < 3; ++p) {
+      const auto pick = rng.sample_without_replacement(n, 2);
+      const VertexId i = pick[0];
+      const VertexId j = pick[1];
+      const bool fwd = truth.position_of(i) < truth.position_of(j);
+      votes.push_back(vote(k, i, j, fwd));
+    }
+  }
+  double acc = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng(100 + t);
+    acc += ranking_accuracy(truth, repeat_choice_from_votes(votes, n, 30,
+                                                            trial_rng));
+  }
+  acc /= trials;
+  EXPECT_LT(acc, 0.75);  // nowhere near the pipeline's accuracy
+  EXPECT_GT(acc, 0.35);  // but not anti-correlated either
+}
+
+TEST(RepeatChoice, ValidatesInputs) {
+  Rng rng(6);
+  PartialRanking bad;
+  bad.tie_groups = {{9}};
+  EXPECT_THROW(repeat_choice({bad}, 3, rng), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

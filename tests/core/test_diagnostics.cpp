@@ -1,0 +1,130 @@
+// Unit tests for the rankability diagnostics.
+#include "core/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+Vote vote(WorkerId k, VertexId i, VertexId j, bool prefers_i) {
+  return Vote{k, i, j, prefers_i};
+}
+
+TEST(Diagnostics, CleanBatchIsRankable) {
+  // Full coverage, 3 consistent workers.
+  VoteBatch votes;
+  const std::size_t n = 6;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      for (WorkerId k = 0; k < 3; ++k) {
+        votes.push_back(vote(k, i, j, true));
+      }
+    }
+  }
+  const auto report = diagnose_votes(votes, n, 3);
+  EXPECT_TRUE(report.rankable);
+  EXPECT_EQ(report.unique_tasks, 15u);
+  EXPECT_NEAR(report.pair_coverage, 1.0, 1e-12);
+  EXPECT_EQ(report.objects_never_compared, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_votes_per_task, 3.0);
+  EXPECT_EQ(report.unanimous_tasks, 15u);
+  EXPECT_EQ(report.contested_tasks, 0u);
+  EXPECT_TRUE(report.direct_graph_connected);
+  // Identity chain: the direct graph is a DAG -> n singleton SCCs.
+  EXPECT_EQ(report.scc_count, n);
+}
+
+TEST(Diagnostics, UncoveredObjectFlagged) {
+  const VoteBatch votes{vote(0, 0, 1, true), vote(0, 1, 2, true)};
+  const auto report = diagnose_votes(votes, 4, 1);
+  EXPECT_FALSE(report.rankable);
+  EXPECT_EQ(report.objects_never_compared, 1u);  // object 3
+  bool mentioned = false;
+  for (const auto& f : report.findings) {
+    mentioned |= f.find("never compared") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(Diagnostics, DisconnectedCoverageFlagged) {
+  // Two islands: {0,1} and {2,3}.
+  const VoteBatch votes{vote(0, 0, 1, true), vote(0, 2, 3, true)};
+  const auto report = diagnose_votes(votes, 4, 1);
+  EXPECT_FALSE(report.rankable);
+  EXPECT_FALSE(report.direct_graph_connected);
+}
+
+TEST(Diagnostics, ContestedTasksCounted) {
+  VoteBatch votes;
+  for (WorkerId k = 0; k < 4; ++k) {
+    votes.push_back(vote(k, 0, 1, k % 2 == 0));  // 2-2 split
+    votes.push_back(vote(k, 1, 2, true));        // unanimous
+  }
+  const auto report = diagnose_votes(votes, 3, 4);
+  EXPECT_EQ(report.contested_tasks, 1u);
+  EXPECT_EQ(report.unanimous_tasks, 1u);
+}
+
+TEST(Diagnostics, SingleVoteTasksFlagged) {
+  const VoteBatch votes{vote(0, 0, 1, true), vote(0, 1, 2, true),
+                        vote(0, 0, 2, true)};
+  const auto report = diagnose_votes(votes, 3, 1);
+  EXPECT_EQ(report.min_votes_per_task, 1u);
+  bool mentioned = false;
+  for (const auto& f : report.findings) {
+    mentioned |= f.find("single vote") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(Diagnostics, EmptyBatchHandled) {
+  const auto report = diagnose_votes({}, 5, 3);
+  EXPECT_FALSE(report.rankable);
+  EXPECT_EQ(report.vote_count, 0u);
+  EXPECT_EQ(report.objects_never_compared, 5u);
+}
+
+TEST(Diagnostics, SimulatedRoundLooksHealthy) {
+  ExperimentConfig config;
+  config.object_count = 30;
+  config.selection_ratio = 0.3;
+  config.worker_pool_size = 15;
+  config.seed = 3;
+  // Rebuild the same votes run_experiment would see.
+  Rng rng(config.seed);
+  auto perm = rng.permutation(config.object_count);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  const BudgetModel budget = BudgetModel::for_selection_ratio(
+      config.object_count, config.selection_ratio, 0.025, 3);
+  const auto ta = generate_task_assignment(config.object_count,
+                                           budget.unique_task_count(), rng);
+  std::vector<Edge> tasks(ta.graph.edges().begin(), ta.graph.edges().end());
+  const HitAssignment assignment(tasks, HitConfig{5, 3}, 15, rng);
+  const auto workers = sample_worker_pool(
+      15, {QualityDistribution::Gaussian, QualityLevel::Medium}, rng);
+  const SimulatedCrowd crowd(truth, workers);
+  const VoteBatch votes = crowd.collect(assignment, rng);
+
+  const auto report = diagnose_votes(votes, config.object_count, 15);
+  EXPECT_TRUE(report.rankable);
+  EXPECT_GT(report.mean_worker_quality, 0.7);
+  EXPECT_EQ(report.min_votes_per_task, 3u);
+}
+
+TEST(Diagnostics, FormatContainsVerdict) {
+  const VoteBatch votes{vote(0, 0, 1, true)};
+  const auto report = diagnose_votes(votes, 2, 1);
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("rankability report"), std::string::npos);
+  EXPECT_NE(text.find("verdict"), std::string::npos);
+}
+
+TEST(Diagnostics, Validates) {
+  EXPECT_THROW(diagnose_votes({}, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,103 @@
+// Unit tests for the budget planner (§VIII future-work objective).
+#include "core/planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+PlanningConfig base_config() {
+  PlanningConfig config;
+  config.object_count = 40;
+  config.worker_pool_size = 20;
+  config.workers_per_task = 3;
+  config.worker_quality = {QualityDistribution::Gaussian,
+                           QualityLevel::High};
+  config.trials_per_probe = 2;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Planning, FindsAPlanForModestTargets) {
+  auto config = base_config();
+  config.target_accuracy = 0.85;
+  const auto plan = plan_budget_for_accuracy(config);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GE(plan->estimated_accuracy, 0.85);
+  EXPECT_GT(plan->selection_ratio, 0.0);
+  EXPECT_LE(plan->selection_ratio, 1.0);
+  EXPECT_GT(plan->unique_comparisons, 0u);
+  EXPECT_GT(plan->total_cost, 0.0);
+}
+
+TEST(Planning, HigherTargetsCostMore) {
+  auto config = base_config();
+  config.target_accuracy = 0.8;
+  const auto cheap = plan_budget_for_accuracy(config);
+  config.target_accuracy = 0.95;
+  const auto dear = plan_budget_for_accuracy(config);
+  ASSERT_TRUE(cheap.has_value());
+  ASSERT_TRUE(dear.has_value());
+  EXPECT_LE(cheap->selection_ratio, dear->selection_ratio + 1e-9);
+}
+
+TEST(Planning, ImpossibleTargetReturnsNullopt) {
+  auto config = base_config();
+  // Low-quality workers cannot reach 0.99 even with all pairs.
+  config.worker_quality = {QualityDistribution::Gaussian,
+                           QualityLevel::Low};
+  config.target_accuracy = 0.99;
+  const auto plan = plan_budget_for_accuracy(config);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST(Planning, TrivialTargetUsesConnectivityFloor) {
+  auto config = base_config();
+  config.target_accuracy = 0.51;
+  const auto plan = plan_budget_for_accuracy(config);
+  ASSERT_TRUE(plan.has_value());
+  // The cheapest probe (l = n - 1) should already clear a coin-flip-ish
+  // bar with high-quality workers.
+  EXPECT_EQ(plan->unique_comparisons, config.object_count - 1);
+  EXPECT_EQ(plan->probes_run, 1u);
+}
+
+TEST(Planning, RespectsProbeBudget) {
+  auto config = base_config();
+  config.target_accuracy = 0.9;
+  config.max_probes = 3;
+  const auto plan = plan_budget_for_accuracy(config);
+  if (plan.has_value()) {
+    EXPECT_LE(plan->probes_run, 3u);
+  }
+}
+
+TEST(Planning, CostMatchesBudgetModelArithmetic) {
+  auto config = base_config();
+  config.target_accuracy = 0.85;
+  const auto plan = plan_budget_for_accuracy(config);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NEAR(plan->total_cost,
+              static_cast<double>(plan->unique_comparisons) * 3 * 0.025,
+              1e-9);
+}
+
+TEST(Planning, Validates) {
+  auto config = base_config();
+  config.target_accuracy = 0.4;
+  EXPECT_THROW(plan_budget_for_accuracy(config), Error);
+  config = base_config();
+  config.target_accuracy = 1.0;
+  EXPECT_THROW(plan_budget_for_accuracy(config), Error);
+  config = base_config();
+  config.trials_per_probe = 0;
+  EXPECT_THROW(plan_budget_for_accuracy(config), Error);
+  config = base_config();
+  config.object_count = 1;
+  EXPECT_THROW(plan_budget_for_accuracy(config), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,124 @@
+// Unit tests for the SpectralLimit propagation mode.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/propagation.hpp"
+#include "graph/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+PreferenceGraph smoothed_chain(std::size_t n, double forward = 0.9) {
+  PreferenceGraph g(n);
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    g.set_weight(i, i + 1, forward);
+    g.set_weight(i + 1, i, 1.0 - forward);
+  }
+  return g;
+}
+
+PropagationConfig spectral() {
+  PropagationConfig config;
+  config.mode = PropagationMode::SpectralLimit;
+  return config;
+}
+
+TEST(SpectralPropagation, ClosureCompleteAndNormalized) {
+  const auto g = smoothed_chain(8);
+  PropagationStats stats;
+  const Matrix closure = propagate_preferences(g, spectral(), &stats);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.pairs_without_evidence, 0u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(closure(i, j), 0.0);
+      } else {
+        EXPECT_GT(closure(i, j), 0.0);
+        EXPECT_NEAR(closure(i, j) + closure(j, i), 1.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SpectralPropagation, CoversPairsBeyondBoundedHorizon) {
+  // A 40-vertex chain: endpoints are 39 hops apart, far beyond the
+  // bounded default horizon — spectral still orients them correctly.
+  const auto g = smoothed_chain(40, 0.95);
+  const Matrix closure = propagate_preferences(g, spectral(), nullptr);
+  EXPECT_GT(closure(0, 39), 0.5);
+  EXPECT_GT(closure(0, 20), 0.5);
+  EXPECT_GT(closure(19, 39), 0.5);
+
+  // The bounded default (L = 12) has no walk between the endpoints, so it
+  // falls back to the uninformative prior there.
+  PropagationConfig bounded;
+  bounded.mode = PropagationMode::BoundedWalks;
+  PropagationStats stats;
+  const Matrix b = propagate_preferences(g, bounded, &stats);
+  EXPECT_DOUBLE_EQ(b(0, 39), 0.5);
+  EXPECT_GT(stats.pairs_without_evidence, 0u);
+}
+
+TEST(SpectralPropagation, AgreesWithBoundedOnDenseGraphs) {
+  // On a dense smoothed graph both modes orient pairs the same way.
+  Rng rng(5);
+  PreferenceGraph g(12);
+  for (VertexId i = 0; i < 12; ++i) {
+    for (VertexId j = i + 1; j < 12; ++j) {
+      const double w = (i < j) ? rng.uniform(0.6, 0.95)
+                               : rng.uniform(0.05, 0.4);
+      g.set_weight(i, j, w);
+      g.set_weight(j, i, 1.0 - w);
+    }
+  }
+  PropagationConfig bounded;
+  bounded.mode = PropagationMode::BoundedWalks;
+  const Matrix mb = propagate_preferences(g, bounded, nullptr);
+  const Matrix ms = propagate_preferences(g, spectral(), nullptr);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(mb(i, j) > 0.5, ms(i, j) > 0.5) << i << "," << j;
+    }
+  }
+}
+
+TEST(SpectralPropagation, EdgelessGraphFallsBackEverywhere) {
+  PreferenceGraph g(5);
+  PropagationStats stats;
+  const Matrix closure = propagate_preferences(g, spectral(), &stats);
+  EXPECT_EQ(stats.pairs_without_evidence, 10u);
+  EXPECT_DOUBLE_EQ(closure(0, 4), 0.5);
+}
+
+TEST(SpectralPropagation, ClosureHamiltonianAlways) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = smoothed_chain(7, rng.uniform(0.55, 0.95));
+    const Matrix closure = propagate_preferences(g, spectral(), nullptr);
+    const PreferenceGraph cg = PreferenceGraph::from_matrix(closure);
+    EXPECT_TRUE(cg.is_complete());
+    EXPECT_TRUE(has_hamiltonian_path(cg));
+  }
+}
+
+TEST(SpectralPropagation, NoOverflowOnHeavyGraphs) {
+  // Dense near-1 weights: unnormalized W^n would overflow by astronomical
+  // margins; the renormalized doubling must stay finite.
+  PreferenceGraph g(64);
+  for (VertexId i = 0; i < 64; ++i) {
+    for (VertexId j = 0; j < 64; ++j) {
+      if (i != j) g.set_weight(i, j, i < j ? 0.99 : 0.01);
+    }
+  }
+  const Matrix closure = propagate_preferences(g, spectral(), nullptr);
+  for (const double v : closure.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(closure(0, 63), 0.5);
+}
+
+}  // namespace
+}  // namespace crowdrank

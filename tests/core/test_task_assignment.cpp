@@ -1,0 +1,206 @@
+// Unit + property tests for task assignment (paper §IV, Algorithm 1).
+#include "core/task_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "graph/hamiltonian.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(IoNodeProbability, MatchesEquationTwo) {
+  // Example 4.1: degree 2 -> 2/9, degree 1 -> 2/3.
+  EXPECT_NEAR(io_node_probability(2), 2.0 / 9.0, 1e-15);
+  EXPECT_NEAR(io_node_probability(1), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(io_node_probability(3), 2.0 / 27.0, 1e-15);
+  EXPECT_NEAR(io_node_probability(0), 2.0, 1e-15);  // degenerate d=0
+}
+
+TEST(HpLikelihood, FormulaAgainstHandComputation) {
+  // n = 3, dmin = dmax = 2:
+  // (1 - 2/9)^3 * [1 + 6/7 + 3/49] = (7/9)^3 * (1 + 6/7 + 3/49).
+  const double expected =
+      std::pow(7.0 / 9.0, 3) * (1.0 + 6.0 / 7.0 + 3.0 / 49.0);
+  EXPECT_NEAR(hp_likelihood_lower_bound(3, 2, 2), expected, 1e-12);
+}
+
+TEST(HpLikelihood, ImprovesWithDegreeRegularity) {
+  // Fixing the degree sum, the bound is best when dmin = dmax (Thm 4.4's
+  // maximization argument).
+  const double regular = hp_likelihood_lower_bound(10, 4, 4);
+  const double skewed = hp_likelihood_lower_bound(10, 2, 6);
+  EXPECT_GT(regular, skewed);
+}
+
+TEST(HpLikelihood, IncreasesWithMinDegree) {
+  EXPECT_GT(hp_likelihood_lower_bound(20, 5, 5),
+            hp_likelihood_lower_bound(20, 3, 3));
+}
+
+TEST(HpLikelihood, Validates) {
+  EXPECT_THROW(hp_likelihood_lower_bound(1, 1, 1), Error);
+  EXPECT_THROW(hp_likelihood_lower_bound(5, 0, 2), Error);
+  EXPECT_THROW(hp_likelihood_lower_bound(5, 3, 2), Error);
+}
+
+TEST(TaskAssignment, ExactEdgeCountBudgetConscious) {
+  Rng rng(1);
+  for (const std::size_t l : {9u, 15u, 30u, 45u}) {
+    const auto a = generate_task_assignment(10, l, rng);
+    EXPECT_EQ(a.graph.edge_count(), l);
+    EXPECT_EQ(a.stats.edge_count, l);
+  }
+}
+
+TEST(TaskAssignment, GraphIsConnected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = generate_task_assignment(30, 60, rng);
+    EXPECT_TRUE(a.graph.is_connected());
+  }
+}
+
+TEST(TaskAssignment, FairnessNearRegularDegrees) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = generate_task_assignment(20, 50, rng);
+    // 2l/n = 5 exactly: strictly regular is achievable.
+    EXPECT_LE(a.stats.max_degree - a.stats.min_degree, 1u);
+    EXPECT_TRUE(a.stats.fair);
+  }
+}
+
+TEST(TaskAssignment, StrictRegularityWhenDivisible) {
+  Rng rng(4);
+  int strictly_regular = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = generate_task_assignment(12, 18, rng);  // 2l/n = 3
+    if (a.stats.strictly_regular) ++strictly_regular;
+    EXPECT_LE(a.stats.max_degree - a.stats.min_degree, 1u);
+  }
+  // The generator should usually hit exact regularity when possible.
+  EXPECT_GE(strictly_regular, 7);
+}
+
+TEST(TaskAssignment, SparseBudgetIsHamiltonianPath) {
+  Rng rng(5);
+  const auto a = generate_task_assignment(15, 14, rng);  // l = n-1
+  EXPECT_EQ(a.graph.edge_count(), 14u);
+  EXPECT_TRUE(a.graph.is_connected());
+  EXPECT_TRUE(has_hamiltonian_path(a.graph));
+  EXPECT_EQ(a.graph.min_degree(), 1u);
+  EXPECT_EQ(a.graph.max_degree(), 2u);
+}
+
+TEST(TaskAssignment, FullBudgetIsCompleteGraph) {
+  Rng rng(6);
+  const auto a = generate_task_assignment(8, math::pair_count(8), rng);
+  EXPECT_TRUE(a.stats.strictly_regular);
+  EXPECT_EQ(a.stats.min_degree, 7u);
+}
+
+TEST(TaskAssignment, SeedHpSurvivesSoTaskGraphHasHp) {
+  // Thm 4.2 prerequisite: the generated task graph must itself contain an
+  // HP. The construction seeds one and never removes its edges.
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto a = generate_task_assignment(12, 20, rng);
+    EXPECT_TRUE(has_hamiltonian_path(a.graph)) << "trial " << trial;
+  }
+}
+
+TEST(TaskAssignment, ValidatesBudgetBounds) {
+  Rng rng(8);
+  EXPECT_THROW(generate_task_assignment(10, 8, rng), Error);   // < n-1
+  EXPECT_THROW(generate_task_assignment(10, 46, rng), Error);  // > C(n,2)
+  EXPECT_THROW(generate_task_assignment(1, 1, rng), Error);
+}
+
+TEST(TaskAssignment, StatsReportPrLowerBound) {
+  Rng rng(9);
+  const auto a = generate_task_assignment(20, 50, rng);
+  const double expected = hp_likelihood_lower_bound(20, a.stats.min_degree,
+                                                    a.stats.max_degree);
+  EXPECT_DOUBLE_EQ(a.stats.hp_likelihood_lower_bound, expected);
+}
+
+class TaskAssignmentSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(TaskAssignmentSweep, InvariantsAcrossScales) {
+  const auto [n, ratio] = GetParam();
+  const std::size_t all = math::pair_count(n);
+  const auto l = std::max<std::size_t>(
+      n - 1, static_cast<std::size_t>(ratio * static_cast<double>(all)));
+  Rng rng(10'000 + n);
+  const auto a = generate_task_assignment(n, l, rng);
+  EXPECT_EQ(a.graph.edge_count(), l);
+  EXPECT_TRUE(a.graph.is_connected());
+  EXPECT_LE(a.stats.max_degree - a.stats.min_degree, 1u);
+  // Degree sum identity.
+  std::size_t degree_sum = 0;
+  for (VertexId v = 0; v < n; ++v) degree_sum += a.graph.degree(v);
+  EXPECT_EQ(degree_sum, 2 * l);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TaskAssignmentSweep,
+    ::testing::Combine(::testing::Values(10, 25, 50, 100, 200),
+                       ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.9)));
+
+TEST(RandomAssignment, EdgeCountButNoFairnessGuarantee) {
+  Rng rng(11);
+  const auto a = generate_random_assignment(30, 60, rng);
+  EXPECT_EQ(a.graph.edge_count(), 60u);
+  // Sampled uniformly: edges must be distinct (guaranteed by construction).
+  std::set<Edge> unique(a.graph.edges().begin(), a.graph.edges().end());
+  EXPECT_EQ(unique.size(), 60u);
+}
+
+TEST(RandomAssignment, UnrankingCoversAllPairs) {
+  Rng rng(12);
+  const std::size_t n = 7;
+  const auto a = generate_random_assignment(n, math::pair_count(n), rng);
+  EXPECT_EQ(a.graph.edge_count(), math::pair_count(n));
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      EXPECT_TRUE(a.graph.has_edge(i, j));
+    }
+  }
+}
+
+TEST(AllPairsAssignment, IsCompleteAndRegular) {
+  const auto a = generate_all_pairs_assignment(6);
+  EXPECT_EQ(a.graph.edge_count(), 15u);
+  EXPECT_TRUE(a.stats.strictly_regular);
+  EXPECT_EQ(a.stats.min_degree, 5u);
+}
+
+TEST(TaskAssignment, FairnessReducesIoProbabilitySpread) {
+  // The fair generator should give every vertex the same Eq.-2 in/out-node
+  // probability up to one degree unit; the random baseline typically not.
+  Rng rng(13);
+  const auto fair = generate_task_assignment(40, 80, rng);
+  const auto random = generate_random_assignment(40, 80, rng);
+  const auto spread = [](const TaskGraph& g) {
+    double lo = 2.0;
+    double hi = 0.0;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const double p = io_node_probability(g.degree(v));
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    return hi - lo;
+  };
+  EXPECT_LE(spread(fair.graph), spread(random.graph) + 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdrank

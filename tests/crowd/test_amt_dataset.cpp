@@ -1,0 +1,119 @@
+// Unit tests for the synthetic AMT smile-ranking dataset (§VI-A3
+// substitute; DESIGN.md substitution #2).
+#include "crowd/amt_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(AmtDataset, SelectsRequestedImageCount) {
+  Rng rng(1);
+  const AmtSmileDataset ds({.num_images = 10}, rng);
+  EXPECT_EQ(ds.num_images(), 10u);
+  Rng rng2(2);
+  const AmtSmileDataset ds20({.num_images = 20}, rng2);
+  EXPECT_EQ(ds20.num_images(), 20u);
+}
+
+TEST(AmtDataset, AdjacentRankGapsRespectPaperBound) {
+  Rng rng(3);
+  const AmtSmileDataset ds({.num_images = 20, .max_adjacent_gap = 46}, rng);
+  const auto& pos = ds.universe_positions();
+  ASSERT_EQ(pos.size(), 20u);
+  for (std::size_t k = 1; k < pos.size(); ++k) {
+    EXPECT_GT(pos[k], pos[k - 1]);
+    EXPECT_LE(pos[k] - pos[k - 1], 46u);
+  }
+  EXPECT_LT(pos.back(), 1800u);
+}
+
+TEST(AmtDataset, MachineRankingOrdersByLatentScore) {
+  Rng rng(4);
+  const AmtSmileDataset ds({.num_images = 10}, rng);
+  const Ranking& mr = ds.machine_ranking();
+  for (std::size_t p = 0; p + 1 < mr.size(); ++p) {
+    EXPECT_GE(ds.latent_score(mr.object_at(p)),
+              ds.latent_score(mr.object_at(p + 1)));
+  }
+}
+
+TEST(AmtDataset, CloseScoresProduceConflictingVotes) {
+  Rng rng(5);
+  const AmtSmileDataset ds({.num_images = 10, .perceptual_noise = 1.0}, rng);
+  const WorkerProfile worker{0, 0.1};
+  // Adjacent machine-rank images are close: votes should be genuinely
+  // split (the paper selected images *because* opinions conflict).
+  const VertexId a = ds.machine_ranking().object_at(4);
+  const VertexId b = ds.machine_ranking().object_at(5);
+  int votes_a = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    if (ds.answer(worker, a, b, rng).prefers_i) ++votes_a;
+  }
+  const double frac = static_cast<double>(votes_a) / trials;
+  EXPECT_GT(frac, 0.5 - 0.25);  // majority can lean either way, but
+  EXPECT_LT(frac, 1.0);         // never unanimity at this closeness
+  EXPECT_GT(frac, 0.0);
+}
+
+TEST(AmtDataset, FarApartImagesAreEasy) {
+  Rng rng(6);
+  const AmtSmileDataset ds(
+      {.num_images = 20, .max_adjacent_gap = 46, .perceptual_noise = 0.2},
+      rng);
+  const VertexId best = ds.machine_ranking().object_at(0);
+  const VertexId worst = ds.machine_ranking().object_at(19);
+  const WorkerProfile worker{0, 0.05};
+  int votes_best = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    if (ds.answer(worker, best, worst, rng).prefers_i) ++votes_best;
+  }
+  EXPECT_GT(static_cast<double>(votes_best) / trials, 0.9);
+}
+
+TEST(AmtDataset, CollectCoversAssignment) {
+  Rng rng(7);
+  const AmtSmileDataset ds({.num_images = 10}, rng);
+  std::vector<Edge> tasks;
+  for (VertexId i = 0; i < 10; ++i) {
+    for (VertexId j = i + 1; j < 10; ++j) {
+      tasks.push_back(Edge{i, j});
+    }
+  }
+  std::vector<WorkerProfile> pool;
+  for (WorkerId k = 0; k < 6; ++k) pool.push_back({k, 0.1});
+  const HitAssignment a(tasks, HitConfig{5, 3}, pool.size(), rng);
+  const VoteBatch votes = ds.collect(a, pool, rng);
+  EXPECT_EQ(votes.size(), tasks.size() * 3);
+}
+
+TEST(AmtDataset, ValidatesConfig) {
+  Rng rng(8);
+  EXPECT_THROW(AmtSmileDataset({.num_images = 1}, rng), Error);
+  EXPECT_THROW(AmtSmileDataset({.num_images = 10, .max_adjacent_gap = 0},
+                               rng),
+               Error);
+  EXPECT_THROW(AmtSmileDataset({.universe_size = 50, .num_images = 10,
+                                .max_adjacent_gap = 46},
+                               rng),
+               Error);
+  EXPECT_THROW(
+      AmtSmileDataset({.num_images = 10, .perceptual_noise = 0.0}, rng),
+      Error);
+}
+
+TEST(AmtDataset, DeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  const AmtSmileDataset da({.num_images = 10}, a);
+  const AmtSmileDataset db({.num_images = 10}, b);
+  EXPECT_EQ(da.universe_positions(), db.universe_positions());
+  EXPECT_EQ(da.machine_ranking(), db.machine_ranking());
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,80 @@
+// Unit tests for the behavioral crowd personas.
+#include "crowd/behaviors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+SimulatedCrowd make_base(std::size_t n, std::size_t workers) {
+  std::vector<WorkerProfile> pool;
+  for (WorkerId k = 0; k < workers; ++k) {
+    pool.push_back(WorkerProfile{k, 0.0});  // perfect when honest
+  }
+  return SimulatedCrowd(Ranking::identity(n), std::move(pool));
+}
+
+TEST(Behaviors, HonestDelegatesToBase) {
+  const auto base = make_base(5, 3);
+  const BehavioralCrowd crowd(base, {});
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_TRUE(crowd.answer(0, 0, 4, rng).prefers_i);
+  }
+  EXPECT_EQ(crowd.behavior(0), WorkerBehavior::Honest);
+  EXPECT_DOUBLE_EQ(crowd.contamination_rate(), 0.0);
+}
+
+TEST(Behaviors, AdversaryInvertsTruth) {
+  const auto base = make_base(5, 3);
+  const BehavioralCrowd crowd(base, {{1, WorkerBehavior::Adversary}});
+  Rng rng(2);
+  EXPECT_FALSE(crowd.answer(1, 0, 4, rng).prefers_i);
+  EXPECT_TRUE(crowd.answer(1, 4, 0, rng).prefers_i);
+  EXPECT_NEAR(crowd.contamination_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Behaviors, SpammerIsUniform) {
+  const auto base = make_base(4, 2);
+  const BehavioralCrowd crowd(base, {{0, WorkerBehavior::Spammer}});
+  Rng rng(3);
+  int yes = 0;
+  const int trials = 10000;
+  for (int t = 0; t < trials; ++t) {
+    if (crowd.answer(0, 0, 1, rng).prefers_i) ++yes;
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / trials, 0.5, 0.03);
+}
+
+TEST(Behaviors, BiasedPersonas) {
+  const auto base = make_base(6, 2);
+  const BehavioralCrowd crowd(base, {{0, WorkerBehavior::FirstBiased},
+                                     {1, WorkerBehavior::LowIdBiased}});
+  Rng rng(4);
+  // FirstBiased always prefers the first-presented object.
+  EXPECT_TRUE(crowd.answer(0, 5, 1, rng).prefers_i);
+  EXPECT_TRUE(crowd.answer(0, 1, 5, rng).prefers_i);
+  // LowIdBiased prefers the smaller id regardless of presentation.
+  EXPECT_FALSE(crowd.answer(1, 5, 1, rng).prefers_i);
+  EXPECT_TRUE(crowd.answer(1, 1, 5, rng).prefers_i);
+}
+
+TEST(Behaviors, CollectMatchesAssignmentShape) {
+  const auto base = make_base(8, 4);
+  const BehavioralCrowd crowd(base, {{2, WorkerBehavior::Spammer}});
+  std::vector<Edge> tasks{{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  Rng rng(5);
+  const HitAssignment assignment(tasks, HitConfig{2, 3}, 4, rng);
+  const VoteBatch votes = crowd.collect(assignment, rng);
+  EXPECT_EQ(votes.size(), assignment.total_answer_count());
+}
+
+TEST(Behaviors, RejectsUnknownWorkerOverride) {
+  const auto base = make_base(4, 2);
+  EXPECT_THROW(BehavioralCrowd(base, {{9, WorkerBehavior::Spammer}}), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

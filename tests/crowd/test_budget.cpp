@@ -1,0 +1,96 @@
+// Unit tests for the budget model (paper §II: l = floor(B / (w r))).
+#include "crowd/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Budget, UniqueTaskCountFormula) {
+  // B = 10, r = 0.025, w = 4 -> l = floor(10 / 0.1) = 100.
+  const BudgetModel b(10.0, 0.025, 4);
+  EXPECT_EQ(b.unique_task_count(), 100u);
+  EXPECT_DOUBLE_EQ(b.total_cost(), 10.0);
+}
+
+TEST(Budget, FlooringDropsPartialTasks) {
+  // B = 1, r = 0.3, w = 1 -> l = floor(3.33) = 3, cost 0.9 <= 1.
+  const BudgetModel b(1.0, 0.3, 1);
+  EXPECT_EQ(b.unique_task_count(), 3u);
+  EXPECT_NEAR(b.total_cost(), 0.9, 1e-12);
+  EXPECT_LE(b.total_cost(), b.budget());
+}
+
+TEST(Budget, ValidatesArguments) {
+  EXPECT_THROW(BudgetModel(0.0, 0.1, 1), Error);
+  EXPECT_THROW(BudgetModel(1.0, 0.0, 1), Error);
+  EXPECT_THROW(BudgetModel(1.0, 0.1, 0), Error);
+}
+
+TEST(Budget, ForUniqueTasksRoundTrips) {
+  const BudgetModel b = BudgetModel::for_unique_tasks(123, 0.025, 5);
+  EXPECT_EQ(b.unique_task_count(), 123u);
+  EXPECT_EQ(b.workers_per_task(), 5u);
+  EXPECT_DOUBLE_EQ(b.reward_per_comparison(), 0.025);
+}
+
+TEST(Budget, SelectionRatioMatchesPaperExamples) {
+  // n = 100, r = 0.1 -> l = 495 of C(100,2) = 4950.
+  const BudgetModel b = BudgetModel::for_selection_ratio(100, 0.1, 0.025, 3);
+  EXPECT_EQ(b.unique_task_count(), 495u);
+  EXPECT_NEAR(b.selection_ratio(100), 0.1, 1e-9);
+}
+
+TEST(Budget, SelectionRatioOneIsAllPairs) {
+  const BudgetModel b = BudgetModel::for_selection_ratio(50, 1.0, 0.025, 3);
+  EXPECT_EQ(b.unique_task_count(), math::pair_count(50));
+}
+
+TEST(Budget, SelectionRatioClampedToSpanningMinimum) {
+  // Tiny ratio still yields at least n-1 comparisons (connectivity floor).
+  const BudgetModel b = BudgetModel::for_selection_ratio(100, 0.001, 0.025,
+                                                         3);
+  EXPECT_EQ(b.unique_task_count(), 99u);
+}
+
+TEST(Budget, SelectionRatioValidation) {
+  EXPECT_THROW(BudgetModel::for_selection_ratio(100, 0.0, 0.025, 3), Error);
+  EXPECT_THROW(BudgetModel::for_selection_ratio(100, 1.5, 0.025, 3), Error);
+  EXPECT_THROW(BudgetModel::for_selection_ratio(1, 0.5, 0.025, 3), Error);
+}
+
+TEST(Budget, PlatformFeeShrinksAffordableTasks) {
+  // $10 at $0.025 x 4 workers: 100 tasks fee-free, 80 at a 25% commission.
+  const BudgetModel free(10.0, 0.025, 4, 0.0);
+  const BudgetModel amt(10.0, 0.025, 4, 0.25);
+  EXPECT_EQ(free.unique_task_count(), 100u);
+  EXPECT_EQ(amt.unique_task_count(), 80u);
+  EXPECT_DOUBLE_EQ(amt.cost_per_answer(), 0.03125);
+  EXPECT_NEAR(amt.total_cost(), 10.0, 1e-9);
+  EXPECT_NEAR(amt.total_fees(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(free.total_fees(), 0.0);
+}
+
+TEST(Budget, FeeAwareFactoriesRoundTrip) {
+  const BudgetModel b = BudgetModel::for_unique_tasks(50, 0.025, 3, 0.2);
+  EXPECT_EQ(b.unique_task_count(), 50u);
+  EXPECT_DOUBLE_EQ(b.platform_fee_rate(), 0.2);
+  const BudgetModel r =
+      BudgetModel::for_selection_ratio(20, 0.5, 0.025, 3, 0.2);
+  EXPECT_EQ(r.unique_task_count(), 95u);
+  EXPECT_THROW(BudgetModel(1.0, 0.1, 1, -0.1), Error);
+}
+
+TEST(Budget, PaperAmtConfiguration) {
+  // §VI-A3: $0.025 per comparison, w workers per HIT; verify l scales
+  // inversely with w at fixed budget.
+  const BudgetModel w100(100.0, 0.025, 100);
+  const BudgetModel w200(100.0, 0.025, 200);
+  EXPECT_EQ(w100.unique_task_count(), 2 * w200.unique_task_count());
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,91 @@
+// Unit tests for HIT construction and assignment (paper §II).
+#include "crowd/hit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+std::vector<Edge> chain_tasks(std::size_t n) {
+  std::vector<Edge> tasks;
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    tasks.push_back(Edge::canonical(i, i + 1));
+  }
+  return tasks;
+}
+
+TEST(Hit, PacksComparisonsPerHit) {
+  Rng rng(1);
+  const auto tasks = chain_tasks(8);  // 7 tasks
+  const HitAssignment a(tasks, HitConfig{3, 2}, 10, rng);
+  ASSERT_EQ(a.hits().size(), 3u);  // 3 + 3 + 1
+  EXPECT_EQ(a.hits()[0].comparisons.size(), 3u);
+  EXPECT_EQ(a.hits()[2].comparisons.size(), 1u);
+  EXPECT_EQ(a.unique_task_count(), 7u);
+}
+
+TEST(Hit, EveryTaskGetsExactlyWDistinctWorkers) {
+  Rng rng(2);
+  const auto tasks = chain_tasks(20);
+  const HitAssignment a(tasks, HitConfig{4, 5}, 12, rng);
+  for (std::size_t t = 0; t < a.unique_task_count(); ++t) {
+    const auto& workers = a.workers_for_task(t);
+    EXPECT_EQ(workers.size(), 5u);
+    const std::set<WorkerId> unique(workers.begin(), workers.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (const WorkerId k : unique) {
+      EXPECT_LT(k, 12u);
+    }
+  }
+  EXPECT_EQ(a.total_answer_count(), 19u * 5u);
+}
+
+TEST(Hit, WorkerTaskIndexIsConsistent) {
+  Rng rng(3);
+  const auto tasks = chain_tasks(15);
+  const HitAssignment a(tasks, HitConfig{2, 3}, 8, rng);
+  // Forward and reverse indexes must agree.
+  for (std::size_t t = 0; t < a.unique_task_count(); ++t) {
+    for (const WorkerId k : a.workers_for_task(t)) {
+      const auto& wt = a.tasks_for_worker(k);
+      EXPECT_NE(std::find(wt.begin(), wt.end(), t), wt.end());
+    }
+  }
+  std::size_t total = 0;
+  for (WorkerId k = 0; k < 8; ++k) {
+    total += a.tasks_for_worker(k).size();
+  }
+  EXPECT_EQ(total, a.total_answer_count());
+}
+
+TEST(Hit, TasksInsideOneHitShareWorkers) {
+  Rng rng(4);
+  const auto tasks = chain_tasks(7);  // 6 tasks -> 2 HITs of 3
+  const HitAssignment a(tasks, HitConfig{3, 2}, 10, rng);
+  EXPECT_EQ(a.workers_for_task(0), a.workers_for_task(1));
+  EXPECT_EQ(a.workers_for_task(1), a.workers_for_task(2));
+}
+
+TEST(Hit, ValidatesConfiguration) {
+  Rng rng(5);
+  const auto tasks = chain_tasks(5);
+  EXPECT_THROW(HitAssignment({}, HitConfig{1, 1}, 5, rng), Error);
+  EXPECT_THROW(HitAssignment(tasks, HitConfig{0, 1}, 5, rng), Error);
+  EXPECT_THROW(HitAssignment(tasks, HitConfig{1, 0}, 5, rng), Error);
+  EXPECT_THROW(HitAssignment(tasks, HitConfig{1, 6}, 5, rng), Error);  // w > m
+}
+
+TEST(Hit, IndexBoundsChecked) {
+  Rng rng(6);
+  const auto tasks = chain_tasks(4);
+  const HitAssignment a(tasks, HitConfig{1, 2}, 5, rng);
+  EXPECT_THROW(a.workers_for_task(99), Error);
+  EXPECT_THROW(a.tasks_for_worker(99), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,73 @@
+// Unit tests for the budget-metered interactive oracle (§VI-B baselines).
+#include "crowd/interactive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crowdrank {
+namespace {
+
+SimulatedCrowd make_crowd(std::size_t n, std::size_t workers) {
+  std::vector<WorkerProfile> pool;
+  for (WorkerId k = 0; k < workers; ++k) {
+    pool.push_back(WorkerProfile{k, 0.0});
+  }
+  return SimulatedCrowd(Ranking::identity(n), std::move(pool));
+}
+
+TEST(Interactive, ChargesPerAnswer) {
+  const auto crowd = make_crowd(5, 3);
+  Rng rng(1);
+  const BudgetModel budget(1.0, 0.25, 1);  // 4 answers affordable
+  InteractiveCrowd oracle(crowd, budget, rng);
+  EXPECT_EQ(oracle.remaining_answers(), 4u);
+  EXPECT_TRUE(oracle.query(0, 0, 1).has_value());
+  EXPECT_EQ(oracle.remaining_answers(), 3u);
+  EXPECT_NEAR(oracle.remaining_budget(), 0.75, 1e-12);
+}
+
+TEST(Interactive, RefusesWhenBroke) {
+  const auto crowd = make_crowd(5, 2);
+  Rng rng(2);
+  const BudgetModel budget(0.5, 0.25, 1);  // 2 answers
+  InteractiveCrowd oracle(crowd, budget, rng);
+  EXPECT_TRUE(oracle.query(0, 0, 1).has_value());
+  EXPECT_TRUE(oracle.query(1, 1, 2).has_value());
+  EXPECT_FALSE(oracle.can_query());
+  EXPECT_FALSE(oracle.query(0, 2, 3).has_value());
+  EXPECT_EQ(oracle.answers_purchased(), 2u);
+}
+
+TEST(Interactive, RandomWorkerQueriesStayInPool) {
+  const auto crowd = make_crowd(4, 5);
+  Rng rng(3);
+  const BudgetModel budget(10.0, 0.1, 1);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto vote = oracle.query_random_worker(0, 1);
+    ASSERT_TRUE(vote.has_value());
+    EXPECT_LT(vote->worker, 5u);
+  }
+}
+
+TEST(Interactive, AnswersReflectCrowdTruth) {
+  const auto crowd = make_crowd(3, 1);  // perfect worker, truth = identity
+  Rng rng(4);
+  const BudgetModel budget(1.0, 0.1, 1);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  const auto vote = oracle.query(0, 0, 2);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_TRUE(vote->prefers_i);  // 0 ranked above 2
+}
+
+TEST(Interactive, BudgetParityWithNonInteractiveSetting) {
+  // An interactive baseline given budget B must afford exactly
+  // l * w answers (same dollars as the non-interactive pipeline).
+  const auto crowd = make_crowd(10, 4);
+  Rng rng(5);
+  const BudgetModel budget = BudgetModel::for_unique_tasks(30, 0.025, 4);
+  InteractiveCrowd oracle(crowd, budget, rng);
+  EXPECT_EQ(oracle.remaining_answers(), 30u * 4u);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,117 @@
+// Unit tests for the non-interactive crowd simulator (paper §VI-A4).
+#include "crowd/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+std::vector<WorkerProfile> fixed_pool(std::initializer_list<double> sigmas) {
+  std::vector<WorkerProfile> pool;
+  WorkerId id = 0;
+  for (const double s : sigmas) {
+    pool.push_back(WorkerProfile{id++, s});
+  }
+  return pool;
+}
+
+TEST(Simulator, PerfectWorkerAlwaysAgreesWithTruth) {
+  const Ranking truth({2, 0, 1});  // object 2 best, then 0, then 1
+  const SimulatedCrowd crowd(truth, fixed_pool({0.0}));
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vote v = crowd.answer(0, 2, 1, rng);
+    EXPECT_TRUE(v.prefers_i);  // 2 is ranked above 1
+    const Vote u = crowd.answer(0, 1, 2, rng);
+    EXPECT_FALSE(u.prefers_i);
+  }
+}
+
+TEST(Simulator, ErrorProbabilityZeroForPerfectWorker) {
+  const Ranking truth = Ranking::identity(3);
+  const SimulatedCrowd crowd(truth, fixed_pool({0.0}));
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(
+      crowd.sample_error_probability(crowd.workers()[0], rng), 0.0);
+}
+
+TEST(Simulator, NoisyWorkerFlipRateScalesWithSigma) {
+  const std::size_t n = 2;
+  const Ranking truth = Ranking::identity(n);
+  const auto flip_rate = [&](double sigma) {
+    const SimulatedCrowd crowd(truth, fixed_pool({sigma}));
+    Rng rng(42);
+    int wrong = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+      if (!crowd.answer(0, 0, 1, rng).prefers_i) ++wrong;
+    }
+    return static_cast<double>(wrong) / trials;
+  };
+  const double low = flip_rate(0.05);
+  const double mid = flip_rate(0.3);
+  const double high = flip_rate(1.0);
+  EXPECT_LT(low, 0.1);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  // E[clamp(|N(0,sigma^2)|,0,1)] for sigma=0.05 ~= 0.04.
+  EXPECT_NEAR(low, 0.04, 0.01);
+}
+
+TEST(Simulator, CollectAnswersEveryAssignedTask) {
+  const std::size_t n = 6;
+  const Ranking truth = Ranking::identity(n);
+  const auto pool = fixed_pool({0.0, 0.1, 0.2, 0.0});
+  const SimulatedCrowd crowd(truth, pool);
+  std::vector<Edge> tasks;
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    tasks.push_back(Edge::canonical(i, i + 1));
+  }
+  Rng rng(3);
+  const HitAssignment a(tasks, HitConfig{2, 3}, pool.size(), rng);
+  const VoteBatch votes = crowd.collect(a, rng);
+  EXPECT_EQ(votes.size(), a.total_answer_count());
+  for (const Vote& v : votes) {
+    EXPECT_LT(v.worker, pool.size());
+    EXPECT_NE(v.i, v.j);
+    EXPECT_LT(v.i, n);
+    EXPECT_LT(v.j, n);
+  }
+}
+
+TEST(Simulator, ValidatesConstruction) {
+  const Ranking truth = Ranking::identity(3);
+  EXPECT_THROW(SimulatedCrowd(truth, {}), Error);
+  // Non-contiguous ids.
+  std::vector<WorkerProfile> bad{{1, 0.1}};
+  EXPECT_THROW(SimulatedCrowd(truth, bad), Error);
+  std::vector<WorkerProfile> neg{{0, -0.1}};
+  EXPECT_THROW(SimulatedCrowd(truth, neg), Error);
+}
+
+TEST(Simulator, AnswerValidatesArguments) {
+  const Ranking truth = Ranking::identity(3);
+  const SimulatedCrowd crowd(truth, fixed_pool({0.1}));
+  Rng rng(4);
+  EXPECT_THROW(crowd.answer(5, 0, 1, rng), Error);
+  EXPECT_THROW(crowd.answer(0, 1, 1, rng), Error);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const Ranking truth = Ranking::identity(10);
+  const auto pool = fixed_pool({0.3, 0.3, 0.3});
+  const SimulatedCrowd crowd(truth, pool);
+  std::vector<Edge> tasks{Edge{0, 1}, Edge{2, 3}, Edge{4, 5}};
+  Rng rng_a(7);
+  const HitAssignment aa(tasks, HitConfig{1, 2}, 3, rng_a);
+  const VoteBatch va = crowd.collect(aa, rng_a);
+  Rng rng_b(7);
+  const HitAssignment ab(tasks, HitConfig{1, 2}, 3, rng_b);
+  const VoteBatch vb = crowd.collect(ab, rng_b);
+  EXPECT_EQ(va, vb);
+}
+
+}  // namespace
+}  // namespace crowdrank

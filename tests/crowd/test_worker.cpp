@@ -1,0 +1,75 @@
+// Unit tests for the worker model (paper §VI-A4).
+#include "crowd/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Worker, GaussianSigmaLevels) {
+  EXPECT_DOUBLE_EQ(gaussian_sigma_s(QualityLevel::High), 0.01);
+  EXPECT_DOUBLE_EQ(gaussian_sigma_s(QualityLevel::Medium), 0.1);
+  EXPECT_DOUBLE_EQ(gaussian_sigma_s(QualityLevel::Low), 1.0);
+}
+
+TEST(Worker, UniformSigmaRanges) {
+  EXPECT_EQ(uniform_sigma_range(QualityLevel::High),
+            (std::pair<double, double>{0.0, 0.2}));
+  EXPECT_EQ(uniform_sigma_range(QualityLevel::Medium),
+            (std::pair<double, double>{0.1, 0.3}));
+  EXPECT_EQ(uniform_sigma_range(QualityLevel::Low),
+            (std::pair<double, double>{0.2, 0.4}));
+}
+
+TEST(Worker, PoolHasContiguousIdsAndNonNegativeSigma) {
+  Rng rng(1);
+  const auto pool = sample_worker_pool(
+      50, {QualityDistribution::Gaussian, QualityLevel::Medium}, rng);
+  ASSERT_EQ(pool.size(), 50u);
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    EXPECT_EQ(pool[k].id, k);
+    EXPECT_GE(pool[k].sigma, 0.0);
+  }
+}
+
+TEST(Worker, UniformPoolRespectsRange) {
+  Rng rng(2);
+  const auto pool = sample_worker_pool(
+      200, {QualityDistribution::Uniform, QualityLevel::Low}, rng);
+  for (const auto& w : pool) {
+    EXPECT_GE(w.sigma, 0.2);
+    EXPECT_LT(w.sigma, 0.4);
+  }
+}
+
+TEST(Worker, HigherQualityLevelGivesSmallerSigmas) {
+  Rng rng(3);
+  const auto mean_sigma = [&](QualityLevel level) {
+    Rng local(42);
+    const auto pool = sample_worker_pool(
+        500, {QualityDistribution::Gaussian, level}, local);
+    double sum = 0.0;
+    for (const auto& w : pool) sum += w.sigma;
+    return sum / static_cast<double>(pool.size());
+  };
+  EXPECT_LT(mean_sigma(QualityLevel::High), mean_sigma(QualityLevel::Medium));
+  EXPECT_LT(mean_sigma(QualityLevel::Medium), mean_sigma(QualityLevel::Low));
+}
+
+TEST(Worker, EmptyPoolRejected) {
+  Rng rng(4);
+  EXPECT_THROW(sample_worker_pool(0, {}, rng), Error);
+}
+
+TEST(Worker, ToStringNames) {
+  EXPECT_EQ(to_string(QualityDistribution::Gaussian), "Gaussian");
+  EXPECT_EQ(to_string(QualityDistribution::Uniform), "Uniform");
+  EXPECT_EQ(to_string(QualityLevel::High), "high");
+  EXPECT_EQ(to_string(QualityLevel::Medium), "medium");
+  EXPECT_EQ(to_string(QualityLevel::Low), "low");
+}
+
+}  // namespace
+}  // namespace crowdrank

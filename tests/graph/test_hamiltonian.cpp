@@ -1,0 +1,152 @@
+// Unit + property tests for Hamiltonian-path utilities (§III, §V-D).
+#include "graph/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+PreferenceGraph random_digraph(std::size_t n, double edge_prob, Rng& rng) {
+  PreferenceGraph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(edge_prob)) {
+        g.set_weight(i, j, rng.uniform(0.05, 1.0));
+      }
+    }
+  }
+  return g;
+}
+
+TEST(PermutationPath, Validation) {
+  EXPECT_TRUE(is_permutation_path({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation_path({0, 1}, 3));
+  EXPECT_FALSE(is_permutation_path({0, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation_path({0, 1, 3}, 3));
+}
+
+TEST(PathProbability, ProductOfWeights) {
+  Matrix w(3, 3, 0.0);
+  w(0, 1) = 0.5;
+  w(1, 2) = 0.4;
+  EXPECT_DOUBLE_EQ(path_probability(w, {0, 1, 2}), 0.2);
+  EXPECT_DOUBLE_EQ(path_probability(w, {2, 1, 0}), 0.0);  // missing edges
+  EXPECT_DOUBLE_EQ(path_probability(w, {0}), 1.0);        // empty product
+}
+
+TEST(PathLogCost, MatchesNegLogProbability) {
+  Matrix w(3, 3, 0.0);
+  w(0, 1) = 0.5;
+  w(1, 2) = 0.4;
+  EXPECT_NEAR(path_log_cost(w, {0, 1, 2}), -std::log(0.2), 1e-12);
+  // Missing edge: huge but finite penalty.
+  EXPECT_GT(path_log_cost(w, {2, 1, 0}), 700.0);
+}
+
+TEST(HpExistence, DirectedChainAndReverse) {
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 1.0);
+  g.set_weight(1, 2, 1.0);
+  g.set_weight(2, 3, 1.0);
+  EXPECT_TRUE(has_hamiltonian_path(g));
+
+  PreferenceGraph no_hp(4);
+  no_hp.set_weight(0, 1, 1.0);
+  no_hp.set_weight(0, 2, 1.0);
+  no_hp.set_weight(0, 3, 1.0);  // star: no HP
+  EXPECT_FALSE(has_hamiltonian_path(no_hp));
+}
+
+TEST(HpExistence, UndirectedTaskGraph) {
+  TaskGraph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  EXPECT_TRUE(has_hamiltonian_path(path));
+
+  TaskGraph star(4);
+  star.add_edge(0, 1);
+  star.add_edge(0, 2);
+  star.add_edge(0, 3);
+  EXPECT_FALSE(has_hamiltonian_path(star));
+}
+
+TEST(HpExistence, MatchesEnumerationOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PreferenceGraph g = random_digraph(6, 0.3, rng);
+    const bool dp = has_hamiltonian_path(g);
+    const bool brute = !enumerate_hamiltonian_paths(g).empty();
+    EXPECT_EQ(dp, brute) << "trial " << trial;
+  }
+}
+
+TEST(Enumeration, CompleteGraphHasFactorialPaths) {
+  PreferenceGraph g(4);
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = 0; j < 4; ++j) {
+      if (i != j) g.set_weight(i, j, 0.5);
+    }
+  }
+  EXPECT_EQ(enumerate_hamiltonian_paths(g).size(), 24u);  // 4!
+}
+
+TEST(Enumeration, RejectsLargeGraphs) {
+  PreferenceGraph g(11);
+  EXPECT_THROW(enumerate_hamiltonian_paths(g), Error);
+}
+
+TEST(HeldKarp, FindsKnownOptimum) {
+  // 0 -> 1 -> 2 dominates: every edge along it has the max weight.
+  Matrix w(3, 3, 0.1);
+  for (std::size_t i = 0; i < 3; ++i) w(i, i) = 0.0;
+  w(0, 1) = 0.9;
+  w(1, 2) = 0.9;
+  const auto path = max_probability_hamiltonian_path(w);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (Path{0, 1, 2}));
+}
+
+TEST(HeldKarp, ReturnsNulloptWithoutHp) {
+  Matrix w(3, 3, 0.0);
+  w(0, 1) = 0.5;
+  w(0, 2) = 0.5;  // star
+  EXPECT_FALSE(max_probability_hamiltonian_path(w).has_value());
+}
+
+TEST(HeldKarp, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const PreferenceGraph g = random_digraph(7, 0.7, rng);
+    const auto dp = max_probability_hamiltonian_path(g.weights());
+    const auto all = enumerate_hamiltonian_paths(g);
+    if (all.empty()) {
+      EXPECT_FALSE(dp.has_value()) << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(dp.has_value()) << "trial " << trial;
+    double best = 0.0;
+    for (const Path& p : all) {
+      best = std::max(best, path_probability(g.weights(), p));
+    }
+    EXPECT_NEAR(path_probability(g.weights(), *dp), best, 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(HeldKarp, ValidatesSize) {
+  Matrix tiny(1, 1);
+  EXPECT_THROW(max_probability_hamiltonian_path(tiny), Error);
+  Matrix big(21, 21);
+  EXPECT_THROW(max_probability_hamiltonian_path(big), Error);
+  Matrix rect(3, 4);
+  EXPECT_THROW(max_probability_hamiltonian_path(rect), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

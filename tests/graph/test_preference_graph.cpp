@@ -1,0 +1,138 @@
+// Unit tests for the preference graph (paper §III, Thm 4.3 vocabulary).
+#include "graph/preference_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(PreferenceGraph, StartsEmpty) {
+  PreferenceGraph g(3);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.0);
+}
+
+TEST(PreferenceGraph, WeightsValidated) {
+  PreferenceGraph g(3);
+  EXPECT_THROW(g.set_weight(0, 0, 0.5), Error);
+  EXPECT_THROW(g.set_weight(0, 1, -0.1), Error);
+  EXPECT_THROW(g.set_weight(0, 1, 1.1), Error);
+  EXPECT_THROW(g.set_weight(0, 9, 0.5), Error);
+  g.set_weight(0, 1, 0.7);
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.7);
+  g.set_weight(0, 1, 0.0);  // removal
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(PreferenceGraph, DirectedSemantics) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.9);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(PreferenceGraph, InAndOutNodes) {
+  // Figure 1(b) shape: v2 has only incoming edges -> in-node.
+  PreferenceGraph g(4);
+  g.set_weight(0, 2, 1.0);
+  g.set_weight(1, 2, 1.0);
+  g.set_weight(3, 0, 1.0);
+  g.set_weight(3, 1, 1.0);
+  EXPECT_TRUE(g.is_in_node(2));
+  EXPECT_TRUE(g.is_out_node(3));
+  EXPECT_FALSE(g.is_in_node(0));
+  EXPECT_FALSE(g.is_out_node(0));
+  EXPECT_EQ(g.in_nodes(), std::vector<VertexId>{2});
+  EXPECT_EQ(g.out_nodes(), std::vector<VertexId>{3});
+}
+
+TEST(PreferenceGraph, IsolatedVertexIsNeither) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.6);
+  EXPECT_FALSE(g.is_in_node(2));
+  EXPECT_FALSE(g.is_out_node(2));
+}
+
+TEST(PreferenceGraph, OneEdgesDetected) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 1.0);
+  g.set_weight(1, 2, 0.8);
+  g.set_weight(2, 1, 0.2);
+  const auto ones = g.one_edges();
+  ASSERT_EQ(ones.size(), 1u);
+  EXPECT_EQ(ones[0].first, 0u);
+  EXPECT_EQ(ones[0].second, 1u);
+}
+
+TEST(PreferenceGraph, CompletenessCheck) {
+  PreferenceGraph g(3);
+  EXPECT_FALSE(g.is_complete());
+  for (VertexId i = 0; i < 3; ++i) {
+    for (VertexId j = 0; j < 3; ++j) {
+      if (i != j) g.set_weight(i, j, 0.5);
+    }
+  }
+  EXPECT_TRUE(g.is_complete());
+}
+
+TEST(PreferenceGraph, StrongConnectivity) {
+  PreferenceGraph cycle(3);
+  cycle.set_weight(0, 1, 0.9);
+  cycle.set_weight(1, 2, 0.9);
+  cycle.set_weight(2, 0, 0.9);
+  EXPECT_TRUE(cycle.is_strongly_connected());
+
+  PreferenceGraph chain(3);
+  chain.set_weight(0, 1, 0.9);
+  chain.set_weight(1, 2, 0.9);
+  EXPECT_FALSE(chain.is_strongly_connected());
+
+  // Bidirectional chain (what smoothing produces) is strongly connected.
+  chain.set_weight(1, 0, 0.1);
+  chain.set_weight(2, 1, 0.1);
+  EXPECT_TRUE(chain.is_strongly_connected());
+}
+
+TEST(PreferenceGraph, EdgeCountCountsDirectedEdges) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.6);
+  g.set_weight(1, 0, 0.4);
+  g.set_weight(1, 2, 1.0);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(PreferenceGraph, FromMatrixRoundTrip) {
+  Matrix m(3, 3, 0.0);
+  m(0, 1) = 0.8;
+  m(1, 0) = 0.2;
+  m(2, 0) = 1.0;
+  const PreferenceGraph g = PreferenceGraph::from_matrix(m);
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(g.weight(2, 0), 1.0);
+  EXPECT_LT(Matrix::max_abs_diff(g.weights(), m), 1e-15);
+}
+
+TEST(PreferenceGraph, FromMatrixValidates) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(PreferenceGraph::from_matrix(rect), Error);
+  Matrix diag(3, 3, 0.0);
+  diag(1, 1) = 0.5;
+  EXPECT_THROW(PreferenceGraph::from_matrix(diag), Error);
+  Matrix bad(3, 3, 0.0);
+  bad(0, 1) = 1.5;
+  EXPECT_THROW(PreferenceGraph::from_matrix(bad), Error);
+}
+
+TEST(PreferenceGraph, RejectsTinyGraphs) {
+  EXPECT_THROW(PreferenceGraph(1), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

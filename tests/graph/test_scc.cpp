@@ -1,0 +1,142 @@
+// Unit tests for the SCC decomposition and condensation.
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+PreferenceGraph cycle_graph(std::size_t n) {
+  PreferenceGraph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    g.set_weight(v, (v + 1) % n, 0.9);
+  }
+  return g;
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  const auto scc = strongly_connected_components(cycle_graph(5));
+  EXPECT_EQ(scc.count(), 1u);
+  EXPECT_EQ(scc.largest(), 5u);
+  EXPECT_TRUE(scc.single_component());
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 0.9);
+  g.set_weight(1, 2, 0.9);
+  g.set_weight(2, 3, 0.9);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 4u);
+  EXPECT_EQ(scc.largest(), 1u);
+  EXPECT_FALSE(scc.single_component());
+}
+
+TEST(Scc, EdgelessGraphIsSingletons) {
+  PreferenceGraph g(3);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 3u);
+}
+
+TEST(Scc, TwoCyclesJoinedByOneWayEdge) {
+  // Cycle {0,1,2} -> cycle {3,4}: two components.
+  PreferenceGraph g(5);
+  g.set_weight(0, 1, 0.9);
+  g.set_weight(1, 2, 0.9);
+  g.set_weight(2, 0, 0.9);
+  g.set_weight(3, 4, 0.9);
+  g.set_weight(4, 3, 0.9);
+  g.set_weight(2, 3, 0.9);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[4]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+  // Members are complete and disjoint.
+  std::set<VertexId> all;
+  for (const auto& comp : scc.members) {
+    for (const VertexId v : comp) {
+      EXPECT_TRUE(all.insert(v).second);
+    }
+  }
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(Scc, CondensationEdgesCrossComponents) {
+  PreferenceGraph g(5);
+  g.set_weight(0, 1, 0.9);
+  g.set_weight(1, 0, 0.9);
+  g.set_weight(2, 3, 0.9);
+  g.set_weight(3, 2, 0.9);
+  g.set_weight(1, 2, 0.9);  // crossing edge
+  g.set_weight(4, 0, 0.9);  // singleton -> first cycle
+  const auto scc = strongly_connected_components(g);
+  const auto edges = condensation_edges(g, scc);
+  EXPECT_EQ(scc.count(), 3u);
+  EXPECT_EQ(edges.size(), 2u);
+  for (const auto& [from, to] : edges) {
+    EXPECT_NE(from, to);
+  }
+}
+
+TEST(Scc, CondensationIsAcyclic) {
+  // Property: the condensation of any digraph has no 2-cycles (and by
+  // Tarjan ordering, every edge goes from higher id to lower id).
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    PreferenceGraph g(10);
+    for (VertexId i = 0; i < 10; ++i) {
+      for (VertexId j = 0; j < 10; ++j) {
+        if (i != j && rng.bernoulli(0.2)) {
+          g.set_weight(i, j, 0.5);
+        }
+      }
+    }
+    const auto scc = strongly_connected_components(g);
+    const auto edges = condensation_edges(g, scc);
+    std::set<std::pair<std::size_t, std::size_t>> edge_set(edges.begin(),
+                                                           edges.end());
+    for (const auto& [from, to] : edges) {
+      EXPECT_FALSE(edge_set.contains({to, from}))
+          << "condensation has a 2-cycle";
+      EXPECT_GT(from, to) << "Tarjan order violated";
+    }
+  }
+}
+
+TEST(Scc, AgreesWithStrongConnectivityCheck) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    PreferenceGraph g(8);
+    for (VertexId i = 0; i < 8; ++i) {
+      for (VertexId j = 0; j < 8; ++j) {
+        if (i != j && rng.bernoulli(0.3)) {
+          g.set_weight(i, j, 0.5);
+        }
+      }
+    }
+    EXPECT_EQ(strongly_connected_components(g).single_component(),
+              g.is_strongly_connected())
+        << "trial " << trial;
+  }
+}
+
+TEST(Scc, LargeGraphNoStackOverflow) {
+  // A 2000-vertex directed path stresses the iterative frame stack (the
+  // dense weight matrix caps how large this test can sensibly go).
+  const std::size_t n = 2000;
+  PreferenceGraph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    g.set_weight(v, v + 1, 0.9);
+  }
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), n);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,102 @@
+// Unit tests for the task graph (paper §III).
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(TaskGraph, StartsEmpty) {
+  TaskGraph g(4);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(TaskGraph, RejectsTinyGraphs) {
+  EXPECT_THROW(TaskGraph(0), Error);
+  EXPECT_THROW(TaskGraph(1), Error);
+}
+
+TEST(TaskGraph, AddEdgeIsUndirectedAndIdempotent) {
+  TaskGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate in reverse orientation
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(TaskGraph, RejectsSelfLoopsAndBadVertices) {
+  TaskGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+  EXPECT_THROW(g.add_edge(0, 3), Error);
+  EXPECT_THROW(g.degree(5), Error);
+  EXPECT_THROW(g.neighbors(5), Error);
+}
+
+TEST(TaskGraph, DegreesAndNeighbors) {
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(TaskGraph, TriangleIsRegularAndConnected) {
+  TaskGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(TaskGraph, EdgesAreCanonical) {
+  TaskGraph g(3);
+  g.add_edge(2, 0);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].first, 0u);
+  EXPECT_EQ(g.edges()[0].second, 2u);
+}
+
+TEST(TaskGraph, ConnectivityDetectsComponents) {
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(TaskGraph, HamiltonianPathCheck) {
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_hamiltonian_path({0, 1, 2, 3}));
+  EXPECT_TRUE(g.is_hamiltonian_path({3, 2, 1, 0}));
+  EXPECT_FALSE(g.is_hamiltonian_path({0, 2, 1, 3}));  // missing edges
+  EXPECT_FALSE(g.is_hamiltonian_path({0, 1, 2}));     // too short
+  EXPECT_FALSE(g.is_hamiltonian_path({0, 1, 2, 2}));  // duplicate
+  EXPECT_FALSE(g.is_hamiltonian_path({0, 1, 2, 9}));  // out of range
+}
+
+TEST(EdgeType, CanonicalOrdering) {
+  const Edge e = Edge::canonical(5, 2);
+  EXPECT_EQ(e.first, 2u);
+  EXPECT_EQ(e.second, 5u);
+  EXPECT_EQ(Edge::canonical(2, 5), e);
+  EXPECT_LT(Edge::canonical(0, 1), Edge::canonical(0, 2));
+}
+
+}  // namespace
+}  // namespace crowdrank

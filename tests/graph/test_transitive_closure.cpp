@@ -1,0 +1,137 @@
+// Unit tests for reachability and indirect-preference computation (§V-C).
+#include "graph/transitive_closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Reachability, ChainClosure) {
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 0.9);
+  g.set_weight(1, 2, 0.9);
+  g.set_weight(2, 3, 0.9);
+  const auto closure = reachability_closure(g);
+  EXPECT_TRUE(closure[0][1]);
+  EXPECT_TRUE(closure[0][2]);
+  EXPECT_TRUE(closure[0][3]);
+  EXPECT_TRUE(closure[1][3]);
+  EXPECT_FALSE(closure[3][0]);
+  EXPECT_FALSE(closure[2][1]);
+}
+
+TEST(Reachability, SelfReachOnlyThroughCycles) {
+  PreferenceGraph acyclic(3);
+  acyclic.set_weight(0, 1, 0.5);
+  const auto c1 = reachability_closure(acyclic);
+  EXPECT_FALSE(c1[0][0]);
+
+  PreferenceGraph cyclic(3);
+  cyclic.set_weight(0, 1, 0.5);
+  cyclic.set_weight(1, 0, 0.5);
+  const auto c2 = reachability_closure(cyclic);
+  EXPECT_TRUE(c2[0][0]);
+  EXPECT_TRUE(c2[1][1]);
+  EXPECT_FALSE(c2[2][2]);
+}
+
+TEST(ExactIndirect, SingleTwoHopPath) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.8);
+  g.set_weight(1, 2, 0.5);
+  const Matrix ind = exact_indirect_preferences(g, 2);
+  EXPECT_DOUBLE_EQ(ind(0, 2), 0.4);  // 0.8 * 0.5
+  EXPECT_DOUBLE_EQ(ind(0, 1), 0.0);  // direct edges excluded
+  EXPECT_DOUBLE_EQ(ind(2, 0), 0.0);
+}
+
+TEST(ExactIndirect, MultiplePathsSumEqually) {
+  // Two disjoint 2-hop paths from 0 to 3: via 1 and via 2.
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 0.5);
+  g.set_weight(1, 3, 0.5);
+  g.set_weight(0, 2, 0.4);
+  g.set_weight(2, 3, 0.4);
+  const Matrix ind = exact_indirect_preferences(g, 3);
+  EXPECT_NEAR(ind(0, 3), 0.5 * 0.5 + 0.4 * 0.4, 1e-12);
+}
+
+TEST(ExactIndirect, RespectsMaxLength) {
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 0.9);
+  g.set_weight(1, 2, 0.9);
+  g.set_weight(2, 3, 0.9);
+  const Matrix two = exact_indirect_preferences(g, 2);
+  EXPECT_DOUBLE_EQ(two(0, 3), 0.0);  // needs 3 hops
+  const Matrix three = exact_indirect_preferences(g, 3);
+  EXPECT_NEAR(three(0, 3), 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(ExactIndirect, SimplePathsOnlyNoRevisits) {
+  // 0 <-> 1 cycle plus 1 -> 2: the walk 0->1->0->1->2 must NOT count.
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.5);
+  g.set_weight(1, 0, 0.5);
+  g.set_weight(1, 2, 0.5);
+  const Matrix ind = exact_indirect_preferences(g, 2);
+  EXPECT_DOUBLE_EQ(ind(0, 2), 0.25);  // only 0->1->2
+  const Matrix longer = exact_indirect_preferences(g, 3);
+  EXPECT_DOUBLE_EQ(longer(0, 2), 0.25);  // no extra simple paths exist
+}
+
+TEST(ExactIndirect, ValidatesMaxLength) {
+  PreferenceGraph g(3);
+  EXPECT_THROW(exact_indirect_preferences(g, 1), Error);
+}
+
+TEST(WalkIndirect, MatchesExactOnAcyclicGraphs) {
+  // On a DAG every walk is a simple path, so the two definitions agree.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 6;
+    PreferenceGraph g(n);
+    // DAG edges only from lower to higher id.
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(0.6)) {
+          g.set_weight(i, j, rng.uniform(0.1, 0.9));
+        }
+      }
+    }
+    const Matrix exact = exact_indirect_preferences(g, n - 1);
+    const Matrix walk = walk_indirect_preferences(g.weights(), n - 1);
+    EXPECT_LT(Matrix::max_abs_diff(exact, walk), 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(WalkIndirect, OverestimatesOnCyclicGraphsButStaysClose) {
+  // With cycles, walks revisit vertices: walk >= exact entrywise, and the
+  // surplus decays with the product of sub-1 weights.
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.6);
+  g.set_weight(1, 0, 0.4);
+  g.set_weight(1, 2, 0.7);
+  const Matrix exact = exact_indirect_preferences(g, 2);
+  const Matrix walk = walk_indirect_preferences(g.weights(), 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(walk(i, j) + 1e-15, exact(i, j));
+    }
+  }
+  // Length-2 walks from 0: 0->1->0 (revisit, lands on diagonal) and
+  // 0->1->2 (simple). Off-diagonal length-2 entries agree.
+  EXPECT_NEAR(walk(0, 2), exact(0, 2), 1e-12);
+}
+
+TEST(WalkIndirect, ValidatesArguments) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(walk_indirect_preferences(rect, 3), Error);
+  Matrix sq(3, 3);
+  EXPECT_THROW(walk_indirect_preferences(sq, 1), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

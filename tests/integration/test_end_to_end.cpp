@@ -1,0 +1,162 @@
+// Integration tests: the full two-step strategy against baselines and the
+// AMT-style study, on one shared simulated world per fixture.
+#include <gtest/gtest.h>
+
+#include "baselines/crowd_bt.hpp"
+#include "baselines/quicksort_rank.hpp"
+#include "baselines/repeat_choice.hpp"
+#include "core/pipeline.hpp"
+#include "crowd/amt_dataset.hpp"
+#include "crowd/interactive.hpp"
+#include "metrics/kendall.hpp"
+
+namespace crowdrank {
+namespace {
+
+/// One simulated world shared by pipeline and baselines: same truth, same
+/// workers, same assignment, same votes — apples to apples.
+struct World {
+  std::size_t n;
+  std::size_t m;
+  Ranking truth;
+  std::vector<WorkerProfile> workers;
+  TaskAssignment assignment_result;
+  std::unique_ptr<HitAssignment> assignment;
+  std::unique_ptr<SimulatedCrowd> crowd;
+  VoteBatch votes;
+
+  World(std::size_t n_, double ratio, QualityLevel level, std::uint64_t seed)
+      : n(n_), m(30), truth(Ranking::identity(1 + n_)),
+        assignment_result{TaskGraph(2), {}} {
+    Rng rng(seed);
+    auto perm = rng.permutation(n);
+    truth = Ranking(std::vector<VertexId>(perm.begin(), perm.end()));
+    workers =
+        sample_worker_pool(m, {QualityDistribution::Gaussian, level}, rng);
+    const BudgetModel budget =
+        BudgetModel::for_selection_ratio(n, ratio, 0.025, 3);
+    assignment_result =
+        generate_task_assignment(n, budget.unique_task_count(), rng);
+    std::vector<Edge> tasks(assignment_result.graph.edges().begin(),
+                            assignment_result.graph.edges().end());
+    assignment =
+        std::make_unique<HitAssignment>(tasks, HitConfig{5, 3}, m, rng);
+    crowd = std::make_unique<SimulatedCrowd>(truth, workers);
+    Rng vote_rng(seed + 1);
+    votes = crowd->collect(*assignment, vote_rng);
+  }
+};
+
+TEST(EndToEnd, PipelineBeatsHeuristicBaselinesAtHalfBudget) {
+  const World w(60, 0.5, QualityLevel::Medium, 7);
+  Rng rng(99);
+  const InferenceEngine engine;
+  const auto inferred = engine.infer(w.votes, w.n, w.m, *w.assignment, rng);
+  const double saps_acc = ranking_accuracy(w.truth, inferred.ranking);
+
+  Rng rc_rng(1);
+  const double rc_acc = ranking_accuracy(
+      w.truth, repeat_choice_from_votes(w.votes, w.n, w.m, rc_rng));
+  Rng qs_rng(2);
+  const double qs_acc =
+      ranking_accuracy(w.truth, quicksort_ranking(w.votes, w.n, qs_rng));
+
+  EXPECT_GT(saps_acc, 0.85);
+  EXPECT_GT(saps_acc, rc_acc + 0.1);
+  EXPECT_GT(saps_acc, qs_acc + 0.1);
+}
+
+TEST(EndToEnd, CrowdBtIsComparableButInteractive) {
+  const World w(40, 0.5, QualityLevel::Medium, 11);
+  Rng rng(5);
+  const InferenceEngine engine;
+  const auto inferred = engine.infer(w.votes, w.n, w.m, *w.assignment, rng);
+  const double saps_acc = ranking_accuracy(w.truth, inferred.ranking);
+
+  // CrowdBT gets the same dollars interactively.
+  const BudgetModel budget = BudgetModel::for_unique_tasks(
+      w.assignment->unique_task_count(), 0.025, 3);
+  Rng bt_rng(6);
+  InteractiveCrowd oracle(*w.crowd, budget, bt_rng);
+  CrowdBtConfig config;
+  config.candidate_sample_size = 200;
+  const auto bt = crowd_bt_interactive(oracle, w.n, w.m, config, bt_rng);
+  const double bt_acc = ranking_accuracy(w.truth, bt.ranking);
+
+  // Table-I shape: both are strong; neither collapses.
+  EXPECT_GT(saps_acc, 0.8);
+  EXPECT_GT(bt_acc, 0.7);
+}
+
+TEST(EndToEnd, AmtStudyTapsVersusSaps) {
+  // §VI-D: no ground truth; report TAPS-vs-SAPS agreement instead.
+  Rng rng(21);
+  const AmtSmileDataset ds({.num_images = 10}, rng);
+  const std::size_t n = ds.num_images();
+  auto workers = sample_worker_pool(
+      100, {QualityDistribution::Uniform, QualityLevel::Medium}, rng);
+  const auto assignment_result = generate_all_pairs_assignment(n);
+  std::vector<Edge> tasks(assignment_result.graph.edges().begin(),
+                          assignment_result.graph.edges().end());
+  const HitAssignment assignment(tasks, HitConfig{5, 25}, 100, rng);
+  const VoteBatch votes = ds.collect(assignment, workers, rng);
+
+  InferenceConfig config;
+  config.search = RankSearchMethod::Taps;
+  const InferenceEngine taps_engine(config);
+  Rng taps_rng(1);
+  const auto taps = taps_engine.infer(votes, n, 100, assignment, taps_rng);
+
+  config.search = RankSearchMethod::Saps;
+  config.saps.iterations = 4000;
+  const InferenceEngine saps_engine(config);
+  Rng saps_rng(1);
+  const auto saps = saps_engine.infer(votes, n, 100, assignment, saps_rng);
+
+  // "For most cases, SAPS generates the same ranking result as TAPS."
+  const double agreement =
+      ranking_accuracy(taps.ranking, saps.ranking);
+  EXPECT_GT(agreement, 0.9);
+  // SAPS can never report a better probability than the exact optimum.
+  EXPECT_LE(saps.log_probability, taps.log_probability + 1e-9);
+}
+
+TEST(EndToEnd, NonInteractiveIsOneShot) {
+  // The entire pipeline consumes exactly the votes of one collection round
+  // — no part of inference may query the crowd again. (Compile-time-ish
+  // guarantee: InferenceEngine::infer takes a const VoteBatch; this test
+  // documents the budget arithmetic end to end.)
+  const World w(30, 0.25, QualityLevel::High, 13);
+  const std::size_t expected_answers =
+      w.assignment->unique_task_count() * 3;
+  EXPECT_EQ(w.votes.size(), expected_answers);
+  const BudgetModel budget = BudgetModel::for_unique_tasks(
+      w.assignment->unique_task_count(), 0.025, 3);
+  EXPECT_NEAR(budget.total_cost(),
+              0.025 * 3 * static_cast<double>(
+                              w.assignment->unique_task_count()),
+              1e-9);
+}
+
+TEST(EndToEnd, AccuracyOrderingAcrossQualityLevels) {
+  double acc[3] = {0, 0, 0};
+  const QualityLevel levels[3] = {QualityLevel::High, QualityLevel::Medium,
+                                  QualityLevel::Low};
+  for (int lvl = 0; lvl < 3; ++lvl) {
+    for (std::uint64_t seed = 40; seed < 43; ++seed) {
+      const World w(40, 0.4, levels[lvl], seed);
+      Rng rng(seed);
+      const InferenceEngine engine;
+      const auto inferred =
+          engine.infer(w.votes, w.n, w.m, *w.assignment, rng);
+      acc[lvl] += ranking_accuracy(w.truth, inferred.ranking);
+    }
+  }
+  // Fig.-6 shape: accuracy does not improve when quality degrades.
+  EXPECT_GE(acc[0] + 0.15, acc[1]);
+  EXPECT_GE(acc[1] + 0.15, acc[2]);
+  EXPECT_GT(acc[0] / 3.0, 0.85);
+}
+
+}  // namespace
+}  // namespace crowdrank

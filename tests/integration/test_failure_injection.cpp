@@ -1,0 +1,157 @@
+// Failure-injection tests: adversarial and degenerate crowds that a
+// deployed requester will eventually meet. The system must stay
+// well-defined (valid full ranking out, no crashes) and degrade the way
+// the model predicts.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "metrics/kendall.hpp"
+
+namespace crowdrank {
+namespace {
+
+/// Builds votes for every assigned (task, worker) pair using a caller
+/// policy: policy(worker, i, j, truth_forward) -> prefers_i.
+template <typename Policy>
+VoteBatch make_votes(const HitAssignment& assignment, const Ranking& truth,
+                     Policy&& policy) {
+  VoteBatch votes;
+  const auto& tasks = assignment.tasks();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Edge& e = tasks[t];
+    const bool forward =
+        truth.position_of(e.first) < truth.position_of(e.second);
+    for (const WorkerId k : assignment.workers_for_task(t)) {
+      votes.push_back(Vote{k, e.first, e.second,
+                           policy(k, e.first, e.second, forward)});
+    }
+  }
+  return votes;
+}
+
+struct Fixture {
+  std::size_t n = 30;
+  std::size_t m = 9;
+  Ranking truth = Ranking::identity(30);
+  std::unique_ptr<HitAssignment> assignment;
+
+  Fixture() {
+    Rng rng(3);
+    auto perm = rng.permutation(n);
+    truth = Ranking(std::vector<VertexId>(perm.begin(), perm.end()));
+    const auto ta = generate_task_assignment(n, 200, rng);
+    std::vector<Edge> tasks(ta.graph.edges().begin(),
+                            ta.graph.edges().end());
+    assignment = std::make_unique<HitAssignment>(tasks, HitConfig{4, 3}, m,
+                                                 rng);
+  }
+
+  double run(const VoteBatch& votes) const {
+    Rng rng(17);
+    const InferenceEngine engine;
+    const auto result = engine.infer(votes, n, m, *assignment, rng);
+    EXPECT_EQ(result.ranking.size(), n);
+    return ranking_accuracy(truth, result.ranking);
+  }
+};
+
+TEST(FailureInjection, MinorityOfAlwaysWrongWorkersIsAbsorbed) {
+  const Fixture f;
+  // Workers 0-5 truthful, 6-8 always lie.
+  const auto votes = make_votes(*f.assignment, f.truth,
+                                [](WorkerId k, VertexId, VertexId,
+                                   bool forward) {
+                                  return k >= 6 ? !forward : forward;
+                                });
+  EXPECT_GT(f.run(votes), 0.85);
+}
+
+TEST(FailureInjection, AllWorkersAdversarialProducesReversedRanking) {
+  const Fixture f;
+  const auto votes = make_votes(
+      *f.assignment, f.truth,
+      [](WorkerId, VertexId, VertexId, bool forward) { return !forward; });
+  // Unanimous lies are indistinguishable from a reversed ground truth:
+  // the output must be strongly anti-correlated, not garbage.
+  EXPECT_LT(f.run(votes), 0.15);
+}
+
+TEST(FailureInjection, CoinFlipCrowdYieldsChanceAccuracy) {
+  const Fixture f;
+  Rng noise(5);
+  const auto votes = make_votes(*f.assignment, f.truth,
+                                [&](WorkerId, VertexId, VertexId, bool) {
+                                  return noise.bernoulli(0.5);
+                                });
+  const double acc = f.run(votes);
+  EXPECT_GT(acc, 0.25);
+  EXPECT_LT(acc, 0.75);
+}
+
+TEST(FailureInjection, SingleWorkerPerTaskStillWorks) {
+  Rng rng(7);
+  const std::size_t n = 20;
+  auto perm = rng.permutation(n);
+  const Ranking truth(std::vector<VertexId>(perm.begin(), perm.end()));
+  const auto ta = generate_task_assignment(n, 120, rng);
+  std::vector<Edge> tasks(ta.graph.edges().begin(), ta.graph.edges().end());
+  const HitAssignment assignment(tasks, HitConfig{3, 1}, 5, rng);  // w = 1
+  const auto votes = make_votes(assignment, truth,
+                                [](WorkerId, VertexId, VertexId,
+                                   bool forward) { return forward; });
+  Rng infer_rng(8);
+  const InferenceEngine engine;
+  const auto result = engine.infer(votes, n, 5, assignment, infer_rng);
+  EXPECT_GT(ranking_accuracy(truth, result.ranking), 0.9);
+}
+
+TEST(FailureInjection, DuplicateVotesFromOneWorkerAreCounted) {
+  // §II allows the same comparison to appear in multiple HITs, so a worker
+  // can legitimately answer a pair twice. The pipeline must accept it.
+  const Fixture f;
+  auto votes = make_votes(*f.assignment, f.truth,
+                          [](WorkerId, VertexId, VertexId, bool forward) {
+                            return forward;
+                          });
+  const std::size_t original = votes.size();
+  votes.insert(votes.end(), votes.begin(), votes.begin() + 50);
+  EXPECT_EQ(votes.size(), original + 50);
+  EXPECT_GT(f.run(votes), 0.9);
+}
+
+TEST(FailureInjection, ContrariansOnOneRegionOnly) {
+  const Fixture f;
+  // Everybody truthful except on pairs touching objects 0-4, where
+  // workers 6-8 lie: local damage must stay local-ish.
+  const auto votes = make_votes(
+      *f.assignment, f.truth,
+      [](WorkerId k, VertexId i, VertexId j, bool forward) {
+        const bool targeted = (i < 5 || j < 5) && k >= 6;
+        return targeted ? !forward : forward;
+      });
+  EXPECT_GT(f.run(votes), 0.8);
+}
+
+TEST(FailureInjection, LazyWorkerWithOneVote) {
+  // A worker who appears exactly once must not destabilize quality
+  // estimation (their chi2 dof is 1).
+  const Fixture f;
+  auto votes = make_votes(*f.assignment, f.truth,
+                          [](WorkerId, VertexId, VertexId, bool forward) {
+                            return forward;
+                          });
+  // Worker id m-1 = 8 replaced by a single extra vote from a lazy worker
+  // is not expressible through the assignment; instead just verify a
+  // one-vote worker id appearing in the batch is handled: reuse worker 8
+  // but check the quality vector is well-formed after inference.
+  Rng rng(19);
+  const InferenceEngine engine;
+  const auto result = engine.infer(votes, f.n, f.m, *f.assignment, rng);
+  for (const double q : result.step1.worker_quality) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,236 @@
+// End-to-end tests of the CLI subcommands through run_cli().
+#include "io/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/records.hpp"
+#include "metrics/kendall.hpp"
+
+namespace crowdrank::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch dir per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("crowdrank_cli_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+int run(std::initializer_list<std::string> args, std::string* out_text,
+        std::string* err_text = nullptr) {
+  std::vector<std::string> argv{"crowdrank"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(argv, out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"help"}, &out, &err), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+  std::ostringstream so;
+  std::ostringstream se;
+  EXPECT_EQ(run_cli({"crowdrank"}, so, se), 1);  // no subcommand
+}
+
+TEST(Cli, AssignWritesTasks) {
+  const TempDir dir;
+  std::string out;
+  const int code = run({"assign", "--objects", "12", "--ratio", "0.5",
+                        "--tasks-out", dir.file("tasks.csv")},
+                       &out);
+  EXPECT_EQ(code, 0);
+  const auto tasks = load_tasks(dir.file("tasks.csv"));
+  EXPECT_EQ(tasks.size(), 33u);  // 0.5 * C(12,2)
+  EXPECT_NE(out.find("comparisons 33"), std::string::npos);
+}
+
+TEST(Cli, AssignAcceptsDollarBudget) {
+  const TempDir dir;
+  std::string out;
+  // $3 at $0.025 x 3 workers buys 40 comparisons.
+  const int code = run({"assign", "--objects", "12", "--budget", "3",
+                        "--tasks-out", dir.file("tasks.csv")},
+                       &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(load_tasks(dir.file("tasks.csv")).size(), 40u);
+}
+
+TEST(Cli, SimulateInferEvalPipeline) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "25", "--ratio", "0.4", "--seed",
+                 "11", "--quality", "high", "--votes-out",
+                 dir.file("votes.csv"), "--truth-out",
+                 dir.file("truth.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"),
+                 "--ranking-out", dir.file("ranking.csv"), "--seed", "2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("inferred full ranking of 25 objects"),
+            std::string::npos);
+
+  std::string eval_out;
+  ASSERT_EQ(run({"eval", "--reference", dir.file("truth.csv"), "--ranking",
+                 dir.file("ranking.csv"), "--k", "5"},
+                &eval_out),
+            0);
+  EXPECT_NE(eval_out.find("accuracy"), std::string::npos);
+  EXPECT_NE(eval_out.find("top-5"), std::string::npos);
+
+  // The written artifacts must agree with in-process evaluation.
+  const Ranking truth = load_ranking(dir.file("truth.csv"));
+  const Ranking ranking = load_ranking(dir.file("ranking.csv"));
+  EXPECT_GT(ranking_accuracy(truth, ranking), 0.85);
+}
+
+TEST(Cli, InferSearchMethodsAgreeOnExactInstances) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "9", "--ratio", "1.0", "--seed",
+                 "3", "--votes-out", dir.file("votes.csv"), "--truth-out",
+                 dir.file("truth.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--search",
+                 "taps", "--ranking-out", dir.file("taps.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--search",
+                 "heldkarp", "--ranking-out", dir.file("hk.csv")},
+                &out),
+            0);
+  const Ranking taps = load_ranking(dir.file("taps.csv"));
+  const Ranking hk = load_ranking(dir.file("hk.csv"));
+  // Both exact searches must report equally probable optima; on ties they
+  // may differ as rankings but usually coincide — compare agreement.
+  EXPECT_GT(ranking_accuracy(taps, hk), 0.9);
+}
+
+TEST(Cli, PlanReportsAPlanOrHonestFailure) {
+  std::string out;
+  const int code =
+      run({"plan", "--objects", "20", "--target", "0.8", "--quality",
+           "high", "--seed", "4"},
+          &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("cheapest plan"), std::string::npos);
+
+  std::string fail_out;
+  const int fail_code =
+      run({"plan", "--objects", "20", "--target", "0.999", "--quality",
+           "low", "--seed", "4"},
+          &fail_out);
+  EXPECT_EQ(fail_code, 1);
+  EXPECT_NE(fail_out.find("no budget"), std::string::npos);
+}
+
+TEST(Cli, DiagnoseReportsAndSetsExitCode) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "15", "--ratio", "0.5", "--seed",
+                 "21", "--votes-out", dir.file("votes.csv")},
+                &out),
+            0);
+  std::string report;
+  EXPECT_EQ(run({"diagnose", "--votes", dir.file("votes.csv")}, &report), 0);
+  EXPECT_NE(report.find("RANKABLE"), std::string::npos);
+  EXPECT_NE(report.find("coverage"), std::string::npos);
+
+  // A batch with an uncovered object exits 2.
+  save_votes(dir.file("sparse.csv"), {Vote{0, 0, 1, true}});
+  std::string sparse_report;
+  EXPECT_EQ(run({"diagnose", "--votes", dir.file("sparse.csv"),
+                 "--objects", "4"},
+                &sparse_report),
+            2);
+  EXPECT_NE(sparse_report.find("NOT CLEANLY RANKABLE"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreReportedNotThrown) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"infer", "--votes", "/nonexistent/votes.csv"}, &out, &err),
+            1);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+  EXPECT_EQ(run({"assign"}, &out, &err), 1);  // missing --objects
+  EXPECT_EQ(run({"simulate", "--objects", "10", "--quality", "bogus"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("quality"), std::string::npos);
+}
+
+TEST(Cli, ExactSearchSizeLimitReportedGracefully) {
+  // Held-Karp is capped at n <= 20; asking for it on a larger instance
+  // must produce a readable error, not a crash.
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "25", "--ratio", "1.0",
+                 "--votes-out", dir.file("votes.csv")},
+                &out),
+            0);
+  std::string err;
+  EXPECT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--search",
+                 "heldkarp"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, EvalRejectsMismatchedSizes) {
+  const TempDir dir;
+  save_ranking(dir.file("a.csv"), Ranking::identity(4));
+  save_ranking(dir.file("b.csv"), Ranking::identity(5));
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"eval", "--reference", dir.file("a.csv"), "--ranking",
+                 dir.file("b.csv")},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("different object counts"), std::string::npos);
+}
+
+TEST(Cli, InferReportsBoundaryConfidence) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "12", "--ratio", "0.6",
+                 "--votes-out", dir.file("votes.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv")}, &out), 0);
+  EXPECT_NE(out.find("boundary confidence"), std::string::npos);
+  EXPECT_NE(out.find("tie threshold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdrank::io

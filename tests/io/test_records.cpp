@@ -1,0 +1,85 @@
+// Unit tests for the typed CSV record formats.
+#include "io/records.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank::io {
+namespace {
+
+TEST(VoteRecords, RoundTrip) {
+  const VoteBatch votes{{0, 1, 2, true}, {3, 4, 1, false}, {2, 0, 5, true}};
+  const VoteBatch parsed = parse_votes(format_votes(votes));
+  EXPECT_EQ(parsed, votes);
+}
+
+TEST(VoteRecords, RequiresHeader) {
+  EXPECT_THROW(parse_votes("0,1,2,1\n"), Error);
+  EXPECT_THROW(parse_votes(""), Error);
+  EXPECT_THROW(parse_votes("a,b,c,d\n"), Error);
+}
+
+TEST(VoteRecords, ValidatesFields) {
+  EXPECT_THROW(parse_votes("worker,i,j,prefers_i\nx,1,2,1\n"), Error);
+  EXPECT_THROW(parse_votes("worker,i,j,prefers_i\n0,1,2,5\n"), Error);
+  EXPECT_THROW(parse_votes("worker,i,j,prefers_i\n0,2,2,1\n"), Error);
+  EXPECT_THROW(parse_votes("worker,i,j,prefers_i\n0,1,2\n"), Error);
+  EXPECT_THROW(parse_votes("worker,i,j,prefers_i\n0,-1,2,1\n"), Error);
+}
+
+TEST(VoteRecords, EmptyBatchIsValid) {
+  const VoteBatch parsed = parse_votes("worker,i,j,prefers_i\n");
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(RankingRecords, RoundTrip) {
+  const Ranking r({3, 0, 2, 1});
+  EXPECT_EQ(parse_ranking(format_ranking(r)), r);
+}
+
+TEST(RankingRecords, PositionsMayArriveOutOfOrder) {
+  const Ranking r =
+      parse_ranking("position,object\n2,0\n0,2\n1,1\n");
+  EXPECT_EQ(r.object_at(0), 2u);
+  EXPECT_EQ(r.object_at(2), 0u);
+}
+
+TEST(RankingRecords, Validates) {
+  EXPECT_THROW(parse_ranking("position,object\n"), Error);  // no rows
+  EXPECT_THROW(parse_ranking("position,object\n0,0\n0,1\n"), Error);
+  EXPECT_THROW(parse_ranking("position,object\n5,0\n"), Error);
+  EXPECT_THROW(parse_ranking("position,object\n0,0\n1,0\n"), Error);
+  EXPECT_THROW(parse_ranking("object\n0\n"), Error);
+}
+
+TEST(TaskRecords, RoundTripCanonicalizes) {
+  const std::vector<Edge> tasks{{0, 1}, {2, 5}};
+  EXPECT_EQ(parse_tasks(format_tasks(tasks)), tasks);
+  // Reversed input pairs are canonicalized on parse.
+  const auto parsed = parse_tasks("i,j\n5,2\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], (Edge{2, 5}));
+}
+
+TEST(TaskRecords, Validates) {
+  EXPECT_THROW(parse_tasks("i,j\n3,3\n"), Error);
+  EXPECT_THROW(parse_tasks("i\n3\n"), Error);
+}
+
+TEST(Records, FileRoundTrips) {
+  const VoteBatch votes{{0, 1, 2, true}};
+  save_votes("/tmp/crowdrank_votes_test.csv", votes);
+  EXPECT_EQ(load_votes("/tmp/crowdrank_votes_test.csv"), votes);
+
+  const Ranking r({1, 0});
+  save_ranking("/tmp/crowdrank_ranking_test.csv", r);
+  EXPECT_EQ(load_ranking("/tmp/crowdrank_ranking_test.csv"), r);
+
+  const std::vector<Edge> tasks{{0, 3}};
+  save_tasks("/tmp/crowdrank_tasks_test.csv", tasks);
+  EXPECT_EQ(load_tasks("/tmp/crowdrank_tasks_test.csv"), tasks);
+}
+
+}  // namespace
+}  // namespace crowdrank::io

@@ -1,0 +1,113 @@
+// Unit + property tests for the Kendall-tau accuracy metric (§VI-A5).
+#include "metrics/kendall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+/// O(n^2) reference implementation.
+std::size_t naive_kendall(const Ranking& a, const Ranking& b) {
+  std::size_t discordant = 0;
+  const std::size_t n = a.size();
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool order_a = a.position_of(u) < a.position_of(v);
+      const bool order_b = b.position_of(u) < b.position_of(v);
+      if (order_a != order_b) ++discordant;
+    }
+  }
+  return discordant;
+}
+
+TEST(Kendall, IdenticalRankingsHaveZeroDistance) {
+  const Ranking r({3, 0, 2, 1});
+  EXPECT_EQ(kendall_tau_distance(r, r), 0u);
+  EXPECT_DOUBLE_EQ(normalized_kendall_tau_distance(r, r), 0.0);
+  EXPECT_DOUBLE_EQ(ranking_accuracy(r, r), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau_coefficient(r, r), 1.0);
+}
+
+TEST(Kendall, ReversedRankingIsMaximal) {
+  const Ranking r = Ranking::identity(5);
+  const Ranking rev = r.reversed();
+  EXPECT_EQ(kendall_tau_distance(r, rev), math::pair_count(5));
+  EXPECT_DOUBLE_EQ(normalized_kendall_tau_distance(r, rev), 1.0);
+  EXPECT_DOUBLE_EQ(ranking_accuracy(r, rev), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau_coefficient(r, rev), -1.0);
+}
+
+TEST(Kendall, SingleAdjacentSwap) {
+  const Ranking a = Ranking::identity(4);
+  const Ranking b({0, 2, 1, 3});
+  EXPECT_EQ(kendall_tau_distance(a, b), 1u);
+  EXPECT_DOUBLE_EQ(normalized_kendall_tau_distance(a, b), 1.0 / 6.0);
+}
+
+TEST(Kendall, IsSymmetric) {
+  const Ranking a({2, 0, 3, 1});
+  const Ranking b({1, 3, 0, 2});
+  EXPECT_EQ(kendall_tau_distance(a, b), kendall_tau_distance(b, a));
+}
+
+TEST(Kendall, RejectsSizeMismatch) {
+  EXPECT_THROW(
+      kendall_tau_distance(Ranking::identity(3), Ranking::identity(4)),
+      Error);
+}
+
+class KendallProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KendallProperty, MergeSortMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pa = rng.permutation(n);
+    const auto pb = rng.permutation(n);
+    const Ranking a(std::vector<VertexId>(pa.begin(), pa.end()));
+    const Ranking b(std::vector<VertexId>(pb.begin(), pb.end()));
+    EXPECT_EQ(kendall_tau_distance(a, b), naive_kendall(a, b))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(KendallProperty, TriangleInequality) {
+  const std::size_t n = GetParam();
+  Rng rng(2000 + n);
+  const auto mk = [&] {
+    const auto p = rng.permutation(n);
+    return Ranking(std::vector<VertexId>(p.begin(), p.end()));
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    const Ranking a = mk();
+    const Ranking b = mk();
+    const Ranking c = mk();
+    EXPECT_LE(kendall_tau_distance(a, c),
+              kendall_tau_distance(a, b) + kendall_tau_distance(b, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KendallProperty,
+                         ::testing::Values(2, 3, 5, 8, 16, 50, 200));
+
+TEST(Kendall, RandomPermutationAccuracyNearHalf) {
+  Rng rng(77);
+  const std::size_t n = 500;
+  const Ranking truth = Ranking::identity(n);
+  double total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = rng.permutation(n);
+    total +=
+        ranking_accuracy(truth, Ranking(std::vector<VertexId>(p.begin(),
+                                                              p.end())));
+  }
+  EXPECT_NEAR(total / trials, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace crowdrank

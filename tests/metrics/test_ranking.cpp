@@ -1,0 +1,78 @@
+// Unit tests for the Ranking value type.
+#include "metrics/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Ranking, ValidConstruction) {
+  const Ranking r({2, 0, 1});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.object_at(0), 2u);
+  EXPECT_EQ(r.object_at(2), 1u);
+  EXPECT_EQ(r.position_of(2), 0u);
+  EXPECT_EQ(r.position_of(1), 2u);
+}
+
+TEST(Ranking, RejectsInvalidPermutations) {
+  EXPECT_THROW(Ranking({}), Error);
+  EXPECT_THROW(Ranking({0, 0}), Error);
+  EXPECT_THROW(Ranking({0, 2}), Error);
+  EXPECT_THROW(Ranking({1, 2, 3}), Error);
+}
+
+TEST(Ranking, IdentityAndReversal) {
+  const Ranking id = Ranking::identity(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(id.object_at(p), p);
+  }
+  const Ranking rev = id.reversed();
+  EXPECT_EQ(rev.object_at(0), 3u);
+  EXPECT_EQ(rev.object_at(3), 0u);
+  EXPECT_EQ(rev.reversed(), id);
+}
+
+TEST(Ranking, FromScoresDescending) {
+  const std::vector<double> scores{0.1, 0.9, 0.5};
+  const Ranking r = Ranking::from_scores(scores);
+  EXPECT_EQ(r.object_at(0), 1u);
+  EXPECT_EQ(r.object_at(1), 2u);
+  EXPECT_EQ(r.object_at(2), 0u);
+}
+
+TEST(Ranking, FromScoresTieBreaksById) {
+  const std::vector<double> scores{0.5, 0.5, 0.9};
+  const Ranking r = Ranking::from_scores(scores);
+  EXPECT_EQ(r.object_at(0), 2u);
+  EXPECT_EQ(r.object_at(1), 0u);  // tie: lower id first
+  EXPECT_EQ(r.object_at(2), 1u);
+}
+
+TEST(Ranking, PositionsAreInverse) {
+  const Ranking r({3, 1, 0, 2});
+  for (std::size_t p = 0; p < r.size(); ++p) {
+    EXPECT_EQ(r.position_of(r.object_at(p)), p);
+  }
+  for (VertexId v = 0; v < r.size(); ++v) {
+    EXPECT_EQ(r.object_at(r.position_of(v)), v);
+  }
+}
+
+TEST(Ranking, BoundsChecked) {
+  const Ranking r({0, 1});
+  EXPECT_THROW(r.object_at(2), Error);
+  EXPECT_THROW(r.position_of(2), Error);
+}
+
+TEST(Ranking, EqualityIsStructural) {
+  EXPECT_EQ(Ranking({0, 1, 2}), Ranking::identity(3));
+  EXPECT_NE(Ranking({0, 2, 1}), Ranking::identity(3));
+}
+
+}  // namespace
+}  // namespace crowdrank

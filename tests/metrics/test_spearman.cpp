@@ -1,0 +1,87 @@
+// Unit tests for Spearman statistics.
+#include "metrics/spearman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/kendall.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Spearman, IdenticalRankings) {
+  const Ranking r({1, 0, 2});
+  EXPECT_EQ(spearman_footrule(r, r), 0u);
+  EXPECT_DOUBLE_EQ(normalized_spearman_footrule(r, r), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rho(r, r), 1.0);
+}
+
+TEST(Spearman, ReversedRankings) {
+  const Ranking r = Ranking::identity(4);
+  const Ranking rev = r.reversed();
+  // |0-3| + |1-2| + |2-1| + |3-0| = 8 = floor(16/2).
+  EXPECT_EQ(spearman_footrule(r, rev), 8u);
+  EXPECT_DOUBLE_EQ(normalized_spearman_footrule(r, rev), 1.0);
+  EXPECT_DOUBLE_EQ(spearman_rho(r, rev), -1.0);
+}
+
+TEST(Spearman, KnownSmallCase) {
+  const Ranking a = Ranking::identity(3);
+  const Ranking b({0, 2, 1});
+  EXPECT_EQ(spearman_footrule(a, b), 2u);
+  // rho = 1 - 6*(0+1+1) / (3*8) = 0.5.
+  EXPECT_DOUBLE_EQ(spearman_rho(a, b), 0.5);
+}
+
+TEST(Spearman, SymmetricMeasures) {
+  Rng rng(5);
+  const auto pa = rng.permutation(20);
+  const auto pb = rng.permutation(20);
+  const Ranking a(std::vector<VertexId>(pa.begin(), pa.end()));
+  const Ranking b(std::vector<VertexId>(pb.begin(), pb.end()));
+  EXPECT_EQ(spearman_footrule(a, b), spearman_footrule(b, a));
+  EXPECT_DOUBLE_EQ(spearman_rho(a, b), spearman_rho(b, a));
+}
+
+TEST(Spearman, RhoBounds) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pa = rng.permutation(15);
+    const auto pb = rng.permutation(15);
+    const Ranking a(std::vector<VertexId>(pa.begin(), pa.end()));
+    const Ranking b(std::vector<VertexId>(pb.begin(), pb.end()));
+    const double rho = spearman_rho(a, b);
+    EXPECT_GE(rho, -1.0);
+    EXPECT_LE(rho, 1.0);
+  }
+}
+
+TEST(Spearman, DiaconisGrahamInequality) {
+  // For any two rankings: K <= F <= 2K, where K is the Kendall distance
+  // and F the Spearman footrule (Diaconis & Graham 1977). A strong
+  // cross-check that both metrics are implemented correctly.
+  Rng rng(7);
+  for (const std::size_t n : {2u, 5u, 20u, 100u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto pa = rng.permutation(n);
+      const auto pb = rng.permutation(n);
+      const Ranking a(std::vector<VertexId>(pa.begin(), pa.end()));
+      const Ranking b(std::vector<VertexId>(pb.begin(), pb.end()));
+      const std::size_t k = kendall_tau_distance(a, b);
+      const std::size_t f = spearman_footrule(a, b);
+      EXPECT_LE(k, f) << "n=" << n;
+      EXPECT_LE(f, 2 * k) << "n=" << n;
+    }
+  }
+}
+
+TEST(Spearman, RejectsMismatchedSizes) {
+  EXPECT_THROW(spearman_footrule(Ranking::identity(3), Ranking::identity(4)),
+               Error);
+  EXPECT_THROW(spearman_rho(Ranking::identity(3), Ranking::identity(4)),
+               Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,89 @@
+// Unit tests for the top-k extension metrics (§VIII future work).
+#include "metrics/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(TopKPrecision, PerfectAndDisjoint) {
+  const Ranking truth = Ranking::identity(10);
+  EXPECT_DOUBLE_EQ(top_k_precision(truth, truth, 3), 1.0);
+  // Estimate puts the true bottom on top: head sets are disjoint.
+  EXPECT_DOUBLE_EQ(top_k_precision(truth, truth.reversed(), 3), 0.0);
+  // k = n: the sets always coincide.
+  EXPECT_DOUBLE_EQ(top_k_precision(truth, truth.reversed(), 10), 1.0);
+}
+
+TEST(TopKPrecision, PartialOverlap) {
+  const Ranking truth = Ranking::identity(5);
+  const Ranking estimate({0, 3, 4, 1, 2});
+  // true top-2 = {0,1}; estimate top-2 = {0,3}: overlap 1.
+  EXPECT_DOUBLE_EQ(top_k_precision(truth, estimate, 2), 0.5);
+}
+
+TEST(TopKPrecision, OrderInsensitive) {
+  const Ranking truth = Ranking::identity(6);
+  const Ranking estimate({2, 0, 1, 3, 4, 5});  // top-3 permuted
+  EXPECT_DOUBLE_EQ(top_k_precision(truth, estimate, 3), 1.0);
+}
+
+TEST(TopKPairAccuracy, HeadOrderScored) {
+  const Ranking truth = Ranking::identity(6);
+  const Ranking estimate({1, 0, 2, 3, 4, 5});  // one head swap
+  // Pairs among true top-3 {0,1,2}: (0,1) flipped; (0,2), (1,2) fine.
+  EXPECT_NEAR(top_k_pair_accuracy(truth, estimate, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(top_k_pair_accuracy(truth, truth, 3), 1.0);
+}
+
+TEST(TopKPairAccuracy, IgnoresTailChaos) {
+  const Ranking truth = Ranking::identity(8);
+  const Ranking estimate({0, 1, 2, 7, 6, 5, 4, 3});  // tail reversed
+  EXPECT_DOUBLE_EQ(top_k_pair_accuracy(truth, estimate, 3), 1.0);
+}
+
+TEST(TopKDisplacement, ZeroWhenHeadInPlace) {
+  const Ranking truth = Ranking::identity(6);
+  EXPECT_DOUBLE_EQ(top_k_displacement(truth, truth, 3), 0.0);
+}
+
+TEST(TopKDisplacement, ScalesWithHowFarHeadFell) {
+  const Ranking truth = Ranking::identity(5);
+  // True best object 0 pushed to the bottom.
+  const Ranking bad({1, 2, 3, 4, 0});
+  // k=1: displacement = 4 / (1 * 4) = 1.
+  EXPECT_DOUBLE_EQ(top_k_displacement(truth, bad, 1), 1.0);
+  const Ranking mild({1, 0, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(top_k_displacement(truth, mild, 1), 0.25);
+}
+
+TEST(TopK, RandomEstimatesScoreMidRange) {
+  Rng rng(3);
+  const Ranking truth = Ranking::identity(100);
+  double precision = 0.0;
+  double pair_acc = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = rng.permutation(100);
+    const Ranking est(std::vector<VertexId>(p.begin(), p.end()));
+    precision += top_k_precision(truth, est, 10);
+    pair_acc += top_k_pair_accuracy(truth, est, 10);
+  }
+  // Random head overlap ~ k/n = 0.1; random pair order ~ 0.5.
+  EXPECT_NEAR(precision / trials, 0.1, 0.06);
+  EXPECT_NEAR(pair_acc / trials, 0.5, 0.1);
+}
+
+TEST(TopK, Validation) {
+  const Ranking truth = Ranking::identity(5);
+  EXPECT_THROW(top_k_precision(truth, truth, 0), Error);
+  EXPECT_THROW(top_k_precision(truth, truth, 6), Error);
+  EXPECT_THROW(top_k_pair_accuracy(truth, truth, 1), Error);
+  EXPECT_THROW(top_k_displacement(truth, Ranking::identity(4), 2), Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,169 @@
+// Unit tests for the special functions backing Eq. 5 and the worker model.
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace crowdrank::math {
+namespace {
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(1.0, 0.0), 1.0);
+}
+
+TEST(GammaP, ComplementarySum) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaP, RejectsBadArguments) {
+  EXPECT_THROW(gamma_p(0.0, 1.0), Error);
+  EXPECT_THROW(gamma_p(-1.0, 1.0), Error);
+  EXPECT_THROW(gamma_p(1.0, -0.1), Error);
+}
+
+TEST(ChiSquared, CdfKnownValues) {
+  // Median of chi2(k) is about k(1 - 2/(9k))^3.
+  EXPECT_NEAR(chi_squared_cdf(0.454936, 1.0), 0.5, 1e-4);
+  // chi2(2) is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+  EXPECT_NEAR(chi_squared_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(chi_squared_cdf(5.991, 2.0), 0.95, 1e-3);
+  EXPECT_NEAR(chi_squared_cdf(3.841, 1.0), 0.95, 1e-3);
+  EXPECT_NEAR(chi_squared_cdf(18.307, 10.0), 0.95, 1e-3);
+}
+
+class ChiSquaredRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ChiSquaredRoundTrip, QuantileInvertsCdf) {
+  const auto [p, k] = GetParam();
+  const double x = chi_squared_quantile(p, k);
+  EXPECT_GT(x, 0.0);
+  EXPECT_NEAR(chi_squared_cdf(x, k), p, 1e-8) << "p=" << p << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepPK, ChiSquaredRoundTrip,
+    ::testing::Combine(::testing::Values(0.005, 0.025, 0.1, 0.5, 0.9, 0.975,
+                                         0.995),
+                       ::testing::Values(1.0, 2.0, 5.0, 10.0, 30.0, 100.0,
+                                         500.0)));
+
+TEST(ChiSquared, QuantileRejectsBadArguments) {
+  EXPECT_THROW(chi_squared_quantile(0.0, 1.0), Error);
+  EXPECT_THROW(chi_squared_quantile(1.0, 1.0), Error);
+  EXPECT_THROW(chi_squared_quantile(0.5, 0.0), Error);
+}
+
+TEST(ChiSquared, QuantileMonotoneInP) {
+  double prev = 0.0;
+  for (const double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double x = chi_squared_quantile(p, 7.0);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(Normal, CdfSymmetry) {
+  for (const double x : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(1.644854), 0.95, 1e-6);
+  EXPECT_NEAR(normal_cdf(-2.326348), 0.01, 1e-6);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-6, 0.001, 0.01, 0.025, 0.1,
+                                           0.25, 0.5, 0.75, 0.9, 0.975,
+                                           0.999, 1.0 - 1e-6));
+
+TEST(Normal, QuantileRejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
+}
+
+TEST(Normal, PdfPeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+TEST(ExpectedAbsNormal, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(expected_abs_normal(0.0), 0.0);
+  EXPECT_NEAR(expected_abs_normal(1.0), std::sqrt(2.0 / M_PI), 1e-14);
+  EXPECT_NEAR(expected_abs_normal(2.0), 2.0 * std::sqrt(2.0 / M_PI), 1e-14);
+  EXPECT_THROW(expected_abs_normal(-0.1), Error);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_THROW(mean(std::vector<double>{}), Error);
+  EXPECT_THROW(variance(std::vector<double>{}), Error);
+}
+
+TEST(Stats, KahanSumBeatsNaiveOnSmallTerms) {
+  std::vector<double> v{1e16};
+  for (int i = 0; i < 10; ++i) v.push_back(1.0);
+  v.push_back(-1e16);
+  EXPECT_DOUBLE_EQ(kahan_sum(v), 10.0);
+}
+
+TEST(Misc, Clamp01) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(Misc, SafeLog) {
+  EXPECT_DOUBLE_EQ(safe_log(1.0), 0.0);
+  EXPECT_NEAR(safe_log(std::exp(-2.0)), -2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(safe_log(0.0), -745.0);
+  EXPECT_DOUBLE_EQ(safe_log(-3.0), -745.0);
+  EXPECT_DOUBLE_EQ(safe_log(0.5, -10.0), std::log(0.5));
+}
+
+TEST(Misc, LogFactorial) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+}
+
+TEST(Misc, PairCount) {
+  EXPECT_EQ(pair_count(2), 1u);
+  EXPECT_EQ(pair_count(10), 45u);
+  EXPECT_EQ(pair_count(100), 4950u);
+  EXPECT_EQ(pair_count(1000), 499500u);
+}
+
+}  // namespace
+}  // namespace crowdrank::math

@@ -1,0 +1,132 @@
+// Unit tests for error contracts, table rendering, timers, and logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(Error, ExpectsThrowsWithContext) {
+  try {
+    CR_EXPECTS(false, "the message");
+    FAIL() << "CR_EXPECTS did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsuresThrows) {
+  EXPECT_THROW(CR_ENSURES(1 == 2, "bad invariant"), Error);
+}
+
+TEST(Error, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(CR_EXPECTS(true, ""));
+  EXPECT_NO_THROW(CR_ENSURES(true, ""));
+}
+
+TEST(Table, AlignedOutputHasHeaderRuleAndRows) {
+  TableWriter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream oss;
+  t.print_aligned(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  TableWriter t({"x"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("plain"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TableWriter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::fmt_percent(0.892, 1), "89.2%");
+  EXPECT_EQ(TableWriter::fmt_seconds(0.5, 1), "0.5s");
+}
+
+TEST(Timer, StopwatchAdvances) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(w.elapsed_seconds(), 0.0);
+  EXPECT_GT(w.elapsed_millis(), 0.0);
+}
+
+TEST(Timer, PhaseTimerAccumulatesInOrder) {
+  PhaseTimer t;
+  t.add("step1", 1.0);
+  t.add("step2", 2.0);
+  t.add("step1", 0.5);
+  EXPECT_DOUBLE_EQ(t.seconds("step1"), 1.5);
+  EXPECT_DOUBLE_EQ(t.seconds("step2"), 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 3.5);
+  ASSERT_EQ(t.phases().size(), 2u);
+  EXPECT_EQ(t.phases()[0], "step1");
+  EXPECT_EQ(t.phases()[1], "step2");
+  t.clear();
+  EXPECT_TRUE(t.phases().empty());
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(Timer, ScopedPhaseRecordsOnExit) {
+  PhaseTimer t;
+  {
+    ScopedPhase p(t, "scope");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_GT(t.seconds("scope"), 0.0);
+}
+
+TEST(Logging, LevelGating) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::Warn);
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+  EXPECT_FALSE(logger.enabled(LogLevel::Info));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+  EXPECT_TRUE(logger.enabled(LogLevel::Error));
+  logger.set_level(LogLevel::Off);
+  EXPECT_FALSE(logger.enabled(LogLevel::Error));
+  logger.set_level(saved);
+}
+
+TEST(Logging, StreamBuilderDoesNotThrow) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::Off);
+  EXPECT_NO_THROW(log_info() << "value: " << 42);
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace crowdrank

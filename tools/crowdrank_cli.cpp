@@ -1,0 +1,12 @@
+// crowdrank CLI entry point — all logic lives in io/commands.cpp so the
+// commands are unit-testable; this file only adapts main()'s argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  return crowdrank::io::run_cli(args, std::cout, std::cerr);
+}
