@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_assignment.dir/ablation_assignment.cpp.o"
+  "CMakeFiles/ablation_assignment.dir/ablation_assignment.cpp.o.d"
+  "ablation_assignment"
+  "ablation_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_saps.dir/ablation_saps.cpp.o"
+  "CMakeFiles/ablation_saps.dir/ablation_saps.cpp.o.d"
+  "ablation_saps"
+  "ablation_saps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_saps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amt_setting.dir/amt_setting.cpp.o"
+  "CMakeFiles/amt_setting.dir/amt_setting.cpp.o.d"
+  "amt_setting"
+  "amt_setting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amt_setting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amt_setting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for amt_setting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_topk.dir/extension_topk.cpp.o"
+  "CMakeFiles/extension_topk.dir/extension_topk.cpp.o.d"
+  "extension_topk"
+  "extension_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

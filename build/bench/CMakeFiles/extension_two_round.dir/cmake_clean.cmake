@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_two_round.dir/extension_two_round.cpp.o"
+  "CMakeFiles/extension_two_round.dir/extension_two_round.cpp.o.d"
+  "extension_two_round"
+  "extension_two_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_two_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_time_vs_objects.dir/fig3_time_vs_objects.cpp.o"
+  "CMakeFiles/fig3_time_vs_objects.dir/fig3_time_vs_objects.cpp.o.d"
+  "fig3_time_vs_objects"
+  "fig3_time_vs_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_vs_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_time_vs_budget.dir/fig4_time_vs_budget.cpp.o"
+  "CMakeFiles/fig4_time_vs_budget.dir/fig4_time_vs_budget.cpp.o.d"
+  "fig4_time_vs_budget"
+  "fig4_time_vs_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_time_vs_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_contamination.dir/robustness_contamination.cpp.o"
+  "CMakeFiles/robustness_contamination.dir/robustness_contamination.cpp.o.d"
+  "robustness_contamination"
+  "robustness_contamination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_contamination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_baselines.dir/table1_baselines.cpp.o"
+  "CMakeFiles/table1_baselines.dir/table1_baselines.cpp.o.d"
+  "table1_baselines"
+  "table1_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_convergence.dir/truth_convergence.cpp.o"
+  "CMakeFiles/truth_convergence.dir/truth_convergence.cpp.o.d"
+  "truth_convergence"
+  "truth_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_ranking.cpp" "examples/CMakeFiles/image_ranking.dir/image_ranking.cpp.o" "gcc" "examples/CMakeFiles/image_ranking.dir/image_ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/crowdrank_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_ranking.dir/image_ranking.cpp.o"
+  "CMakeFiles/image_ranking.dir/image_ranking.cpp.o.d"
+  "image_ranking"
+  "image_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_vs_batch.dir/interactive_vs_batch.cpp.o"
+  "CMakeFiles/interactive_vs_batch.dir/interactive_vs_batch.cpp.o.d"
+  "interactive_vs_batch"
+  "interactive_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_survey.dir/topk_survey.cpp.o"
+  "CMakeFiles/topk_survey.dir/topk_survey.cpp.o.d"
+  "topk_survey"
+  "topk_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bradley_terry.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/bradley_terry.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/bradley_terry.cpp.o.d"
+  "/root/repo/src/baselines/crowd_bt.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/crowd_bt.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/crowd_bt.cpp.o.d"
+  "/root/repo/src/baselines/local_kemeny.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/local_kemeny.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/local_kemeny.cpp.o.d"
+  "/root/repo/src/baselines/majority_vote.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/majority_vote.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/majority_vote.cpp.o.d"
+  "/root/repo/src/baselines/quicksort_rank.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/quicksort_rank.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/quicksort_rank.cpp.o.d"
+  "/root/repo/src/baselines/repeat_choice.cpp" "src/baselines/CMakeFiles/crowdrank_baselines.dir/repeat_choice.cpp.o" "gcc" "src/baselines/CMakeFiles/crowdrank_baselines.dir/repeat_choice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

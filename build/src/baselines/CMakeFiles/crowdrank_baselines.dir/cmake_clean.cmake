@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_baselines.dir/bradley_terry.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/bradley_terry.cpp.o.d"
+  "CMakeFiles/crowdrank_baselines.dir/crowd_bt.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/crowd_bt.cpp.o.d"
+  "CMakeFiles/crowdrank_baselines.dir/local_kemeny.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/local_kemeny.cpp.o.d"
+  "CMakeFiles/crowdrank_baselines.dir/majority_vote.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/majority_vote.cpp.o.d"
+  "CMakeFiles/crowdrank_baselines.dir/quicksort_rank.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/quicksort_rank.cpp.o.d"
+  "CMakeFiles/crowdrank_baselines.dir/repeat_choice.cpp.o"
+  "CMakeFiles/crowdrank_baselines.dir/repeat_choice.cpp.o.d"
+  "libcrowdrank_baselines.a"
+  "libcrowdrank_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

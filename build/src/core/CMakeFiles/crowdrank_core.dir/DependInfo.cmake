@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/confidence.cpp" "src/core/CMakeFiles/crowdrank_core.dir/confidence.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/confidence.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/crowdrank_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/crowdrank_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/planning.cpp" "src/core/CMakeFiles/crowdrank_core.dir/planning.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/planning.cpp.o.d"
+  "/root/repo/src/core/propagation.cpp" "src/core/CMakeFiles/crowdrank_core.dir/propagation.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/propagation.cpp.o.d"
+  "/root/repo/src/core/saps.cpp" "src/core/CMakeFiles/crowdrank_core.dir/saps.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/saps.cpp.o.d"
+  "/root/repo/src/core/smoothing.cpp" "src/core/CMakeFiles/crowdrank_core.dir/smoothing.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/smoothing.cpp.o.d"
+  "/root/repo/src/core/taps.cpp" "src/core/CMakeFiles/crowdrank_core.dir/taps.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/taps.cpp.o.d"
+  "/root/repo/src/core/taps_reference.cpp" "src/core/CMakeFiles/crowdrank_core.dir/taps_reference.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/taps_reference.cpp.o.d"
+  "/root/repo/src/core/task_assignment.cpp" "src/core/CMakeFiles/crowdrank_core.dir/task_assignment.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/task_assignment.cpp.o.d"
+  "/root/repo/src/core/truth_discovery.cpp" "src/core/CMakeFiles/crowdrank_core.dir/truth_discovery.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/truth_discovery.cpp.o.d"
+  "/root/repo/src/core/two_round.cpp" "src/core/CMakeFiles/crowdrank_core.dir/two_round.cpp.o" "gcc" "src/core/CMakeFiles/crowdrank_core.dir/two_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_core.dir/confidence.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/pipeline.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/planning.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/planning.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/propagation.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/propagation.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/saps.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/saps.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/smoothing.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/smoothing.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/taps.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/taps.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/taps_reference.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/taps_reference.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/task_assignment.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/task_assignment.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/truth_discovery.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/truth_discovery.cpp.o.d"
+  "CMakeFiles/crowdrank_core.dir/two_round.cpp.o"
+  "CMakeFiles/crowdrank_core.dir/two_round.cpp.o.d"
+  "libcrowdrank_core.a"
+  "libcrowdrank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

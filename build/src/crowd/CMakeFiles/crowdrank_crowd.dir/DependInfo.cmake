@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/amt_dataset.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/amt_dataset.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/amt_dataset.cpp.o.d"
+  "/root/repo/src/crowd/behaviors.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/behaviors.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/behaviors.cpp.o.d"
+  "/root/repo/src/crowd/budget.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/budget.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/budget.cpp.o.d"
+  "/root/repo/src/crowd/hit.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/hit.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/hit.cpp.o.d"
+  "/root/repo/src/crowd/interactive.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/interactive.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/interactive.cpp.o.d"
+  "/root/repo/src/crowd/simulator.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/simulator.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/simulator.cpp.o.d"
+  "/root/repo/src/crowd/worker.cpp" "src/crowd/CMakeFiles/crowdrank_crowd.dir/worker.cpp.o" "gcc" "src/crowd/CMakeFiles/crowdrank_crowd.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_crowd.dir/amt_dataset.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/amt_dataset.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/behaviors.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/behaviors.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/budget.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/budget.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/hit.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/hit.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/interactive.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/interactive.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/simulator.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/simulator.cpp.o.d"
+  "CMakeFiles/crowdrank_crowd.dir/worker.cpp.o"
+  "CMakeFiles/crowdrank_crowd.dir/worker.cpp.o.d"
+  "libcrowdrank_crowd.a"
+  "libcrowdrank_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

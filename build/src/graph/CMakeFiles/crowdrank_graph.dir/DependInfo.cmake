@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/hamiltonian.cpp" "src/graph/CMakeFiles/crowdrank_graph.dir/hamiltonian.cpp.o" "gcc" "src/graph/CMakeFiles/crowdrank_graph.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/graph/preference_graph.cpp" "src/graph/CMakeFiles/crowdrank_graph.dir/preference_graph.cpp.o" "gcc" "src/graph/CMakeFiles/crowdrank_graph.dir/preference_graph.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/crowdrank_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/crowdrank_graph.dir/scc.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/crowdrank_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/crowdrank_graph.dir/task_graph.cpp.o.d"
+  "/root/repo/src/graph/transitive_closure.cpp" "src/graph/CMakeFiles/crowdrank_graph.dir/transitive_closure.cpp.o" "gcc" "src/graph/CMakeFiles/crowdrank_graph.dir/transitive_closure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_graph.dir/hamiltonian.cpp.o"
+  "CMakeFiles/crowdrank_graph.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/crowdrank_graph.dir/preference_graph.cpp.o"
+  "CMakeFiles/crowdrank_graph.dir/preference_graph.cpp.o.d"
+  "CMakeFiles/crowdrank_graph.dir/scc.cpp.o"
+  "CMakeFiles/crowdrank_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/crowdrank_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/crowdrank_graph.dir/task_graph.cpp.o.d"
+  "CMakeFiles/crowdrank_graph.dir/transitive_closure.cpp.o"
+  "CMakeFiles/crowdrank_graph.dir/transitive_closure.cpp.o.d"
+  "libcrowdrank_graph.a"
+  "libcrowdrank_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

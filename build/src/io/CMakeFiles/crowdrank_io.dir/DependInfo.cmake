@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/args.cpp" "src/io/CMakeFiles/crowdrank_io.dir/args.cpp.o" "gcc" "src/io/CMakeFiles/crowdrank_io.dir/args.cpp.o.d"
+  "/root/repo/src/io/commands.cpp" "src/io/CMakeFiles/crowdrank_io.dir/commands.cpp.o" "gcc" "src/io/CMakeFiles/crowdrank_io.dir/commands.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/crowdrank_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/crowdrank_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/records.cpp" "src/io/CMakeFiles/crowdrank_io.dir/records.cpp.o" "gcc" "src/io/CMakeFiles/crowdrank_io.dir/records.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdrank_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

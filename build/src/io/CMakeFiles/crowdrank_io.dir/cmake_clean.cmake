@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_io.dir/args.cpp.o"
+  "CMakeFiles/crowdrank_io.dir/args.cpp.o.d"
+  "CMakeFiles/crowdrank_io.dir/commands.cpp.o"
+  "CMakeFiles/crowdrank_io.dir/commands.cpp.o.d"
+  "CMakeFiles/crowdrank_io.dir/csv.cpp.o"
+  "CMakeFiles/crowdrank_io.dir/csv.cpp.o.d"
+  "CMakeFiles/crowdrank_io.dir/records.cpp.o"
+  "CMakeFiles/crowdrank_io.dir/records.cpp.o.d"
+  "libcrowdrank_io.a"
+  "libcrowdrank_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

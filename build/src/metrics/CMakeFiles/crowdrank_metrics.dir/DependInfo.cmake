@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/kendall.cpp" "src/metrics/CMakeFiles/crowdrank_metrics.dir/kendall.cpp.o" "gcc" "src/metrics/CMakeFiles/crowdrank_metrics.dir/kendall.cpp.o.d"
+  "/root/repo/src/metrics/ranking.cpp" "src/metrics/CMakeFiles/crowdrank_metrics.dir/ranking.cpp.o" "gcc" "src/metrics/CMakeFiles/crowdrank_metrics.dir/ranking.cpp.o.d"
+  "/root/repo/src/metrics/spearman.cpp" "src/metrics/CMakeFiles/crowdrank_metrics.dir/spearman.cpp.o" "gcc" "src/metrics/CMakeFiles/crowdrank_metrics.dir/spearman.cpp.o.d"
+  "/root/repo/src/metrics/topk.cpp" "src/metrics/CMakeFiles/crowdrank_metrics.dir/topk.cpp.o" "gcc" "src/metrics/CMakeFiles/crowdrank_metrics.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_metrics.dir/kendall.cpp.o"
+  "CMakeFiles/crowdrank_metrics.dir/kendall.cpp.o.d"
+  "CMakeFiles/crowdrank_metrics.dir/ranking.cpp.o"
+  "CMakeFiles/crowdrank_metrics.dir/ranking.cpp.o.d"
+  "CMakeFiles/crowdrank_metrics.dir/spearman.cpp.o"
+  "CMakeFiles/crowdrank_metrics.dir/spearman.cpp.o.d"
+  "CMakeFiles/crowdrank_metrics.dir/topk.cpp.o"
+  "CMakeFiles/crowdrank_metrics.dir/topk.cpp.o.d"
+  "libcrowdrank_metrics.a"
+  "libcrowdrank_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

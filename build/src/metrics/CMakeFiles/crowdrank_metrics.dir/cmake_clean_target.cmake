@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdrank_metrics.a"
+)

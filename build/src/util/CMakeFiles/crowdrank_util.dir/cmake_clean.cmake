@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_util.dir/error.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/error.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/logging.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/logging.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/math.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/math.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/matrix.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/rng.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/rng.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/stats.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/stats.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/table.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/table.cpp.o.d"
+  "CMakeFiles/crowdrank_util.dir/timer.cpp.o"
+  "CMakeFiles/crowdrank_util.dir/timer.cpp.o.d"
+  "libcrowdrank_util.a"
+  "libcrowdrank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

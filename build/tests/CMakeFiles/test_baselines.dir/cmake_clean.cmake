@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_bradley_terry.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_bradley_terry.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_crowd_bt.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_crowd_bt.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_local_kemeny.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_local_kemeny.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_majority_vote.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_majority_vote.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_quicksort.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_quicksort.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_repeat_choice.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_repeat_choice.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_confidence.cpp" "tests/CMakeFiles/test_core.dir/core/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_confidence.cpp.o.d"
+  "/root/repo/tests/core/test_diagnostics.cpp" "tests/CMakeFiles/test_core.dir/core/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_planning.cpp" "tests/CMakeFiles/test_core.dir/core/test_planning.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_planning.cpp.o.d"
+  "/root/repo/tests/core/test_propagation.cpp" "tests/CMakeFiles/test_core.dir/core/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_propagation.cpp.o.d"
+  "/root/repo/tests/core/test_propagation_spectral.cpp" "tests/CMakeFiles/test_core.dir/core/test_propagation_spectral.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_propagation_spectral.cpp.o.d"
+  "/root/repo/tests/core/test_saps.cpp" "tests/CMakeFiles/test_core.dir/core/test_saps.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_saps.cpp.o.d"
+  "/root/repo/tests/core/test_smoothing.cpp" "tests/CMakeFiles/test_core.dir/core/test_smoothing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_smoothing.cpp.o.d"
+  "/root/repo/tests/core/test_taps.cpp" "tests/CMakeFiles/test_core.dir/core/test_taps.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_taps.cpp.o.d"
+  "/root/repo/tests/core/test_taps_reference.cpp" "tests/CMakeFiles/test_core.dir/core/test_taps_reference.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_taps_reference.cpp.o.d"
+  "/root/repo/tests/core/test_task_assignment.cpp" "tests/CMakeFiles/test_core.dir/core/test_task_assignment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_task_assignment.cpp.o.d"
+  "/root/repo/tests/core/test_truth_discovery.cpp" "tests/CMakeFiles/test_core.dir/core/test_truth_discovery.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_truth_discovery.cpp.o.d"
+  "/root/repo/tests/core/test_two_round.cpp" "tests/CMakeFiles/test_core.dir/core/test_two_round.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_two_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/crowdrank_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_confidence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_confidence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_diagnostics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_planning.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_planning.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_propagation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_propagation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_propagation_spectral.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_propagation_spectral.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_saps.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_saps.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_smoothing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_smoothing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_taps.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_taps.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_taps_reference.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_taps_reference.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_task_assignment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_task_assignment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_truth_discovery.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_truth_discovery.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_two_round.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_two_round.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

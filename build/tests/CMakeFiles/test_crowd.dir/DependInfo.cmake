@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crowd/test_amt_dataset.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_amt_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_amt_dataset.cpp.o.d"
+  "/root/repo/tests/crowd/test_behaviors.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_behaviors.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_behaviors.cpp.o.d"
+  "/root/repo/tests/crowd/test_budget.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_budget.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_budget.cpp.o.d"
+  "/root/repo/tests/crowd/test_hit.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_hit.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_hit.cpp.o.d"
+  "/root/repo/tests/crowd/test_interactive.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_interactive.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_interactive.cpp.o.d"
+  "/root/repo/tests/crowd/test_simulator.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_simulator.cpp.o.d"
+  "/root/repo/tests/crowd/test_worker.cpp" "tests/CMakeFiles/test_crowd.dir/crowd/test_worker.cpp.o" "gcc" "tests/CMakeFiles/test_crowd.dir/crowd/test_worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/crowdrank_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdrank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrank_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdrank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrank_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowd.dir/crowd/test_amt_dataset.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_amt_dataset.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_behaviors.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_behaviors.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_budget.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_budget.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_hit.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_hit.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_interactive.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_interactive.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_simulator.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_simulator.cpp.o.d"
+  "CMakeFiles/test_crowd.dir/crowd/test_worker.cpp.o"
+  "CMakeFiles/test_crowd.dir/crowd/test_worker.cpp.o.d"
+  "test_crowd"
+  "test_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

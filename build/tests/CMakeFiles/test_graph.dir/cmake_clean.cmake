@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_hamiltonian.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_hamiltonian.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_preference_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_preference_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_scc.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_scc.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_task_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_task_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_theorems.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_theorems.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_transitive_closure.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_transitive_closure.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_args.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_args.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_cli.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_cli.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_csv.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_csv.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_records.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_records.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/test_kendall.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_kendall.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_ranking.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_ranking.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_spearman.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_spearman.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/test_topk.cpp.o"
+  "CMakeFiles/test_metrics.dir/metrics/test_topk.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

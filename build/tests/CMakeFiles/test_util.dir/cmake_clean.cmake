@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_math.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_math.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_matrix.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_matrix.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_support.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_support.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_graph "/root/repo/build/tests/test_graph")
+set_tests_properties(test_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_metrics "/root/repo/build/tests/test_metrics")
+set_tests_properties(test_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;27;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crowd "/root/repo/build/tests/test_crowd")
+set_tests_properties(test_crowd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;33;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;42;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;57;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;65;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;69;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;73;crowdrank_add_test;/root/repo/tests/CMakeLists.txt;0;")

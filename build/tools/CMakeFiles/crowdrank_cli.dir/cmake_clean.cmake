@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrank_cli.dir/crowdrank_cli.cpp.o"
+  "CMakeFiles/crowdrank_cli.dir/crowdrank_cli.cpp.o.d"
+  "crowdrank"
+  "crowdrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrank_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
