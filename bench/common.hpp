@@ -10,9 +10,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -32,7 +34,27 @@ inline void banner(const std::string& experiment,
             << (full_scale() ? "(full paper scale: CROWDRANK_FULL=1)"
                              : "(reduced default scale; set CROWDRANK_FULL=1 "
                                "for the paper's axes)")
-            << "\n\n";
+            << "\n(threads: " << thread_count()
+            << "; override with CROWDRANK_THREADS)\n\n";
+}
+
+/// Evaluates `fn(i)` for every cell i in [0, count) across the thread pool
+/// and returns the results in index order, so sweep tables stay byte-stable
+/// regardless of which thread ran which cell. Each cell must be
+/// self-contained (its own config/Rng); anything the pipeline parallelizes
+/// internally runs inline on the cell's worker, so the sweep level owns the
+/// cores. Cells are claimed dynamically — long cells (large n) overlap
+/// short ones.
+template <typename Fn>
+auto parallel_cells(std::size_t count, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  std::vector<std::invoke_result_t<Fn&, std::size_t>> out(count);
+  parallel_for(0, count, /*grain=*/1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = fn(i);
+    }
+  });
+  return out;
 }
 
 /// Prints the table both aligned and as CSV.

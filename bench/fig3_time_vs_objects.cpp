@@ -21,22 +21,41 @@ void run() {
                                      900, 1000}
           : std::vector<std::size_t>{100, 200, 300, 400, 500};
 
-  TableWriter table({"n", "distribution", "inference_time_s", "accuracy"});
+  // One sweep cell per (n, distribution); cells run concurrently on the
+  // pool, and every cell seeds its own Rng, so the table is identical to
+  // the sequential sweep, just rows computed in parallel.
+  struct Cell {
+    std::size_t n;
+    QualityDistribution dist;
+  };
+  std::vector<Cell> cells;
   for (const std::size_t n : object_counts) {
     for (const auto dist :
          {QualityDistribution::Gaussian, QualityDistribution::Uniform}) {
-      ExperimentConfig config;
-      config.object_count = n;
-      config.selection_ratio = 0.1;
-      config.worker_pool_size = 30;
-      config.workers_per_task = 3;
-      config.worker_quality = {dist, QualityLevel::Medium};
-      config.seed = 42 + n;
-      const ExperimentResult r = run_experiment(config);
-      table.add_row({std::to_string(n), to_string(dist),
-                     TableWriter::fmt(r.inference.timings.total_seconds()),
-                     TableWriter::fmt(r.accuracy)});
+      cells.push_back({n, dist});
     }
+  }
+
+  const auto rows =
+      bench::parallel_cells(cells.size(), [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        ExperimentConfig config;
+        config.object_count = cell.n;
+        config.selection_ratio = 0.1;
+        config.worker_pool_size = 30;
+        config.workers_per_task = 3;
+        config.worker_quality = {cell.dist, QualityLevel::Medium};
+        config.seed = 42 + cell.n;
+        const ExperimentResult r = run_experiment(config);
+        return std::vector<std::string>{
+            std::to_string(cell.n), to_string(cell.dist),
+            TableWriter::fmt(r.inference.timings.total_seconds()),
+            TableWriter::fmt(r.accuracy)};
+      });
+
+  TableWriter table({"n", "distribution", "inference_time_s", "accuracy"});
+  for (const auto& row : rows) {
+    table.add_row(row);
   }
   bench::emit(table);
 }

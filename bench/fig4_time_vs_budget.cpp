@@ -21,29 +21,47 @@ void run() {
   const std::vector<double> ratios = {0.1, 0.2, 0.3, 0.4, 0.5,
                                       0.6, 0.7, 0.8, 0.9, 1.0};
 
-  TableWriter table({"distribution", "r", "total_s", "step1_s", "step2_s",
-                     "step3_s", "step4_s", "one_edges", "accuracy"});
+  // Sweep cells (distribution x ratio) run concurrently on the pool; each
+  // cell is self-seeded so rows match the sequential sweep.
+  struct Cell {
+    QualityDistribution dist;
+    double r;
+  };
+  std::vector<Cell> cells;
   for (const auto dist :
        {QualityDistribution::Gaussian, QualityDistribution::Uniform}) {
     for (const double r : ratios) {
-      ExperimentConfig config;
-      config.object_count = n;
-      config.selection_ratio = r;
-      config.worker_pool_size = 30;
-      config.workers_per_task = 3;
-      config.worker_quality = {dist, QualityLevel::Medium};
-      config.seed = 7 + static_cast<std::uint64_t>(r * 100);
-      const ExperimentResult result = run_experiment(config);
-      const auto& t = result.inference.timings;
-      table.add_row({to_string(dist), TableWriter::fmt(r, 1),
-                     TableWriter::fmt(t.total_seconds()),
-                     TableWriter::fmt(t.seconds("step1_truth_discovery")),
-                     TableWriter::fmt(t.seconds("step2_smoothing")),
-                     TableWriter::fmt(t.seconds("step3_propagation")),
-                     TableWriter::fmt(t.seconds("step4_find_best_ranking")),
-                     std::to_string(result.inference.one_edge_count),
-                     TableWriter::fmt(result.accuracy)});
+      cells.push_back({dist, r});
     }
+  }
+
+  const auto rows =
+      bench::parallel_cells(cells.size(), [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        ExperimentConfig config;
+        config.object_count = n;
+        config.selection_ratio = cell.r;
+        config.worker_pool_size = 30;
+        config.workers_per_task = 3;
+        config.worker_quality = {cell.dist, QualityLevel::Medium};
+        config.seed = 7 + static_cast<std::uint64_t>(cell.r * 100);
+        const ExperimentResult result = run_experiment(config);
+        const auto& t = result.inference.timings;
+        return std::vector<std::string>{
+            to_string(cell.dist), TableWriter::fmt(cell.r, 1),
+            TableWriter::fmt(t.total_seconds()),
+            TableWriter::fmt(t.seconds("step1_truth_discovery")),
+            TableWriter::fmt(t.seconds("step2_smoothing")),
+            TableWriter::fmt(t.seconds("step3_propagation")),
+            TableWriter::fmt(t.seconds("step4_find_best_ranking")),
+            std::to_string(result.inference.one_edge_count),
+            TableWriter::fmt(result.accuracy)};
+      });
+
+  TableWriter table({"distribution", "r", "total_s", "step1_s", "step2_s",
+                     "step3_s", "step4_s", "one_edges", "accuracy"});
+  for (const auto& row : rows) {
+    table.add_row(row);
   }
   bench::emit(table);
 }

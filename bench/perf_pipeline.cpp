@@ -1,0 +1,132 @@
+// Canonical end-to-end performance benchmark of the inference pipeline.
+//
+// Runs the full simulated experiment (assignment -> crowd -> Steps 1-4) at
+// n in {100, 300, 1000} with fixed seeds, once on a single thread and once
+// on the configured thread count, and writes BENCH_pipeline.json with
+// wall-ms per stage, the threads used, the speedup, and whether the two
+// runs produced identical rankings (the parallel engine guarantees they
+// do). This file is the perf trajectory anchor: every future optimization
+// PR should move these numbers and nothing else.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/parallel.hpp"
+
+namespace crowdrank {
+namespace {
+
+struct StageTimes {
+  double total_ms = 0.0;
+  double step1_ms = 0.0;
+  double step2_ms = 0.0;
+  double step3_ms = 0.0;
+  double step4_ms = 0.0;
+  double experiment_ms = 0.0;  ///< whole run_experiment wall time
+  std::vector<VertexId> ranking;
+  double accuracy = 0.0;
+};
+
+StageTimes run_once(std::size_t n) {
+  ExperimentConfig config;
+  config.object_count = n;
+  config.selection_ratio = 0.1;
+  config.worker_pool_size = 30;
+  config.workers_per_task = 3;
+  config.worker_quality = {QualityDistribution::Gaussian,
+                           QualityLevel::Medium};
+  config.seed = 42 + n;
+
+  Stopwatch watch;
+  const ExperimentResult r = run_experiment(config);
+  StageTimes out;
+  out.experiment_ms = watch.elapsed_millis();
+  const PhaseTimer& t = r.inference.timings;
+  out.total_ms = t.total_seconds() * 1e3;
+  out.step1_ms = t.seconds("step1_truth_discovery") * 1e3;
+  out.step2_ms = t.seconds("step2_smoothing") * 1e3;
+  out.step3_ms = t.seconds("step3_propagation") * 1e3;
+  out.step4_ms = t.seconds("step4_find_best_ranking") * 1e3;
+  const auto order = r.inference.ranking.order();
+  out.ranking.assign(order.begin(), order.end());
+  out.accuracy = r.accuracy;
+  return out;
+}
+
+void emit_stages(std::ostream& os, const char* key, const StageTimes& t,
+                 std::size_t threads) {
+  os << "      \"" << key << "\": {\n"
+     << "        \"threads\": " << threads << ",\n"
+     << "        \"experiment_ms\": " << t.experiment_ms << ",\n"
+     << "        \"inference_ms\": " << t.total_ms << ",\n"
+     << "        \"step1_truth_discovery_ms\": " << t.step1_ms << ",\n"
+     << "        \"step2_smoothing_ms\": " << t.step2_ms << ",\n"
+     << "        \"step3_propagation_ms\": " << t.step3_ms << ",\n"
+     << "        \"step4_find_best_ranking_ms\": " << t.step4_ms << ",\n"
+     << "        \"accuracy\": " << t.accuracy << "\n"
+     << "      }";
+}
+
+void run() {
+  bench::banner("Pipeline perf",
+                "end-to-end inference wall time per stage, serial vs "
+                "thread pool (fixed seeds; rankings must be identical)");
+
+  const std::vector<std::size_t> object_counts = {100, 300, 1000};
+  const std::size_t parallel_threads = configured_thread_count();
+
+  std::ofstream json("BENCH_pipeline.json");
+  json << "{\n  \"benchmark\": \"perf_pipeline\",\n"
+       << "  \"hardware_threads\": " << parallel_threads << ",\n"
+       << "  \"runs\": [\n";
+
+  TableWriter table({"n", "serial_ms", "parallel_ms", "threads", "speedup",
+                     "rankings_match"});
+  bool all_match = true;
+  for (std::size_t idx = 0; idx < object_counts.size(); ++idx) {
+    const std::size_t n = object_counts[idx];
+
+    set_thread_count(1);
+    const StageTimes serial = run_once(n);
+
+    set_thread_count(parallel_threads);
+    const StageTimes parallel = run_once(n);
+
+    const bool match = serial.ranking == parallel.ranking;
+    all_match = all_match && match;
+    const double speedup =
+        parallel.total_ms > 0.0 ? serial.total_ms / parallel.total_ms : 1.0;
+
+    table.add_row({std::to_string(n), TableWriter::fmt(serial.total_ms),
+                   TableWriter::fmt(parallel.total_ms),
+                   std::to_string(parallel_threads),
+                   TableWriter::fmt(speedup), match ? "yes" : "NO"});
+
+    json << "    {\n      \"n\": " << n << ",\n";
+    emit_stages(json, "serial", serial, 1);
+    json << ",\n";
+    emit_stages(json, "parallel", parallel, parallel_threads);
+    json << ",\n      \"speedup\": " << speedup << ",\n"
+         << "      \"rankings_match\": " << (match ? "true" : "false")
+         << "\n    }" << (idx + 1 < object_counts.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  bench::emit(table);
+  std::cout << "\nwrote BENCH_pipeline.json\n";
+  if (!all_match) {
+    std::cerr << "ERROR: serial and parallel rankings differ\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrank
+
+int main() {
+  crowdrank::run();
+  return 0;
+}

@@ -5,10 +5,17 @@
 
 #include "graph/transitive_closure.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace crowdrank {
 
 namespace {
+
+/// Rows per pool task in the O(n^2) element-wise passes. Each (i, j) pair
+/// with i < j is owned by row i's chunk and writes only closure(i, j) /
+/// closure(j, i), so any row partition yields identical results; the
+/// evidence counter is an exact integer-sum reduction.
+constexpr std::size_t kRowGrain = 16;
 
 /// S = sum_{k=1..L} W^k by doubling, max-renormalized each step (only the
 /// entry *ratios* of S survive, which is all the pair-normalized closure
@@ -46,13 +53,15 @@ Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
     Matrix next = Matrix::multiply(p_hat, s_hat);
     if (lp < 700.0) {  // outside this band one term fully dominates
       const double carry = std::exp(-lp);
-      for (std::size_t i = 0; i < n; ++i) {
-        auto dst = next.row(i);
-        const auto src = s_hat.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-          dst[j] += carry * src[j];
+      parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          auto dst = next.row(i);
+          const auto src = s_hat.row(i);
+          for (std::size_t j = 0; j < n; ++j) {
+            dst[j] += carry * src[j];
+          }
         }
-      }
+      });
     }
     renormalize(next);
     s_hat = std::move(next);
@@ -89,24 +98,31 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
     const Matrix sum = spectral_walk_sum(direct, target);
     PropagationStats local;
     Matrix closure(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        double wij = sum(i, j);
-        double wji = sum(j, i);
-        const double total = wij + wji;
-        if (total <= 0.0) {
-          wij = 0.5;
-          wji = 0.5;
-          ++local.pairs_without_evidence;
-        } else {
-          const double floor = config.completeness_floor;
-          wij = std::clamp(wij / total, floor, 1.0 - floor);
-          wji = std::clamp(wji / total, floor, 1.0 - floor);
-        }
-        closure(i, j) = wij;
-        closure(j, i) = wji;
-      }
-    }
+    local.pairs_without_evidence = parallel_reduce(
+        std::size_t{0}, n, kRowGrain, std::size_t{0},
+        [&](std::size_t r0, std::size_t r1) {
+          std::size_t missing = 0;
+          for (std::size_t i = r0; i < r1; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+              double wij = sum(i, j);
+              double wji = sum(j, i);
+              const double total = wij + wji;
+              if (total <= 0.0) {
+                wij = 0.5;
+                wji = 0.5;
+                ++missing;
+              } else {
+                const double floor = config.completeness_floor;
+                wij = std::clamp(wij / total, floor, 1.0 - floor);
+                wji = std::clamp(wji / total, floor, 1.0 - floor);
+              }
+              closure(i, j) = wij;
+              closure(j, i) = wji;
+            }
+          }
+          return missing;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
     local.complete = true;
     if (stats != nullptr) {
       *stats = local;
@@ -146,30 +162,37 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
 
   PropagationStats local;
   Matrix closure(n, n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double wij = config.alpha * direct(i, j) +
-                   (1.0 - config.alpha) * indirect(i, j);
-      double wji = config.alpha * direct(j, i) +
-                   (1.0 - config.alpha) * indirect(j, i);
-      const double total = wij + wji;
-      if (total <= 0.0) {
-        // No direct vote and no transitive evidence within max_length:
-        // uninformative prior keeps the closure complete (Thm 5.1).
-        wij = 0.5;
-        wji = 0.5;
-        ++local.pairs_without_evidence;
-      } else {
-        wij /= total;
-        wji /= total;
-        const double floor = config.completeness_floor;
-        wij = std::clamp(wij, floor, 1.0 - floor);
-        wji = std::clamp(wji, floor, 1.0 - floor);
-      }
-      closure(i, j) = wij;
-      closure(j, i) = wji;
-    }
-  }
+  local.pairs_without_evidence = parallel_reduce(
+      std::size_t{0}, n, kRowGrain, std::size_t{0},
+      [&](std::size_t r0, std::size_t r1) {
+        std::size_t missing = 0;
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            double wij = config.alpha * direct(i, j) +
+                         (1.0 - config.alpha) * indirect(i, j);
+            double wji = config.alpha * direct(j, i) +
+                         (1.0 - config.alpha) * indirect(j, i);
+            const double total = wij + wji;
+            if (total <= 0.0) {
+              // No direct vote and no transitive evidence within max_length:
+              // uninformative prior keeps the closure complete (Thm 5.1).
+              wij = 0.5;
+              wji = 0.5;
+              ++missing;
+            } else {
+              wij /= total;
+              wji /= total;
+              const double floor = config.completeness_floor;
+              wij = std::clamp(wij, floor, 1.0 - floor);
+              wji = std::clamp(wji, floor, 1.0 - floor);
+            }
+            closure(i, j) = wij;
+            closure(j, i) = wji;
+          }
+        }
+        return missing;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
 
   local.complete = true;
   for (std::size_t i = 0; i < n && local.complete; ++i) {

@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace crowdrank {
 
@@ -56,6 +57,13 @@ GroupedVotes group_votes(const VoteBatch& votes, std::size_t object_count,
   return g;
 }
 
+/// Chunk sizes for the per-task / per-worker parallel loops. Fixed (thread
+/// count independent) so reduction chunk boundaries never move; each x[t] /
+/// q[k] is written by exactly one chunk and the only reductions are exact
+/// maxima, so iteration results are bitwise-identical at any thread count.
+constexpr std::size_t kTaskGrain = 512;
+constexpr std::size_t kWorkerGrain = 16;
+
 }  // namespace
 
 TruthDiscoveryResult discover_truth(const VoteBatch& votes,
@@ -93,19 +101,28 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
     ++iter;
     double max_change = 0.0;
 
-    // E-step analog (Eq. 4): quality-weighted average per task.
-    for (std::size_t t = 0; t < num_tasks; ++t) {
-      double num = 0.0;
-      double den = 0.0;
-      for (const std::size_t vid : g.votes_by_task[t]) {
-        const FlatVote& v = g.votes[vid];
-        num += v.x * q[v.worker];
-        den += q[v.worker];
-      }
-      const double next = den > 0.0 ? num / den : 0.5;
-      max_change = std::max(max_change, std::abs(next - x[t]));
-      x[t] = next;
-    }
+    // E-step analog (Eq. 4): quality-weighted average per task. Tasks are
+    // independent, so the loop fans out over the pool; the convergence
+    // gauge is an exact max reduction.
+    max_change = parallel_reduce(
+        std::size_t{0}, num_tasks, kTaskGrain, max_change,
+        [&](std::size_t t0, std::size_t t1) {
+          double local = 0.0;
+          for (std::size_t t = t0; t < t1; ++t) {
+            double num = 0.0;
+            double den = 0.0;
+            for (const std::size_t vid : g.votes_by_task[t]) {
+              const FlatVote& v = g.votes[vid];
+              num += v.x * q[v.worker];
+              den += q[v.worker];
+            }
+            const double next = den > 0.0 ? num / den : 0.5;
+            local = std::max(local, std::abs(next - x[t]));
+            x[t] = next;
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); });
 
     if (!config.use_quality_weighting) {
       // Plain averaging: one E-step with unit weights, no M-step.
@@ -114,29 +131,45 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
     }
 
     // M-step analog (Eq. 5): inverse total squared deviation, chi2-scaled.
-    double max_raw = 0.0;
+    // Workers are independent; max_raw is again an exact max reduction.
     std::vector<double> raw(worker_count, 0.0);
-    for (WorkerId k = 0; k < worker_count; ++k) {
-      if (g.votes_by_worker[k].empty()) continue;
-      double dev = config.deviation_floor *
-                   static_cast<double>(g.votes_by_worker[k].size());
-      for (const std::size_t vid : g.votes_by_worker[k]) {
-        const FlatVote& v = g.votes[vid];
-        const double d = v.x - x[v.task_index];
-        dev += d * d;
-      }
-      raw[k] = chi2_scale[k] / dev;
-      max_raw = std::max(max_raw, raw[k]);
-    }
+    const double max_raw = parallel_reduce(
+        std::size_t{0}, static_cast<std::size_t>(worker_count), kWorkerGrain,
+        0.0,
+        [&](std::size_t k0, std::size_t k1) {
+          double local = 0.0;
+          for (std::size_t k = k0; k < k1; ++k) {
+            if (g.votes_by_worker[k].empty()) continue;
+            double dev = config.deviation_floor *
+                         static_cast<double>(g.votes_by_worker[k].size());
+            for (const std::size_t vid : g.votes_by_worker[k]) {
+              const FlatVote& v = g.votes[vid];
+              const double d = v.x - x[v.task_index];
+              dev += d * d;
+            }
+            raw[k] = chi2_scale[k] / dev;
+            local = std::max(local, raw[k]);
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); });
     // Max-normalize into [0,1]; workers with no votes keep quality 1 (the
     // neutral prior) — they never enter Eq. 4 anyway.
-    for (WorkerId k = 0; k < worker_count; ++k) {
-      const double next = g.votes_by_worker[k].empty()
-                              ? 1.0
-                              : (max_raw > 0.0 ? raw[k] / max_raw : 1.0);
-      max_change = std::max(max_change, std::abs(next - q[k]));
-      q[k] = next;
-    }
+    max_change = parallel_reduce(
+        std::size_t{0}, static_cast<std::size_t>(worker_count), kWorkerGrain,
+        max_change,
+        [&](std::size_t k0, std::size_t k1) {
+          double local = 0.0;
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double next = g.votes_by_worker[k].empty()
+                                    ? 1.0
+                                    : (max_raw > 0.0 ? raw[k] / max_raw : 1.0);
+            local = std::max(local, std::abs(next - q[k]));
+            q[k] = next;
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); });
 
     converged = max_change < config.tolerance;
   }
@@ -150,18 +183,21 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
   // deviation of the worker's votes from the final truths; q = exp(-sigma)
   // inverts §V-B's sigma_k = -log(q_k).
   result.worker_quality.assign(worker_count, 1.0);
-  for (WorkerId k = 0; k < worker_count; ++k) {
-    if (g.votes_by_worker[k].empty()) continue;
-    double dev = 0.0;
-    for (const std::size_t vid : g.votes_by_worker[k]) {
-      const FlatVote& v = g.votes[vid];
-      const double d = v.x - x[v.task_index];
-      dev += d * d;
-    }
-    const double msd =
-        dev / static_cast<double>(g.votes_by_worker[k].size());
-    result.worker_quality[k] = std::exp(-std::sqrt(msd));
-  }
+  parallel_for(0, worker_count, kWorkerGrain,
+               [&](std::size_t k0, std::size_t k1) {
+                 for (std::size_t k = k0; k < k1; ++k) {
+                   if (g.votes_by_worker[k].empty()) continue;
+                   double dev = 0.0;
+                   for (const std::size_t vid : g.votes_by_worker[k]) {
+                     const FlatVote& v = g.votes[vid];
+                     const double d = v.x - x[v.task_index];
+                     dev += d * d;
+                   }
+                   const double msd =
+                       dev / static_cast<double>(g.votes_by_worker[k].size());
+                   result.worker_quality[k] = std::exp(-std::sqrt(msd));
+                 }
+               });
   result.worker_weight = std::move(q);
   result.iterations = iter;
   result.converged = converged;

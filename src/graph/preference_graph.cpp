@@ -32,12 +32,30 @@ void PreferenceGraph::set_weight(VertexId from, VertexId to, double weight) {
   CR_EXPECTS(weight >= 0.0 && weight <= 1.0,
              "preference weight must lie in [0, 1]");
   weights_(from, to) = weight;
+  csr_valid_ = false;
 }
 
-double PreferenceGraph::weight(VertexId from, VertexId to) const {
-  check_vertex(from);
-  check_vertex(to);
-  return weights_(from, to);
+const CsrAdjacency& PreferenceGraph::out_csr() const {
+  if (!csr_valid_) {
+    csr_.row_ptr.assign(n_ + 1, 0);
+    csr_.neighbors.clear();
+    csr_.weights.clear();
+    // The row-major scan emits each row's neighbors in ascending id order,
+    // which the single-pass build preserves.
+    for (std::size_t i = 0; i < n_; ++i) {
+      csr_.row_ptr[i] = csr_.neighbors.size();
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double w = weights_(i, j);
+        if (w > 0.0) {
+          csr_.neighbors.push_back(static_cast<VertexId>(j));
+          csr_.weights.push_back(w);
+        }
+      }
+    }
+    csr_.row_ptr[n_] = csr_.neighbors.size();
+    csr_valid_ = true;
+  }
+  return csr_;
 }
 
 std::size_t PreferenceGraph::in_degree(VertexId v) const {

@@ -2,16 +2,35 @@
 // vertices as the task graph. The weight w_ij in (0, 1] of edge v_i -> v_j
 // is the truth confidence of "O_i is preferred to O_j"; w_ij == 0 means the
 // edge is absent. The graph is stored densely (n x n weight matrix) because
-// inference Step 3 turns it into a complete digraph anyway.
+// inference Step 3 turns it into a complete digraph anyway; graph traversals
+// (reachability, diagnostics) go through the CSR view instead, because the
+// budget constraint makes the pre-closure graph 2l/n-regular with
+// l << C(n,2), i.e. very sparse.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/error.hpp"
 #include "util/matrix.hpp"
 
 namespace crowdrank {
+
+/// Compressed-sparse-row adjacency over the positive-weight edges: the
+/// out-neighbors of vertex v are `neighbors[row_ptr[v] .. row_ptr[v + 1])`
+/// (ascending vertex id) with parallel `weights`. Traversing it costs
+/// O(n + m) instead of the dense matrix scan's O(n^2).
+struct CsrAdjacency {
+  std::vector<std::size_t> row_ptr;  ///< size n + 1
+  std::vector<VertexId> neighbors;   ///< size m, row-sorted
+  std::vector<double> weights;       ///< size m, parallel to neighbors
+
+  std::size_t vertex_count() const {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  std::size_t edge_count() const { return neighbors.size(); }
+};
 
 /// Weighted digraph with dense weight storage. Invariants enforced:
 /// weights lie in [0, 1]; the diagonal is always 0 (no self-preference).
@@ -29,8 +48,12 @@ class PreferenceGraph {
   /// weight == 0 removes the edge.
   void set_weight(VertexId from, VertexId to, double weight);
 
-  /// w(from -> to); 0 when the edge is absent.
-  double weight(VertexId from, VertexId to) const;
+  /// w(from -> to); 0 when the edge is absent. This is the innermost read
+  /// of every graph traversal, so its bounds check is debug-only.
+  double weight(VertexId from, VertexId to) const {
+    CR_DEBUG_EXPECTS(from < n_ && to < n_, "vertex id out of range");
+    return weights_(from, to);
+  }
 
   bool has_edge(VertexId from, VertexId to) const {
     return weight(from, to) > 0.0;
@@ -63,6 +86,12 @@ class PreferenceGraph {
   /// The underlying weight matrix (dense, row = from, col = to).
   const Matrix& weights() const { return weights_; }
 
+  /// CSR view of the out-edges, built lazily and cached until the next
+  /// set_weight(). Not thread-safe against mutation or a concurrent first
+  /// build: obtain the reference once, before fanning out parallel readers
+  /// (reachability_closure does exactly that).
+  const CsrAdjacency& out_csr() const;
+
   /// Builds a graph directly from a weight matrix (validating invariants).
   static PreferenceGraph from_matrix(const Matrix& weights);
 
@@ -71,6 +100,10 @@ class PreferenceGraph {
 
   std::size_t n_;
   Matrix weights_;
+  // Lazily-built CSR mirror of weights_; csr_valid_ flips false on any
+  // set_weight() so stale views are never served.
+  mutable CsrAdjacency csr_;
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace crowdrank

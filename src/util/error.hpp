@@ -47,3 +47,24 @@ namespace detail {
                                                     (msg));                 \
     }                                                                       \
   } while (false)
+
+/// Debug-only contract check for per-element accessors on the inference hot
+/// path (Matrix::row, PreferenceGraph::weight, CSR neighbor scans). These
+/// fire on every inner-loop iteration, so Release builds compile them out;
+/// define CROWDRANK_DEBUG_CHECKS=1 (automatic when NDEBUG is absent) to
+/// keep them. API-level preconditions stay on CR_EXPECTS unconditionally.
+#ifndef CROWDRANK_DEBUG_CHECKS
+#ifdef NDEBUG
+#define CROWDRANK_DEBUG_CHECKS 0
+#else
+#define CROWDRANK_DEBUG_CHECKS 1
+#endif
+#endif
+
+#if CROWDRANK_DEBUG_CHECKS
+#define CR_DEBUG_EXPECTS(cond, msg) CR_EXPECTS(cond, msg)
+#else
+#define CR_DEBUG_EXPECTS(cond, msg) \
+  do {                              \
+  } while (false)
+#endif

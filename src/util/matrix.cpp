@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace crowdrank {
+
+namespace {
+
+/// Rows handed to one pool task at a time. Fixed (thread-count independent)
+/// so chunk boundaries never shift; each row is produced by exactly one
+/// task either way, so this only affects load balance.
+constexpr std::size_t kRowGrain = 16;
+
+/// Elements per chunk for the flat element-wise kernels.
+constexpr std::size_t kElementGrain = 1 << 14;
+
+/// Below this many multiply-adds the pool dispatch overhead is not worth
+/// paying; run the plain serial loop.
+constexpr std::size_t kSerialFlopLimit = 1 << 18;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -24,21 +42,24 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 }
 
 std::span<const double> Matrix::row(std::size_t r) const {
-  CR_EXPECTS(r < rows_, "row index out of range");
+  CR_DEBUG_EXPECTS(r < rows_, "row index out of range");
   return {data_.data() + r * cols_, cols_};
 }
 
 std::span<double> Matrix::row(std::size_t r) {
-  CR_EXPECTS(r < rows_, "row index out of range");
+  CR_DEBUG_EXPECTS(r < rows_, "row index out of range");
   return {data_.data() + r * cols_, cols_};
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   CR_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_,
              "matrix shapes must match for +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += other.data_[i];
-  }
+  parallel_for(0, data_.size(), kElementGrain,
+               [&](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) {
+                   data_[i] += other.data_[i];
+                 }
+               });
   return *this;
 }
 
@@ -56,24 +77,34 @@ Matrix Matrix::multiply(const Matrix& lhs, const Matrix& rhs) {
   const std::size_t m = rhs.cols_;
   Matrix out(n, m, 0.0);
   // i-k-j order with blocking: streams through rhs rows sequentially, so the
-  // inner loop is a SAXPY the compiler vectorizes.
+  // inner loop is a SAXPY the compiler vectorizes. Parallelized over row
+  // blocks of the output: each row is accumulated by exactly one task in
+  // the same kk/k order as the serial loop, so the product is
+  // bitwise-identical at any thread count.
   constexpr std::size_t kBlock = 64;
-  for (std::size_t ii = 0; ii < n; ii += kBlock) {
-    const std::size_t i_end = std::min(ii + kBlock, n);
-    for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
-      const std::size_t k_end = std::min(kk + kBlock, k_dim);
-      for (std::size_t i = ii; i < i_end; ++i) {
-        double* out_row = out.data_.data() + i * m;
-        for (std::size_t k = kk; k < k_end; ++k) {
-          const double a = lhs(i, k);
-          if (a == 0.0) continue;
-          const double* rhs_row = rhs.data_.data() + k * m;
-          for (std::size_t j = 0; j < m; ++j) {
-            out_row[j] += a * rhs_row[j];
+  const auto row_block = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t ii = r0; ii < r1; ii += kBlock) {
+      const std::size_t i_end = std::min(ii + kBlock, r1);
+      for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
+        const std::size_t k_end = std::min(kk + kBlock, k_dim);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          double* out_row = out.data_.data() + i * m;
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double a = lhs(i, k);
+            if (a == 0.0) continue;
+            const double* rhs_row = rhs.data_.data() + k * m;
+            for (std::size_t j = 0; j < m; ++j) {
+              out_row[j] += a * rhs_row[j];
+            }
           }
         }
       }
     }
+  };
+  if (n * k_dim * m < kSerialFlopLimit) {
+    row_block(0, n);
+  } else {
+    parallel_for(0, n, kRowGrain, row_block);
   }
   return out;
 }
@@ -96,11 +127,18 @@ Matrix Matrix::power_sum(const Matrix& w, std::size_t from, std::size_t to) {
 double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   CR_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_,
              "matrix shapes must match for max_abs_diff");
-  double worst = 0.0;
-  for (std::size_t i = 0; i < a.data_.size(); ++i) {
-    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
-  }
-  return worst;
+  // max is an exact (rounding-free) reduction, so the chunked parallel
+  // combine matches the serial scan bit for bit.
+  return parallel_reduce(
+      std::size_t{0}, a.data_.size(), kElementGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double worst = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+        }
+        return worst;
+      },
+      [](double acc, double part) { return std::max(acc, part); });
 }
 
 }  // namespace crowdrank

@@ -4,7 +4,11 @@
 // n x n smoothed preference matrix; at n = 1000 this is the hot loop of the
 // whole system, so multiply() is cache-blocked (i-k-j loop order with a
 // hoisted A(i,k)), which is within a small factor of a tuned BLAS for the
-// sizes we need without adding a dependency.
+// sizes we need without adding a dependency. multiply(), operator+= and
+// max_abs_diff() run on the util/parallel thread pool over disjoint
+// row/element blocks: every output element is produced by exactly one task
+// with the same per-element arithmetic order as the serial loop, so results
+// are bitwise-identical at any thread count.
 #pragma once
 
 #include <cstddef>
@@ -40,10 +44,12 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  /// Checked element access (throws on out-of-range).
+  /// Checked element access (throws on out-of-range). Not for inner loops;
+  /// hot paths use operator() / row() which are debug-checked only.
   double at(std::size_t r, std::size_t c) const;
 
-  /// View of row r.
+  /// View of row r (bounds-checked in debug builds only; see
+  /// CR_DEBUG_EXPECTS in util/error.hpp).
   std::span<const double> row(std::size_t r) const;
   std::span<double> row(std::size_t r);
 

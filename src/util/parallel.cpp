@@ -1,0 +1,229 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+namespace {
+
+/// Set while the current thread executes tasks of an active region; nested
+/// parallel calls observe it and run inline instead of re-entering the pool.
+thread_local bool t_in_region = false;
+
+}  // namespace
+
+std::size_t configured_thread_count() {
+  if (const char* env = std::getenv("CROWDRANK_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// All mutable pool state lives behind one mutex; the only lock-free path
+/// is the task cursor, which workers hammer while a region is active.
+struct ThreadPool::State {
+  /// Serializes whole regions: only one external thread may have a job
+  /// posted at a time; concurrent callers queue up here.
+  std::mutex region_mutex;
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+
+  // Current region, valid while generation is odd-stepped by run().
+  std::uint64_t generation = 0;
+  std::size_t task_count = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t active_workers = 0;
+  bool stopping = false;
+
+  // First exception thrown by any task of the current region.
+  std::exception_ptr error;
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(configured_thread_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t count) : state_(new State) {
+  spawn_workers(count == 0 ? 0 : count - 1);
+}
+
+ThreadPool::~ThreadPool() {
+  stop_workers();
+  delete state_;
+}
+
+std::size_t ThreadPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->workers.size() + 1;
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_region; }
+
+void ThreadPool::spawn_workers(std::size_t worker_count) {
+  state_->workers.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    state_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->work_ready.notify_all();
+  for (std::thread& w : state_->workers) {
+    w.join();
+  }
+  state_->workers.clear();
+  state_->stopping = false;
+}
+
+void ThreadPool::resize(std::size_t count) {
+  CR_EXPECTS(count >= 1, "thread pool needs at least one lane");
+  CR_EXPECTS(!t_in_region,
+             "cannot resize the pool from inside a parallel region");
+  // Wait out any region another thread has in flight before re-spawning.
+  std::lock_guard<std::mutex> region(state_->region_mutex);
+  stop_workers();
+  spawn_workers(count - 1);
+}
+
+void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
+                             std::size_t count) {
+  State& s = *state_;
+  for (std::size_t i = s.cursor.fetch_add(1, std::memory_order_relaxed);
+       i < count; i = s.cursor.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      task(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (!s.error) {
+        s.error = std::current_exception();
+      }
+      // Skip the remaining tasks: the region is already failed.
+      s.cursor.store(count, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  State& s = *state_;
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  while (true) {
+    s.work_ready.wait(lock, [&] {
+      return s.stopping || s.generation != seen_generation;
+    });
+    if (s.stopping) {
+      return;
+    }
+    seen_generation = s.generation;
+    const auto* task = s.task;
+    const std::size_t count = s.task_count;
+    lock.unlock();
+
+    t_in_region = true;
+    drain_tasks(*task, count);
+    t_in_region = false;
+
+    lock.lock();
+    if (--s.active_workers == 0) {
+      s.work_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) {
+    return;
+  }
+  State& s = *state_;
+  // Serial pool, single task, or nested call: run inline. Exceptions
+  // propagate directly.
+  bool inline_run = t_in_region || count == 1;
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    inline_run = s.workers.empty();
+  }
+  if (inline_run) {
+    for (std::size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> region(s.region_mutex);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.task = &task;
+    s.task_count = count;
+    s.cursor.store(0, std::memory_order_relaxed);
+    s.error = nullptr;
+    s.active_workers = s.workers.size();
+    ++s.generation;
+  }
+  s.work_ready.notify_all();
+
+  t_in_region = true;
+  drain_tasks(task, count);
+  t_in_region = false;
+
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.work_done.wait(lock, [&] { return s.active_workers == 0; });
+  s.task = nullptr;
+  if (s.error) {
+    std::exception_ptr error = s.error;
+    s.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
+
+void set_thread_count(std::size_t count) {
+  ThreadPool::instance().resize(count);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) {
+    return;
+  }
+  if (grain == 0) {
+    grain = 1;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  ThreadPool& pool = ThreadPool::instance();
+  if (chunks == 1 || ThreadPool::in_parallel_region()) {
+    body(begin, end);
+    return;
+  }
+  pool.run(chunks, [&](std::size_t c) {
+    const std::size_t b = begin + c * grain;
+    const std::size_t e = b + grain < end ? b + grain : end;
+    body(b, e);
+  });
+}
+
+}  // namespace crowdrank

@@ -1,0 +1,121 @@
+// Determinism tests for the parallel engine: the whole inference pipeline
+// and its parallel kernels must produce bitwise-identical results at one
+// thread and at many. These are the tests the TSan preset runs (see
+// CMakePresets.json) — they exercise every parallel region in the hot path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/truth_discovery.hpp"
+#include "util/matrix.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(configured_thread_count()); }
+};
+
+Matrix random_square(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.3)) {
+        m(i, j) = rng.uniform();
+      }
+    }
+  }
+  return m;
+}
+
+TEST_F(DeterminismTest, MatrixMultiplyIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  const Matrix a = random_square(130, rng);
+  const Matrix b = random_square(130, rng);
+
+  set_thread_count(1);
+  const Matrix serial = Matrix::multiply(a, b);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const Matrix parallel = Matrix::multiply(a, b);
+    EXPECT_EQ(serial, parallel) << "threads = " << threads;
+  }
+}
+
+TEST_F(DeterminismTest, PowerSumIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Matrix w = random_square(90, rng);
+
+  set_thread_count(1);
+  const Matrix serial = Matrix::power_sum(w, 2, 5);
+  set_thread_count(4);
+  const Matrix parallel = Matrix::power_sum(w, 2, 5);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(DeterminismTest, TruthDiscoveryIsBitwiseIdenticalAcrossThreadCounts) {
+  // A synthetic batch with enough tasks/workers to span several chunks.
+  VoteBatch votes;
+  Rng rng(23);
+  const std::size_t n = 40;
+  const std::size_t workers = 24;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (!rng.bernoulli(0.2)) continue;
+      for (int rep = 0; rep < 3; ++rep) {
+        Vote v;
+        v.i = i;
+        v.j = j;
+        v.worker = static_cast<WorkerId>(rng.uniform_index(workers));
+        v.prefers_i = rng.bernoulli(0.7);
+        votes.push_back(v);
+      }
+    }
+  }
+
+  set_thread_count(1);
+  const TruthDiscoveryResult serial =
+      discover_truth(votes, n, workers, TruthDiscoveryConfig{});
+  set_thread_count(4);
+  const TruthDiscoveryResult parallel =
+      discover_truth(votes, n, workers, TruthDiscoveryConfig{});
+
+  ASSERT_EQ(serial.truths.size(), parallel.truths.size());
+  for (std::size_t t = 0; t < serial.truths.size(); ++t) {
+    EXPECT_EQ(serial.truths[t].task, parallel.truths[t].task);
+    EXPECT_EQ(serial.truths[t].x, parallel.truths[t].x);  // bitwise
+  }
+  EXPECT_EQ(serial.worker_quality, parallel.worker_quality);
+  EXPECT_EQ(serial.worker_weight, parallel.worker_weight);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+}
+
+TEST_F(DeterminismTest, PipelineOutputIsIdenticalAcrossThreadCounts) {
+  ExperimentConfig config;
+  config.object_count = 60;
+  config.selection_ratio = 0.15;
+  config.worker_pool_size = 12;
+  config.workers_per_task = 3;
+  config.seed = 1234;
+
+  set_thread_count(1);
+  const ExperimentResult serial = run_experiment(config);
+  set_thread_count(4);
+  const ExperimentResult parallel = run_experiment(config);
+
+  // Bitwise-identical Step 3 closure, identical final ranking and score.
+  EXPECT_EQ(serial.inference.closure, parallel.inference.closure);
+  EXPECT_EQ(serial.inference.ranking, parallel.inference.ranking);
+  EXPECT_EQ(serial.inference.log_probability,
+            parallel.inference.log_probability);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+  EXPECT_EQ(serial.inference.step3.pairs_without_evidence,
+            parallel.inference.step3.pairs_without_evidence);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -133,5 +133,38 @@ TEST(WalkIndirect, ValidatesArguments) {
   EXPECT_THROW(walk_indirect_preferences(sq, 1), Error);
 }
 
+TEST(Reachability, CsrMatchesDenseOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(40);
+    const double density = 0.02 + 0.3 * rng.uniform();
+    PreferenceGraph g(n);
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = 0; j < n; ++j) {
+        if (i != j && rng.bernoulli(density)) {
+          g.set_weight(i, j, 0.1 + 0.9 * rng.uniform());
+        }
+      }
+    }
+    const auto sparse = reachability_closure(g);
+    const auto dense = reachability_closure_dense(g);
+    ASSERT_EQ(sparse, dense) << "trial " << trial << ", n = " << n;
+  }
+}
+
+TEST(Reachability, CsrViewIsInvalidatedByMutation) {
+  PreferenceGraph g(3);
+  g.set_weight(0, 1, 0.5);
+  EXPECT_EQ(g.out_csr().edge_count(), 1u);
+  g.set_weight(1, 2, 0.5);
+  const CsrAdjacency& csr = g.out_csr();
+  EXPECT_EQ(csr.edge_count(), 2u);
+  ASSERT_EQ(csr.row_ptr.size(), 4u);
+  EXPECT_EQ(csr.neighbors[csr.row_ptr[1]], 2u);
+  // Removing an edge (weight 0) must drop it from the rebuilt view.
+  g.set_weight(0, 1, 0.0);
+  EXPECT_EQ(g.out_csr().edge_count(), 1u);
+}
+
 }  // namespace
 }  // namespace crowdrank
