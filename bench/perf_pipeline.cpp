@@ -2,11 +2,18 @@
 //
 // Runs the full simulated experiment (assignment -> crowd -> Steps 1-4) at
 // n in {100, 300, 1000} with fixed seeds, once on a single thread and once
-// on the configured thread count, and writes BENCH_pipeline.json with
-// wall-ms per stage, the threads used, the speedup, and whether the two
-// runs produced identical rankings (the parallel engine guarantees they
-// do). This file is the perf trajectory anchor: every future optimization
-// PR should move these numbers and nothing else.
+// on the configured thread count, and writes BENCH_pipeline.json (the
+// shared trace::RunReport format, stamped with build info) with wall-ms
+// per stage, the threads used, the speedup, and whether the two runs
+// produced identical rankings (the parallel engine guarantees they do).
+// This file is the perf trajectory anchor: every future optimization PR
+// should move these numbers and nothing else.
+//
+// The timed runs deliberately execute with NO trace sink attached — they
+// double as the <2% overhead regression check for the tracing layer's
+// disabled path. Set CROWDRANK_TRACE=out.json to additionally capture an
+// (untimed) traced run of the largest size.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -14,22 +21,20 @@
 
 #include "bench/common.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 namespace {
 
 struct StageTimes {
-  double total_ms = 0.0;
-  double step1_ms = 0.0;
-  double step2_ms = 0.0;
-  double step3_ms = 0.0;
-  double step4_ms = 0.0;
   double experiment_ms = 0.0;  ///< whole run_experiment wall time
+  double total_ms = 0.0;       ///< inference only (sum of the four steps)
+  PhaseTimer timings;
   std::vector<VertexId> ranking;
   double accuracy = 0.0;
 };
 
-StageTimes run_once(std::size_t n) {
+ExperimentConfig make_config(std::size_t n) {
   ExperimentConfig config;
   config.object_count = n;
   config.selection_ratio = 0.1;
@@ -38,35 +43,31 @@ StageTimes run_once(std::size_t n) {
   config.worker_quality = {QualityDistribution::Gaussian,
                            QualityLevel::Medium};
   config.seed = 42 + n;
+  return config;
+}
 
+StageTimes run_once(std::size_t n) {
+  const ExperimentConfig config = make_config(n);
   Stopwatch watch;
   const ExperimentResult r = run_experiment(config);
   StageTimes out;
   out.experiment_ms = watch.elapsed_millis();
-  const PhaseTimer& t = r.inference.timings;
-  out.total_ms = t.total_seconds() * 1e3;
-  out.step1_ms = t.seconds("step1_truth_discovery") * 1e3;
-  out.step2_ms = t.seconds("step2_smoothing") * 1e3;
-  out.step3_ms = t.seconds("step3_propagation") * 1e3;
-  out.step4_ms = t.seconds("step4_find_best_ranking") * 1e3;
+  out.timings = r.inference.timings;
+  out.total_ms = out.timings.total_seconds() * 1e3;
   const auto order = r.inference.ranking.order();
   out.ranking.assign(order.begin(), order.end());
   out.accuracy = r.accuracy;
   return out;
 }
 
-void emit_stages(std::ostream& os, const char* key, const StageTimes& t,
-                 std::size_t threads) {
-  os << "      \"" << key << "\": {\n"
-     << "        \"threads\": " << threads << ",\n"
-     << "        \"experiment_ms\": " << t.experiment_ms << ",\n"
-     << "        \"inference_ms\": " << t.total_ms << ",\n"
-     << "        \"step1_truth_discovery_ms\": " << t.step1_ms << ",\n"
-     << "        \"step2_smoothing_ms\": " << t.step2_ms << ",\n"
-     << "        \"step3_propagation_ms\": " << t.step3_ms << ",\n"
-     << "        \"step4_find_best_ranking_ms\": " << t.step4_ms << ",\n"
-     << "        \"accuracy\": " << t.accuracy << "\n"
-     << "      }";
+void capture_run(trace::RunReport& report, const std::string& label,
+                 const StageTimes& t, std::size_t threads) {
+  trace::RunReport::Run& run = report.add_run(label);
+  run.note("threads", static_cast<std::int64_t>(threads));
+  run.note("experiment_ms", t.experiment_ms);
+  run.note("inference_ms", t.total_ms);
+  run.note("accuracy", t.accuracy);
+  run.capture(t.timings);
 }
 
 void run() {
@@ -77,17 +78,14 @@ void run() {
   const std::vector<std::size_t> object_counts = {100, 300, 1000};
   const std::size_t parallel_threads = configured_thread_count();
 
-  std::ofstream json("BENCH_pipeline.json");
-  json << "{\n  \"benchmark\": \"perf_pipeline\",\n"
-       << "  \"hardware_threads\": " << parallel_threads << ",\n"
-       << "  \"runs\": [\n";
+  trace::RunReport report("perf_pipeline");
+  report.note("hardware_threads",
+              static_cast<std::int64_t>(parallel_threads));
 
   TableWriter table({"n", "serial_ms", "parallel_ms", "threads", "speedup",
                      "rankings_match"});
   bool all_match = true;
-  for (std::size_t idx = 0; idx < object_counts.size(); ++idx) {
-    const std::size_t n = object_counts[idx];
-
+  for (const std::size_t n : object_counts) {
     set_thread_count(1);
     const StageTimes serial = run_once(n);
 
@@ -104,16 +102,44 @@ void run() {
                    std::to_string(parallel_threads),
                    TableWriter::fmt(speedup), match ? "yes" : "NO"});
 
-    json << "    {\n      \"n\": " << n << ",\n";
-    emit_stages(json, "serial", serial, 1);
-    json << ",\n";
-    emit_stages(json, "parallel", parallel, parallel_threads);
-    json << ",\n      \"speedup\": " << speedup << ",\n"
-         << "      \"rankings_match\": " << (match ? "true" : "false")
-         << "\n    }" << (idx + 1 < object_counts.size() ? "," : "") << "\n";
+    // (Built up with append rather than operator+ to dodge GCC 12's
+    // -Wrestrict false positive on temporary string concatenation.)
+    std::string serial_label = "n";
+    serial_label.append(std::to_string(n)).append("_serial");
+    std::string parallel_label = "n";
+    parallel_label.append(std::to_string(n)).append("_parallel");
+    capture_run(report, serial_label, serial, 1);
+    trace::RunReport::Run& par = report.add_run(parallel_label);
+    par.note("threads", static_cast<std::int64_t>(parallel_threads));
+    par.note("experiment_ms", parallel.experiment_ms);
+    par.note("inference_ms", parallel.total_ms);
+    par.note("accuracy", parallel.accuracy);
+    par.note("speedup", speedup);
+    par.note("rankings_match", match);
+    par.capture(parallel.timings);
   }
-  json << "  ]\n}\n";
-  json.close();
+  report.note("rankings_match", all_match);
+
+  // Optional traced rerun of the largest size (outside the timed loop, so
+  // the figures above stay a pure no-sink measurement).
+  if (const char* trace_path = std::getenv("CROWDRANK_TRACE")) {
+    trace::TraceSink sink;
+    {
+      trace::ScopedSink scoped(&sink);
+      run_once(object_counts.back());
+    }
+    std::ofstream os(trace_path);
+    sink.write_chrome_trace(os);
+    trace::RunReport::Run& traced = report.add_run("traced_rerun");
+    traced.note("n", static_cast<std::int64_t>(object_counts.back()));
+    traced.capture(sink);
+    std::cout << "wrote " << trace_path << " (traced rerun, untimed)\n";
+  }
+
+  if (!report.write_file("BENCH_pipeline.json")) {
+    std::cerr << "ERROR: cannot write BENCH_pipeline.json\n";
+    std::exit(1);
+  }
 
   bench::emit(table);
   std::cout << "\nwrote BENCH_pipeline.json\n";

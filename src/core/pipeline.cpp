@@ -7,6 +7,8 @@
 #include "graph/hamiltonian.hpp"
 #include "metrics/kendall.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -51,12 +53,33 @@ InferenceResult InferenceEngine::infer_impl(
   InferenceResult result{Ranking::identity(object_count), 0.0, {}, {}, {},
                          {}, 0, {}};
 
+  // Install the configured sink (if any) for the whole run; instrumented
+  // code below and in the step implementations picks it up via
+  // trace::sink(). Restored on every exit path.
+  trace::ScopedSink scoped_sink(config_.trace);
+  trace::Span root("infer");
+  if (root.active()) {
+    root.set_attr("objects", object_count);
+    root.set_attr("workers", worker_count);
+    root.set_attr("votes", votes.size());
+    root.set_attr("threads", thread_count());
+    root.set_attr("search", config_.search == RankSearchMethod::Saps ? "saps"
+                            : config_.search == RankSearchMethod::Taps
+                                ? "taps"
+                                : "held_karp");
+  }
+
   // Step 1: truth discovery of the direct pairwise preferences.
   TruthDiscoveryResult step1;
   {
-    ScopedPhase phase(result.timings, "step1_truth_discovery");
+    trace::StepScope phase(result.timings, "step1_truth_discovery");
     step1 = discover_truth(votes, object_count, worker_count,
                            config_.truth_discovery);
+    if (phase.span().active()) {
+      phase.span().set_attr("iterations", step1.iterations);
+      phase.span().set_attr("converged", step1.converged);
+      phase.span().set_attr("tasks", step1.truths.size());
+    }
   }
 
   // Wire each discovered task to its workers, in truths[] order (smoothing
@@ -73,24 +96,36 @@ InferenceResult InferenceEngine::infer_impl(
   // Step 2: preference smoothing of the 1-edges.
   PreferenceGraph smoothed(object_count);
   {
-    ScopedPhase phase(result.timings, "step2_smoothing");
+    trace::StepScope phase(result.timings, "step2_smoothing");
     const PreferenceGraph direct = step1.to_preference_graph(object_count);
     result.one_edge_count = direct.one_edges().size();
     smoothed = smooth_preferences(direct, step1, task_workers,
                                   config_.smoothing, &rng, &result.step2);
+    if (phase.span().active()) {
+      phase.span().set_attr("one_edges", result.one_edge_count);
+      phase.span().set_attr("one_edges_smoothed",
+                            result.step2.one_edges_smoothed);
+      phase.span().set_attr("strongly_connected_after",
+                            result.step2.strongly_connected_after);
+    }
   }
 
   // Step 3: transitive propagation into a complete, normalized closure.
   Matrix closure;
   {
-    ScopedPhase phase(result.timings, "step3_propagation");
+    trace::StepScope phase(result.timings, "step3_propagation");
     closure = propagate_preferences(smoothed, config_.propagation,
                                     &result.step3);
+    if (phase.span().active()) {
+      phase.span().set_attr("pairs_without_evidence",
+                            result.step3.pairs_without_evidence);
+      phase.span().set_attr("complete", result.step3.complete);
+    }
   }
 
   // Step 4: find the best ranking (max-probability Hamiltonian path).
   {
-    ScopedPhase phase(result.timings, "step4_find_best_ranking");
+    trace::StepScope phase(result.timings, "step4_find_best_ranking");
     switch (config_.search) {
       case RankSearchMethod::Saps: {
         const SapsResult saps = saps_search(closure, config_.saps, rng);
@@ -113,8 +148,14 @@ InferenceResult InferenceEngine::infer_impl(
         break;
       }
     }
+    if (phase.span().active()) {
+      phase.span().set_attr("log_probability", result.log_probability);
+    }
   }
 
+  if (root.active()) {
+    root.set_attr("log_probability", result.log_probability);
+  }
   result.step1 = std::move(step1);
   result.closure = std::move(closure);
   return result;

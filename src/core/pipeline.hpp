@@ -26,6 +26,10 @@
 
 namespace crowdrank {
 
+namespace trace {
+class TraceSink;
+}  // namespace trace
+
 /// Which Step-4 search produces the final ranking.
 enum class RankSearchMethod {
   Saps,      ///< simulated annealing (default; any n)
@@ -45,6 +49,13 @@ struct InferenceConfig {
   RankSearchMethod search = RankSearchMethod::Saps;
   SapsConfig saps;
   TapsConfig taps;
+  /// When non-null, the engine installs this sink (trace::ScopedSink) for
+  /// the duration of infer(): per-step spans, convergence series, and the
+  /// pool/kernel counters all land here. Null (the default) keeps the
+  /// entire tracing layer at zero overhead. The sink is observe-only —
+  /// instrumentation never touches RNG state, so traced and untraced runs
+  /// produce bitwise-identical results.
+  trace::TraceSink* trace = nullptr;
 };
 
 /// Everything the pipeline learned, with per-step timings (Fig. 4's

@@ -6,6 +6,7 @@
 #include "graph/transitive_closure.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -36,6 +37,13 @@ Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
     }
     return max_entry;
   };
+
+  // Per-doubling-step trace: the log-scale of W^m ("residual" of the power
+  // iteration — how far the high-order terms have decayed) and the carry
+  // factor that re-injects S(m). Pure observation of existing state.
+  metrics::Counter* trace_steps = trace::counter("propagation.power_steps");
+  metrics::Series* trace_lp = trace::series("propagation.lp");
+  metrics::Series* trace_carry = trace::series("propagation.carry");
 
   // Invariants: s_hat ∝ S(m), p_hat = W^m / e^{lp} with max entry 1.
   Matrix s_hat = w;
@@ -71,6 +79,14 @@ Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
     p_hat = std::move(p_next);
     lp = 2.0 * lp + std::log(std::max(scale, 1e-300));
     length *= 2;
+
+    if (trace_steps != nullptr) {
+      trace_steps->add(1);
+      const double len = static_cast<double>(length);
+      trace::push_series(trace_lp, len, lp);
+      trace::push_series(trace_carry, len,
+                         lp < 700.0 && lp > -700.0 ? std::exp(-lp) : 0.0);
+    }
   }
   return s_hat;
 }
@@ -124,6 +140,10 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
         },
         [](std::size_t a, std::size_t b) { return a + b; });
     local.complete = true;
+    if (metrics::Counter* c =
+            trace::counter("propagation.pairs_without_evidence")) {
+      c->add(local.pairs_without_evidence);
+    }
     if (stats != nullptr) {
       *stats = local;
     }
@@ -202,6 +222,10 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
         break;
       }
     }
+  }
+  if (metrics::Counter* c =
+          trace::counter("propagation.pairs_without_evidence")) {
+    c->add(local.pairs_without_evidence);
   }
   if (stats != nullptr) {
     *stats = local;

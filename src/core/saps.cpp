@@ -8,6 +8,7 @@
 #include "graph/hamiltonian.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -222,6 +223,16 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
   SapsResult result;
   result.log_cost = std::numeric_limits<double>::infinity();
 
+  // Annealing-schedule trace, sampled every `stride` iterations so even
+  // million-iteration runs stay at ~128 points per restart. The stride is
+  // derived from the config alone (never the clock), and all observations
+  // are reads of existing state — the anneal itself is untouched.
+  metrics::Series* trace_temp = trace::series("saps.temperature");
+  metrics::Series* trace_accept = trace::series("saps.acceptance_rate");
+  metrics::Series* trace_best = trace::series("saps.best_log_cost");
+  const std::size_t trace_stride =
+      config.iterations > 128 ? config.iterations / 128 : 1;
+
   // Algorithm 3: Metropolis acceptance on d = sum log(1/w).
   const auto accept = [&](double d_cur, double d_next, double temp) {
     if (d_next < d_cur) return true;
@@ -231,6 +242,10 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
   };
 
   for (std::size_t restart = 0; restart < restarts; ++restart) {
+    trace::Span restart_span("saps_restart");
+    if (restart_span.active()) {
+      restart_span.set_attr("restart", restart);
+    }
     const VertexId anchor = static_cast<VertexId>(restart % n);
     Path current = initial_path(closure, anchor, config.init_mode,
                                 /*force_anchor=*/restart > 0, rng);
@@ -239,6 +254,12 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
       result.log_cost = d_cur;
       result.best_path = current;
     }
+
+    // Windowed acceptance bookkeeping for the trace samples below.
+    std::uint64_t window_proposed = 0;
+    std::uint64_t window_accepted = 0;
+    const double iter_base =
+        static_cast<double>(restart) * static_cast<double>(config.iterations);
 
     double temp = config.initial_temperature;
     for (std::size_t iter = 0; iter < config.iterations; ++iter) {
@@ -275,6 +296,7 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
         }
 
         ++result.moves_proposed;
+        ++window_proposed;
         if (accept(d_cur, d_cur + delta, temp)) {
           if (move == 0) {
             saps_rotate(current, p0, p1, p2);
@@ -285,6 +307,7 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
           }
           d_cur += delta;
           ++result.moves_accepted;
+          ++window_accepted;
           if (d_cur < result.log_cost) {
             result.log_cost = d_cur;
             result.best_path = current;
@@ -292,10 +315,32 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
         }
       }
       temp *= config.cooling_rate;
+
+      if (trace_temp != nullptr && (iter + 1) % trace_stride == 0) {
+        const double t = iter_base + static_cast<double>(iter + 1);
+        trace::push_series(trace_temp, t, temp);
+        trace::push_series(
+            trace_accept, t,
+            window_proposed > 0 ? static_cast<double>(window_accepted) /
+                                      static_cast<double>(window_proposed)
+                                : 0.0);
+        trace::push_series(trace_best, t, result.log_cost);
+        window_proposed = 0;
+        window_accepted = 0;
+      }
+    }
+    if (restart_span.active()) {
+      restart_span.set_attr("best_log_cost", result.log_cost);
     }
     // Guard against float drift from long delta chains: the reported cost
     // is recomputed exactly from the stored best path below.
     ++result.restarts_run;
+  }
+
+  if (metrics::Counter* c = trace::counter("saps.moves_proposed")) {
+    c->add(result.moves_proposed);
+    trace::counter("saps.moves_accepted")->add(result.moves_accepted);
+    trace::counter("saps.restarts")->add(result.restarts_run);
   }
 
   // Re-derive the exact cost of the winner: accumulated deltas can drift

@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -28,6 +29,13 @@ PreferenceGraph smooth_preferences(
   SmoothingStats local;
   local.in_nodes_before = graph.in_nodes().size();
   local.out_nodes_before = graph.out_nodes().size();
+
+  // Per-orientation flip counters for the trace: how many 1-edges were
+  // softened in the forward (x == 1) vs backward (x == 0) direction.
+  metrics::Counter* trace_forward = trace::counter("smoothing.forward_ones");
+  metrics::Counter* trace_backward =
+      trace::counter("smoothing.backward_ones");
+  metrics::Histogram* trace_mass = trace::histogram("smoothing.mass");
 
   PreferenceGraph smoothed = graph;
   for (std::size_t t = 0; t < step1.truths.size(); ++t) {
@@ -59,14 +67,20 @@ PreferenceGraph smooth_preferences(
     if (forward_one) {
       smoothed.set_weight(i, j, 1.0 - mass);
       smoothed.set_weight(j, i, mass);
+      if (trace_forward != nullptr) trace_forward->add(1);
     } else {
       smoothed.set_weight(j, i, 1.0 - mass);
       smoothed.set_weight(i, j, mass);
+      if (trace_backward != nullptr) trace_backward->add(1);
     }
+    if (trace_mass != nullptr) trace_mass->observe(mass);
     ++local.one_edges_smoothed;
   }
 
   local.strongly_connected_after = smoothed.is_strongly_connected();
+  if (metrics::Counter* c = trace::counter("smoothing.one_edges_smoothed")) {
+    c->add(local.one_edges_smoothed);
+  }
   if (stats != nullptr) {
     *stats = local;
   }

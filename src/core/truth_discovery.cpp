@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -93,6 +94,20 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
 
   TruthDiscoveryResult result;
 
+  // Trace handles, resolved once. Instrumentation below only *reads* the
+  // iteration state (delta, q spread) — it never feeds back into Eq. 4/5.
+  metrics::Counter* trace_votes = trace::counter("truth_discovery.votes");
+  metrics::Counter* trace_tasks = trace::counter("truth_discovery.tasks");
+  metrics::Counter* trace_iters =
+      trace::counter("truth_discovery.iterations");
+  metrics::Series* trace_delta = trace::series("truth_discovery.delta");
+  metrics::Series* trace_spread =
+      trace::series("truth_discovery.quality_spread");
+  if (trace_votes != nullptr) {
+    trace_votes->add(g.votes.size());
+    trace_tasks->add(num_tasks);
+  }
+
   const std::size_t iteration_cap =
       config.use_quality_weighting ? config.max_iterations : 1;
   std::size_t iter = 0;
@@ -127,6 +142,11 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
     if (!config.use_quality_weighting) {
       // Plain averaging: one E-step with unit weights, no M-step.
       converged = true;
+      if (trace_iters != nullptr) {
+        trace_iters->add(1);
+        trace::push_series(trace_delta, static_cast<double>(iter),
+                           max_change);
+      }
       break;
     }
 
@@ -172,6 +192,16 @@ TruthDiscoveryResult discover_truth(const VoteBatch& votes,
         [](double a, double b) { return std::max(a, b); });
 
     converged = max_change < config.tolerance;
+
+    if (trace_iters != nullptr) {
+      trace_iters->add(1);
+      // Convergence series, keyed by iteration number: the Eq. 4/5 delta
+      // and the spread (max - min) of the normalized worker weights.
+      trace::push_series(trace_delta, static_cast<double>(iter), max_change);
+      const auto [q_min, q_max] = std::minmax_element(q.begin(), q.end());
+      trace::push_series(trace_spread, static_cast<double>(iter),
+                         *q_max - *q_min);
+    }
   }
 
   result.truths.reserve(num_tasks);

@@ -1,6 +1,9 @@
 #include "io/commands.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -13,7 +16,9 @@
 #include "metrics/kendall.hpp"
 #include "metrics/spearman.hpp"
 #include "metrics/topk.hpp"
+#include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank::io {
 
@@ -141,7 +146,7 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
   const Args args(static_cast<int>(raw.size()), raw.data(), 2,
                   {"votes", "objects", "workers", "search", "seed",
-                   "ranking-out", "saps-iterations"},
+                   "ranking-out", "saps-iterations", "trace", "metrics"},
                   {});
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
@@ -156,10 +161,26 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   const std::size_t n = args.get_size("objects", max_object + 1);
   const std::size_t m = args.get_size("workers", max_worker + 1);
 
+  // Observability outputs: --trace (Chrome trace-event JSON) and --metrics
+  // (RunReport JSON). CROWDRANK_TRACE=path stands in for --trace when the
+  // flag is absent, so traces can be pulled from wrapped invocations.
+  std::string trace_path = args.get_string("trace", "");
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("CROWDRANK_TRACE")) {
+      trace_path = env;
+    }
+  }
+  const std::string metrics_path = args.get_string("metrics", "");
+  std::unique_ptr<trace::TraceSink> sink;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    sink = std::make_unique<trace::TraceSink>();
+  }
+
   InferenceConfig config;
   config.search = parse_search(args);
   config.saps.iterations =
       args.get_size("saps-iterations", config.saps.iterations);
+  config.trace = sink.get();
   const InferenceEngine engine(config);
   Rng rng(args.get_seed("seed", 1));
   const InferenceResult result = engine.infer(votes, n, m, rng);
@@ -186,6 +207,34 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   if (args.has("ranking-out")) {
     save_ranking(args.value("ranking-out"), result.ranking);
     out << "wrote " << args.value("ranking-out") << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    CR_EXPECTS(os.good(), "cannot open --trace output file");
+    sink->write_chrome_trace(os);
+    out << "wrote " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    trace::RunReport report("crowdrank infer");
+    report.note("votes_file", args.require_string("votes"));
+    report.note("objects", static_cast<std::int64_t>(n));
+    report.note("workers", static_cast<std::int64_t>(m));
+    report.note("votes", static_cast<std::int64_t>(votes.size()));
+    report.note("search", args.get_string("search", "saps"));
+    report.note("seed",
+                static_cast<std::int64_t>(args.get_seed("seed", 1)));
+    report.note("saps_iterations",
+                static_cast<std::int64_t>(config.saps.iterations));
+    trace::RunReport::Run& run = report.add_run("infer");
+    run.note("log_probability", result.log_probability);
+    run.note("one_edges", static_cast<std::int64_t>(result.one_edge_count));
+    run.note("truth_discovery_iterations",
+             static_cast<std::int64_t>(result.step1.iterations));
+    run.capture(*sink);
+    run.capture(result.timings);
+    CR_EXPECTS(report.write_file(metrics_path),
+               "cannot write --metrics output file");
+    out << "wrote " << metrics_path << "\n";
   }
   return 0;
 }
@@ -282,12 +331,15 @@ std::string cli_usage() {
       << "  infer     --votes F [--objects N] [--workers M]\n"
       << "            [--search saps|taps|heldkarp] [--saps-iterations I]\n"
       << "            [--seed S] [--ranking-out F]\n"
+      << "            [--trace F.json] [--metrics F.json]\n"
+      << "            (CROWDRANK_TRACE=F.json substitutes for --trace)\n"
       << "  eval      --reference F --ranking F [--k K]\n"
       << "  diagnose  --votes F [--objects N] [--workers M]\n"
       << "            (exit 0 rankable, 2 not cleanly rankable)\n"
       << "  plan      --objects N [--target A] [--pool M]\n"
       << "            [--replication W] [--reward $] [--quality ...]\n"
-      << "            [--distribution ...] [--seed S]\n";
+      << "            [--distribution ...] [--seed S]\n"
+      << "  version   print build information (also --version)\n";
   return usage.str();
 }
 
@@ -305,6 +357,10 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "eval") return cmd_eval(argv, out);
     if (command == "plan") return cmd_plan(argv, out);
     if (command == "diagnose") return cmd_diagnose(argv, out);
+    if (command == "version" || command == "--version") {
+      out << build_info_string() << "\n";
+      return 0;
+    }
     if (command == "help" || command == "--help") {
       out << cli_usage();
       return 0;

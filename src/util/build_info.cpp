@@ -1,0 +1,41 @@
+#include "util/build_info.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "crowdrank/version.hpp"
+#include "util/parallel.hpp"
+
+namespace crowdrank {
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.version = CROWDRANK_VERSION;
+  info.git_revision = CROWDRANK_GIT_DESCRIBE;
+  info.compiler =
+      std::string(CROWDRANK_COMPILER_ID) + " " + CROWDRANK_COMPILER_VERSION;
+  info.build_type = CROWDRANK_BUILD_TYPE;
+  info.threads = configured_thread_count();
+  // Mirror configured_thread_count()'s parse: the env var is the source
+  // only when it actually decided the count.
+  bool from_env = false;
+  if (const char* env = std::getenv("CROWDRANK_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    from_env = end != env && *end == '\0' && parsed > 0;
+  }
+  info.thread_source = from_env ? "CROWDRANK_THREADS" : "hardware";
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo info = build_info();
+  std::ostringstream os;
+  os << "crowdrank " << info.version << " (" << info.git_revision << ")\n"
+     << "compiler : " << info.compiler << "\n"
+     << "build    : " << info.build_type << "\n"
+     << "threads  : " << info.threads << " (" << info.thread_source << ")\n";
+  return os.str();
+}
+
+}  // namespace crowdrank

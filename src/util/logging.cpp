@@ -30,6 +30,9 @@ void Logger::write(LogLevel level, const std::string& message) {
     case LogLevel::Off:
       return;
   }
+  // One lock per line: concurrent lanes may log freely without tearing a
+  // line apart or interleaving partial messages.
+  std::lock_guard<std::mutex> lock(write_mutex_);
   std::cerr << '[' << prefix << "] " << message << '\n';
 }
 

@@ -2,11 +2,14 @@
 //
 // The library itself is silent by default (Core Guidelines: libraries should
 // not write to stdout); benches and examples raise the level to Info to
-// narrate progress. The logger is a process-wide singleton guarded for
-// single-threaded use (all crowdrank pipelines are single-threaded by
-// design — determinism beats parallelism for a reproduction study).
+// narrate progress. The logger is a process-wide singleton and is safe to
+// use from concurrent pipeline lanes: `write` emits each message under a
+// mutex as a single line, so lines from different threads never interleave
+// mid-message (the TSan suite covers concurrent logging).
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -19,19 +22,23 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
-  /// Writes one line with a level prefix to stderr.
+  /// Writes one line with a level prefix to stderr. Mutex-guarded: the
+  /// whole line is emitted atomically with respect to other write() calls.
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  std::mutex write_mutex_;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -75,6 +76,14 @@ Matrix Matrix::multiply(const Matrix& lhs, const Matrix& rhs) {
   const std::size_t n = lhs.rows_;
   const std::size_t k_dim = lhs.cols_;
   const std::size_t m = rhs.cols_;
+  // Dense-kernel accounting for the tracing layer: one relaxed-atomic load
+  // when tracing is off, two sharded counter adds when on. The flop figure
+  // is the dense upper bound (the kernel skips zero lhs entries).
+  if (metrics::Counter* mults = trace::counter("matrix.multiplies")) {
+    mults->add(1);
+    trace::counter("matrix.flops")
+        ->add(static_cast<std::uint64_t>(2) * n * k_dim * m);
+  }
   Matrix out(n, m, 0.0);
   // i-k-j order with blocking: streams through rhs rows sequentially, so the
   // inner loop is a SAXPY the compiler vectorizes. Parallelized over row

@@ -1,0 +1,176 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrank::metrics {
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+namespace {
+
+/// Relaxed CAS add for atomic<double> (fetch_add on floating atomics is
+/// C++20 but spotty across standard libraries; the loop is equivalent).
+void atomic_add(std::atomic<double>& slot, double delta) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_of(double v) noexcept {
+  if (!(v > 1.0)) {  // also catches NaN and negatives -> bucket 0
+    return 0;
+  }
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  const auto b = static_cast<std::size_t>(exp > 0 ? exp : 0);
+  return std::min(b, Histogram::kBucketCount - 1);
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(s.sum, v);
+  atomic_min(s.min, v);
+  atomic_max(s.max, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  bool any = false;
+  for (const Shard& s : shards_) {
+    const std::uint64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) {
+      continue;
+    }
+    const double lo = s.min.load(std::memory_order_relaxed);
+    const double hi = s.max.load(std::memory_order_relaxed);
+    out.count += c;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.min = any ? std::min(out.min, lo) : lo;
+    out.max = any ? std::max(out.max, hi) : hi;
+    any = true;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::bucket_upper_bound(std::size_t b) {
+  return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+}
+
+void Series::push(double t_us, double x, double y) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.push_back(Point{t_us, x, y});
+}
+
+std::vector<Series::Point> Series::points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_.size();
+}
+
+namespace {
+
+/// Shared lookup-or-create over the name-keyed maps.
+template <typename Map>
+auto& lookup(std::mutex& mutex, Map& map, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = map[name];
+  if (!slot) {
+    slot = std::make_unique<typename Map::mapped_type::element_type>();
+  }
+  return *slot;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return lookup(mutex_, counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return lookup(mutex_, gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return lookup(mutex_, histograms_, name);
+}
+
+Series& Registry::series(const std::string& name) {
+  return lookup(mutex_, series_, name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<Series::Point>>>
+Registry::all_series() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::vector<Series::Point>>> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    out.emplace_back(name, s->points());
+  }
+  return out;
+}
+
+}  // namespace crowdrank::metrics

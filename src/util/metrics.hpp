@@ -1,0 +1,167 @@
+// Metrics registry: named counters, gauges, histograms, and series.
+//
+// Instrumentation primitives for the tracing layer (util/trace.hpp). The
+// write paths are designed to be safe inside `parallel_for` lanes and
+// near-free when sampled:
+//  * Counter / Histogram updates go to a cache-line-padded per-thread
+//    shard (relaxed atomics, no locks); readers merge the shards on flush.
+//    Concurrent adds never lose increments and never serialize writers.
+//  * Gauge is a single relaxed atomic slot (last writer wins).
+//  * Series is an append-only ordered sequence of (timestamp, x, y) points
+//    guarded by a mutex — it is meant for coarse per-iteration convergence
+//    signals pushed by the coordinating thread, not for per-element use.
+//
+// Nothing here touches RNG state or the data being computed, so
+// instrumented code produces bitwise-identical results with metrics on or
+// off (tests/core/test_determinism.cpp pins this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crowdrank::metrics {
+
+/// Small dense id for the calling thread: 0 for the first thread that asks,
+/// 1 for the next, and so on for the life of the process. Used to pick
+/// metric shards and as the exported trace `tid`.
+std::uint32_t thread_ordinal();
+
+/// Shard count for the per-thread storage. Thread ordinals are folded
+/// modulo this, so two threads only ever share a shard (correct, slightly
+/// contended) when more than kShardCount threads write one metric.
+inline constexpr std::size_t kShardCount = 32;
+
+namespace detail {
+/// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+inline std::size_t shard_index() {
+  return static_cast<std::size_t>(thread_ordinal()) % kShardCount;
+}
+}  // namespace detail
+
+/// Monotonic accumulator, merged across shards on read.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    shards_[detail::shard_index()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum over all shards. Safe to call concurrently with writers; the
+  /// result is a consistent lower bound of the eventual total.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::CounterShard, kShardCount> shards_;
+};
+
+/// Last-writer-wins double slot.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples. Bucket b
+/// covers (2^(b-1), 2^b] (bucket 0 covers [0, 1]); observations are
+/// sharded like Counter, min/max/sum kept per shard with CAS loops.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 40;
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+  };
+  Snapshot snapshot() const noexcept;
+
+  /// Upper bound of bucket b (inclusive): 2^b for b >= 1, 1.0 for b = 0.
+  static double bucket_upper_bound(std::size_t b);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    // min/max start at the identity of their CAS loops; they are only read
+    // when count > 0, by which time at least one observe() has landed.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Ordered (timestamp, x, y) sequence for convergence traces: x is the
+/// caller's step axis (iteration, power, annealing step), y the measured
+/// value, t_us the wall-clock offset supplied by the sink so the points
+/// can also render as chrome counter tracks.
+class Series {
+ public:
+  struct Point {
+    double t_us = 0.0;
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  void push(double t_us, double x, double y);
+  std::vector<Point> points() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Point> points_;
+};
+
+/// Name -> metric registry with stable addresses: handles returned by the
+/// lookup calls stay valid for the registry's lifetime, so hot code can
+/// resolve a handle once and update it lock-free afterwards.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Series& series(const std::string& name);
+
+  /// Snapshot views in name order (deterministic export).
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms() const;
+  std::vector<std::pair<std::string, std::vector<Series::Point>>> all_series()
+      const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace crowdrank::metrics

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 
@@ -50,6 +52,10 @@ struct ThreadPool::State {
   std::atomic<std::size_t> cursor{0};
   std::size_t active_workers = 0;
   bool stopping = false;
+
+  // Nanoseconds every lane spent draining the current region; only
+  // maintained while a trace sink is active (see drain_timed).
+  std::atomic<std::uint64_t> region_busy_ns{0};
 
   // First exception thrown by any task of the current region.
   std::exception_ptr error;
@@ -106,6 +112,24 @@ void ThreadPool::resize(std::size_t count) {
   spawn_workers(count - 1);
 }
 
+/// Runs drain_tasks, accumulating the lane's busy time into the region
+/// counter when a trace sink is active (zero extra work otherwise).
+void ThreadPool::drain_timed(const std::function<void(std::size_t)>& task,
+                             std::size_t count) {
+  if (trace::sink() == nullptr) {
+    drain_tasks(task, count);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  drain_tasks(task, count);
+  const auto busy = std::chrono::steady_clock::now() - t0;
+  state_->region_busy_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+              .count()),
+      std::memory_order_relaxed);
+}
+
 void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
                              std::size_t count) {
   State& s = *state_;
@@ -141,7 +165,7 @@ void ThreadPool::worker_loop() {
     lock.unlock();
 
     t_in_region = true;
-    drain_tasks(*task, count);
+    drain_timed(*task, count);
     t_in_region = false;
 
     lock.lock();
@@ -172,6 +196,10 @@ void ThreadPool::run(std::size_t count,
   }
 
   std::lock_guard<std::mutex> region(s.region_mutex);
+  // Capture the sink once per region: lane busy times and the region
+  // summary must land in the same sink even if it is swapped mid-region.
+  trace::TraceSink* ts = trace::sink();
+  const auto region_start = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     s.task = &task;
@@ -179,17 +207,41 @@ void ThreadPool::run(std::size_t count,
     s.cursor.store(0, std::memory_order_relaxed);
     s.error = nullptr;
     s.active_workers = s.workers.size();
+    s.region_busy_ns.store(0, std::memory_order_relaxed);
     ++s.generation;
   }
   s.work_ready.notify_all();
 
   t_in_region = true;
-  drain_tasks(task, count);
+  drain_timed(task, count);
   t_in_region = false;
 
   std::unique_lock<std::mutex> lock(s.mutex);
   s.work_done.wait(lock, [&] { return s.active_workers == 0; });
   s.task = nullptr;
+  const std::size_t lanes = s.workers.size() + 1;
+  if (ts != nullptr) {
+    // Region summary: task throughput plus how much of the lanes' combined
+    // wall time was spent idle (waiting for stragglers or wakeup latency).
+    const double wall_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - region_start)
+            .count();
+    const double busy_us =
+        static_cast<double>(
+            s.region_busy_ns.load(std::memory_order_relaxed)) *
+        1e-3;
+    metrics::Registry& m = ts->metrics();
+    m.counter("pool.regions").add(1);
+    m.counter("pool.tasks").add(count);
+    m.counter("pool.busy_us").add(static_cast<std::uint64_t>(busy_us));
+    const double idle_us =
+        wall_us * static_cast<double>(lanes) - busy_us;
+    m.counter("pool.idle_us")
+        .add(static_cast<std::uint64_t>(idle_us > 0.0 ? idle_us : 0.0));
+    m.gauge("pool.threads").set(static_cast<double>(lanes));
+    m.histogram("pool.region_us").observe(wall_us);
+  }
   if (s.error) {
     std::exception_ptr error = s.error;
     s.error = nullptr;

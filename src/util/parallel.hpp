@@ -66,6 +66,8 @@ class ThreadPool {
   void worker_loop();
   void drain_tasks(const std::function<void(std::size_t)>& task,
                    std::size_t count);
+  void drain_timed(const std::function<void(std::size_t)>& task,
+                   std::size_t count);
 
   struct State;
   State* state_;

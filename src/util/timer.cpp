@@ -2,7 +2,26 @@
 
 namespace crowdrank {
 
+PhaseTimer::PhaseTimer(const PhaseTimer& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  totals_ = other.totals_;
+  order_ = other.order_;
+}
+
+PhaseTimer& PhaseTimer::operator=(const PhaseTimer& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Lock both in address order to avoid a lock cycle with the mirror call.
+  std::scoped_lock lock(this < &other ? mutex_ : other.mutex_,
+                        this < &other ? other.mutex_ : mutex_);
+  totals_ = other.totals_;
+  order_ = other.order_;
+  return *this;
+}
+
 void PhaseTimer::add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = totals_.try_emplace(phase, 0.0);
   if (inserted) {
     order_.push_back(phase);
@@ -11,11 +30,13 @@ void PhaseTimer::add(const std::string& phase, double seconds) {
 }
 
 double PhaseTimer::seconds(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = totals_.find(phase);
   return it == totals_.end() ? 0.0 : it->second;
 }
 
 double PhaseTimer::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& [_, secs] : totals_) {
     total += secs;
@@ -23,7 +44,13 @@ double PhaseTimer::total_seconds() const {
   return total;
 }
 
+std::vector<std::string> PhaseTimer::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
 void PhaseTimer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   totals_.clear();
   order_.clear();
 }

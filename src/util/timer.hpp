@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,8 +31,18 @@ class Stopwatch {
 
 /// Accumulates named phase durations, preserving first-seen order. The
 /// inference pipeline uses this to report Step 1-4 timings like Fig. 4.
+///
+/// add() and the readers are mutex-guarded: phase scopes can close on
+/// pooled code paths (e.g. trace::StepScope around a region that was
+/// dispatched from a worker lane), so concurrent add() calls must not
+/// corrupt the map. Reads taken while another thread is still adding see
+/// a consistent snapshot of whatever has been recorded so far.
 class PhaseTimer {
  public:
+  PhaseTimer() = default;
+  PhaseTimer(const PhaseTimer& other);
+  PhaseTimer& operator=(const PhaseTimer& other);
+
   /// Adds `seconds` to the named phase (creating it on first use).
   void add(const std::string& phase, double seconds);
 
@@ -41,12 +52,13 @@ class PhaseTimer {
   /// Sum over all phases.
   double total_seconds() const;
 
-  /// Phases in first-recorded order.
-  const std::vector<std::string>& phases() const { return order_; }
+  /// Phases in first-recorded order (copy: safe against concurrent add).
+  std::vector<std::string> phases() const;
 
   void clear();
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, double> totals_;
   std::vector<std::string> order_;
 };

@@ -11,6 +11,7 @@
 #include "util/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace crowdrank {
 namespace {
@@ -115,6 +116,50 @@ TEST_F(DeterminismTest, PipelineOutputIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.accuracy, parallel.accuracy);
   EXPECT_EQ(serial.inference.step3.pairs_without_evidence,
             parallel.inference.step3.pairs_without_evidence);
+}
+
+TEST_F(DeterminismTest, TracingNeverPerturbsPipelineResults) {
+  // The observability layer must be observe-only: running with a sink
+  // attached has to produce bitwise-identical results to running without,
+  // at one thread and at several. Instrumentation that consumed RNG or
+  // reordered work would fail this.
+  ExperimentConfig config;
+  config.object_count = 50;
+  config.selection_ratio = 0.15;
+  config.worker_pool_size = 12;
+  config.workers_per_task = 3;
+  config.seed = 4321;
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+
+    config.inference.trace = nullptr;
+    const ExperimentResult plain = run_experiment(config);
+
+    trace::TraceSink sink;
+    config.inference.trace = &sink;
+    const ExperimentResult traced = run_experiment(config);
+    config.inference.trace = nullptr;
+
+    EXPECT_EQ(plain.inference.closure, traced.inference.closure)
+        << "threads = " << threads;
+    EXPECT_EQ(plain.inference.ranking, traced.inference.ranking)
+        << "threads = " << threads;
+    EXPECT_EQ(plain.inference.log_probability,
+              traced.inference.log_probability)
+        << "threads = " << threads;
+    EXPECT_EQ(plain.accuracy, traced.accuracy) << "threads = " << threads;
+
+    // And the traced run actually recorded the pipeline: the four step
+    // spans under one root, plus the convergence series.
+    const auto spans = sink.spans();
+    ASSERT_GE(spans.size(), 5u) << "threads = " << threads;
+    EXPECT_EQ(spans[0].name, "infer");
+    EXPECT_EQ(spans[1].name, "step1_truth_discovery");
+    EXPECT_EQ(spans[1].parent, 0u);
+    EXPECT_GT(sink.metrics().counter("truth_discovery.iterations").value(),
+              0u);
+  }
 }
 
 }  // namespace

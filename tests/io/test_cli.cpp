@@ -232,5 +232,77 @@ TEST(Cli, InferReportsBoundaryConfidence) {
   EXPECT_NE(out.find("tie threshold"), std::string::npos);
 }
 
+TEST(Cli, VersionPrintsBuildInfo) {
+  for (const char* spelling : {"version", "--version"}) {
+    std::string out;
+    EXPECT_EQ(run({spelling}, &out), 0) << spelling;
+    EXPECT_NE(out.find("crowdrank "), std::string::npos) << out;
+    EXPECT_NE(out.find("compiler"), std::string::npos) << out;
+    EXPECT_NE(out.find("threads"), std::string::npos) << out;
+  }
+}
+
+TEST(Cli, InferWritesTraceAndMetricsFiles) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "15", "--ratio", "0.4", "--seed",
+                 "5", "--votes-out", dir.file("votes.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--seed", "2",
+                 "--trace", dir.file("trace.json"), "--metrics",
+                 dir.file("report.json")},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote " + dir.file("trace.json")), std::string::npos);
+  EXPECT_NE(out.find("wrote " + dir.file("report.json")),
+            std::string::npos);
+
+  // Spot-check content: the Chrome trace names the pipeline steps, the
+  // report carries build info and per-stage timings.
+  std::ifstream trace_in(dir.file("trace.json"));
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("step1_truth_discovery"),
+            std::string::npos);
+  EXPECT_NE(trace_text.str().find("step4_find_best_ranking"),
+            std::string::npos);
+
+  std::ifstream report_in(dir.file("report.json"));
+  std::stringstream report_text;
+  report_text << report_in.rdbuf();
+  EXPECT_NE(report_text.str().find("\"build\""), std::string::npos);
+  EXPECT_NE(report_text.str().find("\"phases_ms\""), std::string::npos);
+  EXPECT_NE(report_text.str().find("truth_discovery.delta"),
+            std::string::npos);
+}
+
+TEST(Cli, TracingDoesNotChangeTheInferredRanking) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--objects", "15", "--ratio", "0.4", "--seed",
+                 "9", "--votes-out", dir.file("votes.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--seed", "3",
+                 "--ranking-out", dir.file("plain.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--seed", "3",
+                 "--ranking-out", dir.file("traced.csv"), "--trace",
+                 dir.file("trace.json"), "--metrics",
+                 dir.file("report.json")},
+                &out),
+            0);
+  const Ranking plain = load_ranking(dir.file("plain.csv"));
+  const Ranking traced = load_ranking(dir.file("traced.csv"));
+  const std::vector<VertexId> plain_order(plain.order().begin(),
+                                          plain.order().end());
+  const std::vector<VertexId> traced_order(traced.order().begin(),
+                                           traced.order().end());
+  EXPECT_EQ(plain_order, traced_order);
+}
+
 }  // namespace
 }  // namespace crowdrank::io

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <iostream>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace crowdrank {
 namespace {
@@ -122,6 +126,40 @@ TEST_F(ParallelTest, ExceptionsInsideRegionPropagateToCaller) {
 
 TEST_F(ParallelTest, ConfiguredThreadCountIsPositive) {
   EXPECT_GE(configured_thread_count(), 1u);
+}
+
+TEST_F(ParallelTest, ConcurrentLogWritesNeverInterleaveMidLine) {
+  // Logger::write is mutex-guarded (util/logging.hpp); lines written from
+  // every pool lane at once must come out whole. Capture stderr via an
+  // rdbuf swap, fan out writers, then check each captured line verbatim.
+  // This test (in the TSan preset's suite) also gives the sanitizer a
+  // concurrent-logging workload to chew on.
+  set_thread_count(4);
+  Logger& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  logger.set_level(LogLevel::Info);
+
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  parallel_for(0, 64, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      logger.write(LogLevel::Info,
+                   "message-" + std::to_string(i) + "-payload");
+    }
+  });
+  std::cerr.rdbuf(old_buf);
+  logger.set_level(old_level);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    // "[INFO ] message-<i>-payload" with nothing spliced into the middle.
+    ASSERT_EQ(line.rfind("[INFO ] message-", 0), 0u) << line;
+    ASSERT_EQ(line.substr(line.size() - 8), "-payload") << line;
+  }
+  EXPECT_EQ(count, 64u);
 }
 
 }  // namespace
