@@ -61,7 +61,7 @@ void run() {
         const SimulatedCrowd base(truth, workers);
 
         // Contaminate the first ceil(rate * m) workers.
-        std::unordered_map<WorkerId, WorkerBehavior> overrides;
+        std::map<WorkerId, WorkerBehavior> overrides;
         const auto bad =
             static_cast<std::size_t>(rate * static_cast<double>(m) + 0.5);
         for (WorkerId k = 0; k < bad; ++k) {

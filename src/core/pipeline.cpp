@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "analysis/invariants.hpp"
 #include "graph/hamiltonian.hpp"
 #include "metrics/kendall.hpp"
 #include "util/error.hpp"
@@ -57,8 +58,14 @@ InferenceResult InferenceEngine::infer_impl(
   // code below and in the step implementations picks it up via
   // trace::sink(). Restored on every exit path.
   trace::ScopedSink scoped_sink(config_.trace);
+  // Stage validators (analysis/invariants.hpp) run between steps when asked
+  // to — one boolean test per stage otherwise. They observe, never mutate,
+  // so validated and unvalidated runs are bitwise-identical.
+  const bool validate =
+      config_.check_invariants || analysis::invariant_checks_enabled();
   trace::Span root("infer");
   if (root.active()) {
+    root.set_attr("check_invariants", validate);
     root.set_attr("objects", object_count);
     root.set_attr("workers", worker_count);
     root.set_attr("votes", votes.size());
@@ -81,6 +88,9 @@ InferenceResult InferenceEngine::infer_impl(
       phase.span().set_attr("tasks", step1.truths.size());
     }
   }
+  if (validate) {
+    analysis::check_truth_discovery(step1, object_count, worker_count);
+  }
 
   // Wire each discovered task to its workers, in truths[] order (smoothing
   // consults those workers' qualities).
@@ -93,11 +103,13 @@ InferenceResult InferenceEngine::infer_impl(
     task_workers.push_back(it->second);
   }
 
-  // Step 2: preference smoothing of the 1-edges.
+  // Step 2: preference smoothing of the 1-edges. `direct` outlives the
+  // timed scope so the validators can diff it against the smoothed graph.
   PreferenceGraph smoothed(object_count);
+  PreferenceGraph direct(object_count);
   {
     trace::StepScope phase(result.timings, "step2_smoothing");
-    const PreferenceGraph direct = step1.to_preference_graph(object_count);
+    direct = step1.to_preference_graph(object_count);
     result.one_edge_count = direct.one_edges().size();
     smoothed = smooth_preferences(direct, step1, task_workers,
                                   config_.smoothing, &rng, &result.step2);
@@ -108,6 +120,11 @@ InferenceResult InferenceEngine::infer_impl(
       phase.span().set_attr("strongly_connected_after",
                             result.step2.strongly_connected_after);
     }
+  }
+  if (validate) {
+    analysis::check_preference_graph(direct);
+    analysis::check_preference_graph(smoothed);
+    analysis::check_smoothing(direct, smoothed, config_.smoothing);
   }
 
   // Step 3: transitive propagation into a complete, normalized closure.
@@ -121,6 +138,9 @@ InferenceResult InferenceEngine::infer_impl(
                             result.step3.pairs_without_evidence);
       phase.span().set_attr("complete", result.step3.complete);
     }
+  }
+  if (validate) {
+    analysis::check_closure(closure);
   }
 
   // Step 4: find the best ranking (max-probability Hamiltonian path).
@@ -151,6 +171,9 @@ InferenceResult InferenceEngine::infer_impl(
     if (phase.span().active()) {
       phase.span().set_attr("log_probability", result.log_probability);
     }
+  }
+  if (validate) {
+    analysis::check_ranking(result.ranking, object_count);
   }
 
   if (root.active()) {
@@ -183,6 +206,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Task assignment (§IV) and HIT construction (§II).
   TaskAssignment assignment_result =
       generate_task_assignment(config.object_count, l, rng);
+  if (config.inference.check_invariants ||
+      analysis::invariant_checks_enabled()) {
+    analysis::check_task_graph(assignment_result.graph, l);
+  }
   const std::vector<Edge> tasks(assignment_result.graph.edges().begin(),
                                 assignment_result.graph.edges().end());
   const HitConfig hit_config{config.comparisons_per_hit,

@@ -56,6 +56,13 @@ struct InferenceConfig {
   /// instrumentation never touches RNG state, so traced and untraced runs
   /// produce bitwise-identical results.
   trace::TraceSink* trace = nullptr;
+  /// Runs the analysis/invariants.hpp stage validators between pipeline
+  /// steps (Step-1 truth/quality ranges, smoothing unanimity semantics,
+  /// closure pair-normalization, ranking permutation). ORed with the
+  /// process-wide CROWDRANK_CHECK_INVARIANTS switch; violations throw
+  /// analysis::InvariantError. Validation only reads stage output, so an
+  /// enabled run is bitwise-identical to a disabled one.
+  bool check_invariants = false;
 };
 
 /// Everything the pipeline learned, with per-step timings (Fig. 4's

@@ -6,7 +6,7 @@ namespace crowdrank {
 
 BehavioralCrowd::BehavioralCrowd(
     const SimulatedCrowd& base,
-    std::unordered_map<WorkerId, WorkerBehavior> overrides)
+    std::map<WorkerId, WorkerBehavior> overrides)
     : base_(base), overrides_(std::move(overrides)) {
   for (const auto& [worker, behavior] : overrides_) {
     CR_EXPECTS(worker < base.workers().size(),

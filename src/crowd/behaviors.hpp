@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "crowd/hit.hpp"
@@ -35,7 +35,7 @@ class BehavioralCrowd {
   /// `overrides` maps worker ids to non-honest personas; all other workers
   /// answer via `base`'s paper model.
   BehavioralCrowd(const SimulatedCrowd& base,
-                  std::unordered_map<WorkerId, WorkerBehavior> overrides);
+                  std::map<WorkerId, WorkerBehavior> overrides);
 
   const SimulatedCrowd& base() const { return base_; }
 
@@ -53,7 +53,7 @@ class BehavioralCrowd {
 
  private:
   const SimulatedCrowd& base_;
-  std::unordered_map<WorkerId, WorkerBehavior> overrides_;
+  std::map<WorkerId, WorkerBehavior> overrides_;
 };
 
 }  // namespace crowdrank

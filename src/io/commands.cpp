@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/invariants.hpp"
 #include "core/confidence.hpp"
 #include "core/diagnostics.hpp"
 #include "core/pipeline.hpp"
@@ -147,7 +148,7 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   const Args args(static_cast<int>(raw.size()), raw.data(), 2,
                   {"votes", "objects", "workers", "search", "seed",
                    "ranking-out", "saps-iterations", "trace", "metrics"},
-                  {});
+                  {"check-invariants"});
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
 
@@ -181,12 +182,18 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   config.saps.iterations =
       args.get_size("saps-iterations", config.saps.iterations);
   config.trace = sink.get();
+  // Stage invariant validation: --check-invariants, or the process-wide
+  // CROWDRANK_CHECK_INVARIANTS env switch (analysis/invariants.hpp).
+  config.check_invariants = args.flag("check-invariants");
   const InferenceEngine engine(config);
   Rng rng(args.get_seed("seed", 1));
   const InferenceResult result = engine.infer(votes, n, m, rng);
 
   out << "inferred full ranking of " << n << " objects from "
       << votes.size() << " votes by " << m << " workers\n";
+  if (config.check_invariants || analysis::invariant_checks_enabled()) {
+    out << "invariant checks: all stage validators passed\n";
+  }
   out << "truth discovery: " << result.step1.iterations << " iterations, "
       << result.one_edge_count << " 1-edges smoothed\n";
   out << "log preference probability: " << result.log_probability << "\n";
@@ -330,9 +337,10 @@ std::string cli_usage() {
       << "            [--votes-out F] [--truth-out F] [--tasks-out F]\n"
       << "  infer     --votes F [--objects N] [--workers M]\n"
       << "            [--search saps|taps|heldkarp] [--saps-iterations I]\n"
-      << "            [--seed S] [--ranking-out F]\n"
+      << "            [--seed S] [--ranking-out F] [--check-invariants]\n"
       << "            [--trace F.json] [--metrics F.json]\n"
-      << "            (CROWDRANK_TRACE=F.json substitutes for --trace)\n"
+      << "            (CROWDRANK_TRACE=F.json substitutes for --trace;\n"
+      << "             CROWDRANK_CHECK_INVARIANTS=1 for --check-invariants)\n"
       << "  eval      --reference F --ranking F [--k K]\n"
       << "  diagnose  --votes F [--objects N] [--workers M]\n"
       << "            (exit 0 rankable, 2 not cleanly rankable)\n"

@@ -66,14 +66,12 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
-ThreadPool::ThreadPool(std::size_t count) : state_(new State) {
+ThreadPool::ThreadPool(std::size_t count)
+    : state_(std::make_unique<State>()) {
   spawn_workers(count == 0 ? 0 : count - 1);
 }
 
-ThreadPool::~ThreadPool() {
-  stop_workers();
-  delete state_;
-}
+ThreadPool::~ThreadPool() { stop_workers(); }
 
 std::size_t ThreadPool::thread_count() const {
   std::lock_guard<std::mutex> lock(state_->mutex);
@@ -160,6 +158,13 @@ void ThreadPool::worker_loop() {
       return;
     }
     seen_generation = s.generation;
+    if (s.task == nullptr) {
+      // Woken by a generation bump whose region already fully drained — a
+      // freshly spawned worker (post-resize) starts with seen_generation 0
+      // and observes old increments. Sync and re-wait; this worker was not
+      // part of that region, so active_workers must not be touched.
+      continue;
+    }
     const auto* task = s.task;
     const std::size_t count = s.task_count;
     lock.unlock();

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace crowdrank {
@@ -70,7 +71,7 @@ class ThreadPool {
                    std::size_t count);
 
   struct State;
-  State* state_;
+  std::unique_ptr<State> state_;  // pimpl; State is completed in the .cpp
 };
 
 /// Convenience accessors for the global pool.

@@ -37,9 +37,12 @@ double PhaseTimer::seconds(const std::string& phase) const {
 
 double PhaseTimer::total_seconds() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Sum in first-recorded order: iterating the unordered map would add the
+  // doubles in hash order, which is not pinned across library versions, so
+  // the reported total could differ in the last bits between environments.
   double total = 0.0;
-  for (const auto& [_, secs] : totals_) {
-    total += secs;
+  for (const std::string& phase : order_) {
+    total += totals_.at(phase);
   }
   return total;
 }

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Nondeterminism-hazard linter for crowdrank.
+
+The library promises bitwise-reproducible results (DESIGN.md): same votes +
+same seed -> same ranking, at any thread count. A handful of C++ constructs
+quietly break that promise, so this script bans them in src/:
+
+  rand              libc rand()/srand() — unseeded/global PRNG; all
+                    randomness must flow through util/rng.hpp.
+  unordered-iter    iterating a std::unordered_* container — iteration
+                    order is hash/libc++-version dependent, so anything
+                    order-sensitive (float accumulation, output emission)
+                    becomes nondeterministic. Keyed lookup is fine; this
+                    rule only fires on declared-unordered variables that
+                    are ranged-over or .begin()/.end()'d in the same file.
+  wall-clock        system_clock / std::time / localtime / gmtime in result
+                    computation. Timing utilities (util/timer.*,
+                    util/trace.*) are allowlisted; results must not be.
+  raw-new           raw new/delete expressions — own memory with
+                    containers or smart pointers ('= delete' is fine).
+
+Suppress a finding for one line with a trailing comment:
+    // lint:allow(<rule>)
+
+Also runs clang-format --dry-run -Werror over the C++ sources when a
+clang-format binary is available (check-only; never rewrites). Pure
+stdlib; exits 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+# Files whose whole job is to touch the wall clock.
+WALL_CLOCK_ALLOWLIST = (
+    "src/util/timer.hpp",
+    "src/util/timer.cpp",
+    "src/util/trace.hpp",
+    "src/util/trace.cpp",
+)
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"&?\s*(\w+)\s*[;({=,)]"
+)
+
+RULES = {
+    "rand": re.compile(r"\b(?:std::)?s?rand\s*\("),
+    "wall-clock": re.compile(
+        r"\bsystem_clock\b|\bstd::time\s*\(|\blocaltime\b|\bgmtime\b"
+    ),
+    "raw-new": re.compile(
+        r"\bnew\s+[A-Za-z_:(]|\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]"
+    ),
+}
+
+
+def strip_noise(line: str) -> str:
+    """Remove string/char literals and // comments so regexes only see code.
+
+    Line-based and deliberately simple: block comments spanning lines can
+    slip through, which at worst produces a finding the author silences
+    with lint:allow.
+    """
+    line = re.sub(r'"(?:\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(?:\\.|[^'\\])*'", "''", line)
+    return re.sub(r"//.*$", "", line)
+
+
+def source_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "src"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.splitlines()
+    return [f for f in out if f.endswith(CPP_EXTENSIONS)]
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def lint_file(path: str) -> list[tuple[str, int, str, str]]:
+    findings = []
+    with open(os.path.join(ROOT, path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    stripped = [strip_noise(l) for l in lines]
+
+    # Pass 1: names declared as unordered containers anywhere in this file
+    # (locals and members alike — scope-blind on purpose; keyed lookups
+    # never match the iteration patterns below, so over-collection is
+    # harmless).
+    unordered_names = set()
+    for code in stripped:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    iter_res = []
+    if unordered_names:
+        names = "|".join(re.escape(n) for n in sorted(unordered_names))
+        iter_res = [
+            # range-for:  for (auto& kv : table)
+            re.compile(r":\s*(?:%s)\s*\)" % names),
+            # explicit iterators: table.begin() / table.cbegin(). A lone
+            # .end() is not flagged — comparing find() against the end
+            # sentinel is keyed lookup, not iteration.
+            re.compile(r"\b(?:%s)\s*\.\s*c?r?begin\s*\(" % names),
+        ]
+
+    for lineno, (raw, code) in enumerate(zip(lines, stripped), start=1):
+        allow = allowed_rules(raw)
+        for rule, pattern in RULES.items():
+            if rule == "wall-clock" and path in WALL_CLOCK_ALLOWLIST:
+                continue
+            m = pattern.search(code)
+            if m and rule not in allow:
+                findings.append((path, lineno, rule, raw.strip()))
+        if "unordered-iter" not in allow:
+            for pattern in iter_res:
+                if pattern.search(code):
+                    findings.append(
+                        (path, lineno, "unordered-iter", raw.strip())
+                    )
+                    break
+    return findings
+
+
+def find_clang_format() -> str | None:
+    env = os.environ.get("CLANG_FORMAT")
+    if env and shutil.which(env):
+        return shutil.which(env)
+    for name in ("clang-format", "clang-format-19", "clang-format-18",
+                 "clang-format-17", "clang-format-16", "clang-format-15",
+                 "clang-format-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def check_format() -> int:
+    binary = find_clang_format()
+    if binary is None:
+        print("lint: clang-format not found on PATH; skipping format check")
+        return 0
+    files = subprocess.run(
+        ["git", "ls-files", "src", "tests", "tools", "bench", "examples"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.splitlines()
+    files = [f for f in files if f.endswith(CPP_EXTENSIONS)]
+    result = subprocess.run(
+        [binary, "--dry-run", "-Werror", "--style=file", *files],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        print("lint: clang-format check failed (check-only; fix with "
+              "clang-format -i)", file=sys.stderr)
+        return 1
+    print("lint: clang-format clean over %d files" % len(files))
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        print("usage: tools/crowdrank_lint.py", file=sys.stderr)
+        return 2
+
+    files = source_files()
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for path, lineno, rule, text in findings:
+        print("%s:%d: [%s] %s" % (path, lineno, rule, text), file=sys.stderr)
+
+    status = 0
+    if findings:
+        print(
+            "lint: %d nondeterminism hazard(s) in src/ — see rules in "
+            "tools/crowdrank_lint.py; suppress a deliberate use with "
+            "// lint:allow(<rule>)" % len(findings),
+            file=sys.stderr,
+        )
+        status = 1
+    else:
+        print("lint: %d source files clean" % len(files))
+
+    if check_format() != 0:
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
