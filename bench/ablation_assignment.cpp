@@ -37,9 +37,15 @@ Outcome run_with_assignment(std::size_t n, double ratio, bool fair,
   const SimulatedCrowd crowd(truth, workers);
   const VoteBatch votes = crowd.collect(assignment, rng);
 
-  const InferenceEngine engine;
-  Rng infer_rng(seed + 1);
-  const auto result = engine.infer(votes, n, 30, assignment, infer_rng);
+  api::Request request;
+  request.votes = votes;
+  request.object_count = n;
+  request.worker_count = 30;
+  request.seed = seed + 1;
+  request.repair = false;  // assignment keys on raw ids
+  request.assignment = &assignment;
+  const api::Response response = api::rank(request);
+  const InferenceResult& result = *response.inference;
 
   // In/out-node count of the *unsmoothed* preference graph: how much
   // repair work smoothing had to do.

@@ -10,9 +10,6 @@
 #include <string>
 
 #include "bench/common.hpp"
-#include "crowd/amt_dataset.hpp"
-#include "metrics/kendall.hpp"
-#include "util/error.hpp"
 
 namespace crowdrank {
 namespace {
@@ -57,46 +54,45 @@ void run() {
                                        rng);
         const VoteBatch votes = ds.collect(assignment, workers, rng);
 
+        // All searches go through the api facade's strict path (repair
+        // off: the HIT assignment keys on raw ids).
+        api::Request request;
+        request.votes = votes;
+        request.object_count = images;
+        request.worker_count = pool_size;
+        request.repair = false;
+        request.assignment = &assignment;
+
         // Exact Step-4 search: TAPS, falling back to Held-Karp when the
         // closure is too flat for early termination (near-indistinguishable
         // images make every path's probability comparable, the regime where
-        // the threshold rule degenerates to exhaustion).
-        InferenceConfig taps_config;
-        taps_config.search = RankSearchMethod::Taps;
-        taps_config.taps.max_expansions = 2'000'000;
+        // the threshold rule degenerates to exhaustion). The facade reports
+        // the expansion-budget blowout structurally instead of throwing.
+        request.inference.search = RankSearchMethod::Taps;
+        request.inference.taps.max_expansions = 2'000'000;
         std::string exact_method = "TAPS";
-        Rng taps_rng(1);
-        auto run_exact = [&]() {
-          try {
-            const InferenceEngine engine(taps_config);
-            return engine.infer(votes, images, pool_size, assignment,
-                                taps_rng);
-          } catch (const Error&) {
-            exact_method = "HeldKarp";
-            InferenceConfig hk_config;
-            hk_config.search = RankSearchMethod::HeldKarp;
-            const InferenceEngine engine(hk_config);
-            return engine.infer(votes, images, pool_size, assignment,
-                                taps_rng);
-          }
-        };
-        const auto taps = run_exact();
+        api::Response taps = api::rank(request);
+        if (!taps.ok()) {
+          exact_method = "HeldKarp";
+          api::Request hk_request = request;
+          hk_request.inference = InferenceConfig{};
+          hk_request.inference.search = RankSearchMethod::HeldKarp;
+          taps = api::rank(hk_request);
+        }
 
-        InferenceConfig saps_config;
-        saps_config.search = RankSearchMethod::Saps;
-        saps_config.saps.iterations = 4000;
-        const InferenceEngine saps_engine(saps_config);
-        Rng saps_rng(1);
-        const auto saps = saps_engine.infer(votes, images, pool_size,
-                                            assignment, saps_rng);
+        api::Request saps_request = request;
+        saps_request.inference = InferenceConfig{};
+        saps_request.inference.search = RankSearchMethod::Saps;
+        saps_request.inference.saps.iterations = 4000;
+        const api::Response saps = api::rank(saps_request);
 
         table.add_row(
             {std::to_string(images), std::to_string(w),
              TableWriter::fmt(ratio, 2),
-             TableWriter::fmt(
-                 ranking_accuracy(taps.ranking, saps.ranking)),
-             TableWriter::fmt(
-                 ranking_accuracy(ds.machine_ranking(), saps.ranking)),
+             TableWriter::fmt(ranking_accuracy(taps.inference->ranking,
+                                               saps.inference->ranking)),
+             TableWriter::fmt(ranking_accuracy(ds.machine_ranking(),
+                                               saps.inference->ranking)),
              exact_method});
       }
     }

@@ -13,10 +13,7 @@
 #include <type_traits>
 #include <vector>
 
-#include "core/pipeline.hpp"
-#include "util/parallel.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+#include "crowdrank.hpp"
 
 namespace crowdrank::bench {
 

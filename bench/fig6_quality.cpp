@@ -7,12 +7,7 @@
 // but loses to SAPS as the budget grows; better workers help every method.
 #include <memory>
 
-#include "baselines/crowd_bt.hpp"
-#include "baselines/quicksort_rank.hpp"
-#include "baselines/repeat_choice.hpp"
 #include "bench/common.hpp"
-#include "crowd/interactive.hpp"
-#include "metrics/kendall.hpp"
 
 namespace crowdrank {
 namespace {
@@ -58,10 +53,19 @@ void run() {
       const VoteBatch votes = crowd.collect(assignment, rng);
 
       Rng saps_rng(1);
-      const InferenceEngine engine;
-      const double saps = ranking_accuracy(
-          truth,
-          engine.infer(votes, n, m, assignment, saps_rng).ranking);
+      // Facade strict path: repair off so the assignment's raw-id task
+      // keys stay valid; bitwise-identical to the direct engine call.
+      api::Request request;
+      request.votes = votes;
+      request.object_count = n;
+      request.worker_count = m;
+      request.repair = false;
+      request.assignment = &assignment;
+      const api::Response response = api::rank(request, saps_rng);
+      const double saps =
+          response.ok()
+              ? ranking_accuracy(truth, response.inference->ranking)
+              : 0.0;
 
       Rng rc_rng(2);
       const double rc = ranking_accuracy(

@@ -9,11 +9,7 @@
 // adversaries.
 #include <unordered_map>
 
-#include "baselines/local_kemeny.hpp"
-#include "baselines/majority_vote.hpp"
 #include "bench/common.hpp"
-#include "crowd/behaviors.hpp"
-#include "metrics/kendall.hpp"
 
 namespace crowdrank {
 namespace {
@@ -78,22 +74,29 @@ void run() {
         const HitAssignment assignment(tasks, HitConfig{5, 3}, m, rng);
         const VoteBatch votes = crowd.collect(assignment, rng);
 
+        api::Request request;
+        request.votes = votes;
+        request.object_count = n;
+        request.worker_count = m;
+        request.repair = false;  // assignment keys on raw ids
+        request.assignment = &assignment;
+
         Rng infer_rng(t);
-        const InferenceEngine engine;
-        acc_saps += ranking_accuracy(
-            truth,
-            engine.infer(votes, n, m, assignment, infer_rng).ranking);
+        const api::Response weighted = api::rank(request, infer_rng);
+        acc_saps += weighted.ok()
+                        ? ranking_accuracy(truth,
+                                           weighted.inference->ranking)
+                        : 0.0;
 
         // Same pipeline with Step 1's quality weighting disabled: how
         // much of the robustness is Eq. 4/5 specifically?
-        InferenceConfig unweighted_config;
-        unweighted_config.truth_discovery.use_quality_weighting = false;
-        const InferenceEngine unweighted(unweighted_config);
+        request.inference.truth_discovery.use_quality_weighting = false;
         Rng unweighted_rng(t);
-        acc_unweighted += ranking_accuracy(
-            truth,
-            unweighted.infer(votes, n, m, assignment, unweighted_rng)
-                .ranking);
+        const api::Response unweighted = api::rank(request, unweighted_rng);
+        acc_unweighted +=
+            unweighted.ok()
+                ? ranking_accuracy(truth, unweighted.inference->ranking)
+                : 0.0;
 
         acc_mv += ranking_accuracy(truth, majority_vote_ranking(votes, n));
         acc_lk +=

@@ -1,0 +1,150 @@
+// Throughput/latency bench for the batch ranking service: runs the same
+// n-job stream at increasing executor counts and writes
+// BENCH_service.json (shared trace::RunReport format) with jobs/sec and
+// p50/p99 job latency per worker count.
+//
+// Job-level parallelism is the scaling story: each executor runs the
+// pipeline's kernels inline (util/parallel InlineRegion), so adding
+// executors multiplies concurrent jobs instead of contending for one
+// kernel-level pool. The report records hardware_concurrency — on a
+// single-core host every worker count serializes onto one core and the
+// ratios stay flat; read the numbers in that light rather than expecting
+// the k-core scaling a wider machine shows.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "crowdrank.hpp"
+
+namespace {
+
+using namespace crowdrank;
+
+/// One simulated vote batch reused by every job (jobs differ by seed).
+VoteBatch make_batch(std::size_t n, std::size_t workers, Rng& rng) {
+  VoteBatch votes;
+  for (WorkerId w = 0; w < workers; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        // Mostly-consistent crowd: lower id preferred 85% of the time.
+        votes.push_back(Vote{w, i, j, rng.bernoulli(0.85)});
+      }
+    }
+  }
+  return votes;
+}
+
+struct SweepPoint {
+  std::size_t workers;
+  double wall_ms;
+  double jobs_per_sec;
+  double p50_ms;
+  double p99_ms;
+  std::size_t completed;
+};
+
+SweepPoint run_sweep(std::size_t workers, const VoteBatch& votes,
+                     std::size_t object_count, std::size_t job_count) {
+  service::ServiceConfig config;
+  config.worker_count = workers;
+  config.queue_capacity = job_count;
+  service::RankingService svc(config);
+
+  const Stopwatch wall;
+  for (std::size_t k = 0; k < job_count; ++k) {
+    service::RankingJob job;
+    job.votes = votes;
+    job.object_count = object_count;
+    job.seed = k + 1;
+    svc.submit(std::move(job));
+  }
+  const std::vector<service::JobResult> results = svc.drain();
+  const double wall_ms = wall.elapsed_millis();
+
+  SweepPoint point{};
+  point.workers = workers;
+  point.wall_ms = wall_ms;
+  point.jobs_per_sec = 1e3 * static_cast<double>(job_count) / wall_ms;
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const service::JobResult& r : results) {
+    latencies.push_back(r.queue_ms + r.run_ms);
+    if (r.outcome == service::JobOutcome::Completed) {
+      ++point.completed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[idx];
+  };
+  point.p50_ms = percentile(0.50);
+  point.p99_ms = percentile(0.99);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::full_scale() ? 40 : 24;
+  const std::size_t crowd = 8;
+  const std::size_t job_count = 100;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  bench::banner("service throughput",
+                "batch ranking service: jobs/sec and p50/p99 latency of a " +
+                    std::to_string(job_count) +
+                    "-job stream vs executor count");
+  std::cout << "hardware_concurrency: " << cores
+            << " (worker counts beyond the core count serialize; scaling "
+               "ratios are only meaningful up to it)\n\n";
+
+  Rng rng(2024);
+  const VoteBatch votes = make_batch(n, crowd, rng);
+
+  trace::RunReport report("service_throughput");
+  report.note("jobs", static_cast<std::int64_t>(job_count));
+  report.note("objects", static_cast<std::int64_t>(n));
+  report.note("votes_per_job", static_cast<std::int64_t>(votes.size()));
+  report.note("hardware_concurrency", static_cast<std::int64_t>(cores));
+
+  TableWriter table({"service_workers", "wall_ms", "jobs_per_sec",
+                     "p50_ms", "p99_ms", "completed"});
+  double single_worker_rate = 0.0;
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const SweepPoint point = run_sweep(workers, votes, n, job_count);
+    if (workers == 1) {
+      single_worker_rate = point.jobs_per_sec;
+    }
+    table.add_row({std::to_string(point.workers),
+                   TableWriter::fmt(point.wall_ms, 1),
+                   TableWriter::fmt(point.jobs_per_sec, 1),
+                   TableWriter::fmt(point.p50_ms, 2),
+                   TableWriter::fmt(point.p99_ms, 2),
+                   std::to_string(point.completed)});
+
+    trace::RunReport::Run& run =
+        report.add_run("workers_" + std::to_string(point.workers));
+    run.note("service_workers", static_cast<std::int64_t>(point.workers));
+    run.note("wall_ms", point.wall_ms);
+    run.note("jobs_per_sec", point.jobs_per_sec);
+    run.note("p50_ms", point.p50_ms);
+    run.note("p99_ms", point.p99_ms);
+    run.note("completed", static_cast<std::int64_t>(point.completed));
+    run.note("speedup_vs_single", point.jobs_per_sec / single_worker_rate);
+  }
+  bench::emit(table);
+
+  if (!report.write_file("BENCH_service.json")) {
+    std::cerr << "ERROR: cannot write BENCH_service.json\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_service.json\n";
+  return 0;
+}

@@ -10,12 +10,7 @@
 // degrades.
 #include <memory>
 
-#include "baselines/crowd_bt.hpp"
-#include "baselines/quicksort_rank.hpp"
-#include "baselines/repeat_choice.hpp"
 #include "bench/common.hpp"
-#include "crowd/interactive.hpp"
-#include "metrics/kendall.hpp"
 
 namespace crowdrank {
 namespace {
@@ -58,9 +53,18 @@ struct Row {
 Row run_saps(const World& w) {
   Rng rng(1);
   const Stopwatch watch;
-  const InferenceEngine engine;
-  const auto result = engine.infer(w.votes, w.n, w.m, *w.assignment, rng);
-  return {ranking_accuracy(w.truth, result.ranking),
+  // The facade's strict path (repair off, assignment keyed on raw ids)
+  // is bitwise-identical to driving the engine directly.
+  api::Request request;
+  request.votes = w.votes;
+  request.object_count = w.n;
+  request.worker_count = w.m;
+  request.repair = false;
+  request.assignment = w.assignment.get();
+  const api::Response result = api::rank(request, rng);
+  return {result.ok()
+              ? ranking_accuracy(w.truth, result.inference->ranking)
+              : 0.0,
           watch.elapsed_seconds()};
 }
 

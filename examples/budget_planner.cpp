@@ -8,8 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pipeline.hpp"
-#include "util/math.hpp"
+#include "crowdrank.hpp"
 
 int main(int argc, char** argv) {
   using namespace crowdrank;

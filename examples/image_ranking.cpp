@@ -7,9 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pipeline.hpp"
-#include "crowd/amt_dataset.hpp"
-#include "metrics/kendall.hpp"
+#include "crowdrank.hpp"
 
 int main(int argc, char** argv) {
   using namespace crowdrank;
@@ -42,19 +40,28 @@ int main(int argc, char** argv) {
   const VoteBatch votes = dataset.collect(assignment, workers, rng);
   std::printf("collected %zu votes in one round\n", votes.size());
 
+  // Both Step-4 searches go through the api facade: the HIT assignment
+  // keys on raw object ids, so repair stays off (the strict engine
+  // contract) and failures surface structurally instead of throwing.
+  api::Request request;
+  request.votes = votes;
+  request.object_count = images;
+  request.worker_count = pool;
+  request.repair = false;
+  request.assignment = &assignment;
+
   // Exact search (TAPS; images <= 20 keeps it tractable).
-  InferenceConfig exact;
-  exact.search = RankSearchMethod::Taps;
-  Rng taps_rng(1);
-  const auto taps = InferenceEngine(exact).infer(votes, images, pool,
-                                                 assignment, taps_rng);
+  request.inference.search = RankSearchMethod::Taps;
+  const api::Response taps = api::rank(request);
 
   // Heuristic search (SAPS).
-  InferenceConfig heuristic;
-  heuristic.search = RankSearchMethod::Saps;
-  Rng saps_rng(1);
-  const auto saps = InferenceEngine(heuristic).infer(votes, images, pool,
-                                                     assignment, saps_rng);
+  request.inference.search = RankSearchMethod::Saps;
+  const api::Response saps = api::rank(request);
+  if (!taps.ok() || !saps.ok()) {
+    std::printf("inference failed: %s\n",
+                (!taps.ok() ? taps : saps).reason.c_str());
+    return 1;
+  }
 
   const auto print_ranking = [](const char* name, const Ranking& r) {
     std::printf("%-14s:", name);
@@ -63,14 +70,16 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   };
-  print_ranking("TAPS (exact)", taps.ranking);
-  print_ranking("SAPS", saps.ranking);
+  print_ranking("TAPS (exact)", taps.inference->ranking);
+  print_ranking("SAPS", saps.inference->ranking);
   print_ranking("machine", dataset.machine_ranking());
 
   std::printf("TAPS-SAPS agreement   : %.3f\n",
-              ranking_accuracy(taps.ranking, saps.ranking));
+              ranking_accuracy(taps.inference->ranking,
+                               saps.inference->ranking));
   std::printf("SAPS vs machine       : %.3f (reference only — the paper "
               "treats neither as ground truth)\n",
-              ranking_accuracy(dataset.machine_ranking(), saps.ranking));
+              ranking_accuracy(dataset.machine_ranking(),
+                               saps.inference->ranking));
   return 0;
 }

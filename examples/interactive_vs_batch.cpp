@@ -12,11 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/crowd_bt.hpp"
-#include "core/pipeline.hpp"
-#include "crowd/interactive.hpp"
-#include "metrics/kendall.hpp"
-#include "util/timer.hpp"
+#include "crowdrank.hpp"
 
 int main(int argc, char** argv) {
   using namespace crowdrank;
@@ -43,11 +39,19 @@ int main(int argc, char** argv) {
   std::vector<Edge> tasks(ta.graph.edges().begin(), ta.graph.edges().end());
   const HitAssignment assignment(tasks, HitConfig{5, 3}, m, rng);
   const VoteBatch votes = crowd.collect(assignment, rng);
-  const InferenceEngine engine;
-  Rng infer_rng(1);
-  const auto batch = engine.infer(votes, n, m, assignment, infer_rng);
+  api::Request request;
+  request.votes = votes;
+  request.object_count = n;
+  request.worker_count = m;
+  request.repair = false;  // assignment keys on raw ids; strict contract
+  request.assignment = &assignment;
+  const api::Response batch = api::rank(request);
+  if (!batch.ok()) {
+    std::printf("batch inference failed: %s\n", batch.reason.c_str());
+    return 1;
+  }
   const double batch_secs = batch_watch.elapsed_seconds();
-  const double batch_acc = ranking_accuracy(truth, batch.ranking);
+  const double batch_acc = ranking_accuracy(truth, batch.inference->ranking);
 
   // --- Interactive: CrowdBT re-plans after every purchased answer. ---
   Stopwatch bt_watch;

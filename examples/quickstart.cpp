@@ -7,8 +7,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/pipeline.hpp"
-#include "metrics/kendall.hpp"
+#include "crowdrank.hpp"
 
 int main() {
   using namespace crowdrank;

@@ -7,10 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/pipeline.hpp"
-#include "core/planning.hpp"
-#include "metrics/kendall.hpp"
-#include "metrics/topk.hpp"
+#include "crowdrank.hpp"
 
 int main(int argc, char** argv) {
   using namespace crowdrank;

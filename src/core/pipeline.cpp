@@ -13,6 +13,113 @@
 
 namespace crowdrank {
 
+const char* stage_name(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::Validation:
+      return "validation";
+    case PipelineStage::Hardening:
+      return "hardening";
+    case PipelineStage::TruthDiscovery:
+      return "truth_discovery";
+    case PipelineStage::Smoothing:
+      return "smoothing";
+    case PipelineStage::Propagation:
+      return "propagation";
+    case PipelineStage::RankSearch:
+      return "rank_search";
+    case PipelineStage::Done:
+      return "done";
+  }
+  return "unknown";
+}
+
+std::string format_config_errors(const std::vector<ConfigError>& errors) {
+  std::string out;
+  for (const ConfigError& e : errors) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += e.field;
+    out += ": ";
+    out += e.message;
+  }
+  return out;
+}
+
+namespace {
+
+void check(std::vector<ConfigError>& errors, bool ok, const char* field,
+           const char* message) {
+  if (!ok) {
+    errors.push_back({field, message});
+  }
+}
+
+}  // namespace
+
+std::vector<ConfigError> InferenceConfig::validate() const {
+  std::vector<ConfigError> errors;
+  check(errors, truth_discovery.max_iterations >= 1,
+        "truth_discovery.max_iterations", "must be at least 1");
+  check(errors, truth_discovery.tolerance > 0.0,
+        "truth_discovery.tolerance", "must be positive");
+  check(errors,
+        truth_discovery.alpha > 0.0 && truth_discovery.alpha < 1.0,
+        "truth_discovery.alpha", "must lie in (0, 1)");
+  check(errors, truth_discovery.deviation_floor >= 0.0,
+        "truth_discovery.deviation_floor", "must be non-negative");
+  check(errors, smoothing.min_mass > 0.0, "smoothing.min_mass",
+        "must be positive (a zero keeps 1-edges unidirectional)");
+  check(errors, smoothing.min_mass <= smoothing.max_mass,
+        "smoothing.min_mass", "must not exceed smoothing.max_mass");
+  check(errors, smoothing.max_mass < 0.5, "smoothing.max_mass",
+        "must stay below 0.5 so the forward direction stays preferred");
+  check(errors, propagation.max_length >= 1, "propagation.max_length",
+        "must be at least 1");
+  check(errors, propagation.alpha >= 0.0 && propagation.alpha <= 1.0,
+        "propagation.alpha", "must lie in [0, 1]");
+  check(errors,
+        propagation.completeness_floor > 0.0 &&
+            propagation.completeness_floor < 0.5,
+        "propagation.completeness_floor", "must lie in (0, 0.5)");
+  check(errors, saps.iterations >= 1, "saps.iterations",
+        "must be at least 1");
+  check(errors, saps.initial_temperature > 0.0, "saps.initial_temperature",
+        "must be positive");
+  check(errors,
+        saps.cooling_rate > 0.0 && saps.cooling_rate <= 1.0,
+        "saps.cooling_rate", "must lie in (0, 1]");
+  check(errors, saps.paper_mode || saps.restarts >= 1, "saps.restarts",
+        "must be at least 1 unless paper_mode restarts from every vertex");
+  check(errors, saps.use_rotate || saps.use_reverse || saps.use_swap,
+        "saps.moves", "at least one move type must be enabled");
+  check(errors, taps.max_expansions >= 1, "taps.max_expansions",
+        "must be at least 1");
+  check(errors, taps.tie_tolerance >= 0.0, "taps.tie_tolerance",
+        "must be non-negative");
+  return errors;
+}
+
+std::vector<ConfigError> ExperimentConfig::validate() const {
+  std::vector<ConfigError> errors = inference.validate();
+  check(errors, object_count >= 2, "object_count",
+        "need at least two objects to rank");
+  check(errors, selection_ratio > 0.0, "selection_ratio",
+        "must be positive");
+  check(errors, selection_ratio <= 1.0, "selection_ratio",
+        "must not exceed 1: the budget cannot buy more than C(n,2) "
+        "distinct comparisons");
+  check(errors, workers_per_task >= 1, "workers_per_task",
+        "replication w must be at least 1");
+  check(errors, workers_per_task <= worker_pool_size, "workers_per_task",
+        "replication w must not exceed the pool size m");
+  check(errors, comparisons_per_hit >= 1, "comparisons_per_hit",
+        "must be at least 1");
+  check(errors, reward_per_comparison > 0.0, "reward_per_comparison",
+        "must be positive");
+  return errors;
+}
+
 InferenceEngine::InferenceEngine(InferenceConfig config)
     : config_(std::move(config)) {}
 
@@ -76,7 +183,19 @@ InferenceResult InferenceEngine::infer_impl(
                                 : "held_karp");
   }
 
+  // Cooperative stage checkpoints: fire before every stage (and once with
+  // Done) so a controller can deadline/cancel the run between stages. The
+  // snapshot pointers fill in as stages complete.
+  StageSnapshot snapshot;
+  const auto checkpoint = [&](PipelineStage next) {
+    if (config_.control != nullptr) {
+      snapshot.next = next;
+      config_.control->checkpoint(snapshot);
+    }
+  };
+
   // Step 1: truth discovery of the direct pairwise preferences.
+  checkpoint(PipelineStage::TruthDiscovery);
   TruthDiscoveryResult step1;
   {
     trace::StepScope phase(result.timings, "step1_truth_discovery");
@@ -91,6 +210,8 @@ InferenceResult InferenceEngine::infer_impl(
   if (validate) {
     analysis::check_truth_discovery(step1, object_count, worker_count);
   }
+  snapshot.truth = &step1;
+  checkpoint(PipelineStage::Smoothing);
 
   // Wire each discovered task to its workers, in truths[] order (smoothing
   // consults those workers' qualities).
@@ -126,6 +247,8 @@ InferenceResult InferenceEngine::infer_impl(
     analysis::check_preference_graph(smoothed);
     analysis::check_smoothing(direct, smoothed, config_.smoothing);
   }
+  snapshot.smoothed = &smoothed;
+  checkpoint(PipelineStage::Propagation);
 
   // Step 3: transitive propagation into a complete, normalized closure.
   Matrix closure;
@@ -142,6 +265,8 @@ InferenceResult InferenceEngine::infer_impl(
   if (validate) {
     analysis::check_closure(closure);
   }
+  snapshot.closure = &closure;
+  checkpoint(PipelineStage::RankSearch);
 
   // Step 4: find the best ranking (max-probability Hamiltonian path).
   {
@@ -175,6 +300,7 @@ InferenceResult InferenceEngine::infer_impl(
   if (validate) {
     analysis::check_ranking(result.ranking, object_count);
   }
+  checkpoint(PipelineStage::Done);
 
   if (root.active()) {
     root.set_attr("log_probability", result.log_probability);
@@ -185,9 +311,10 @@ InferenceResult InferenceEngine::infer_impl(
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  CR_EXPECTS(config.object_count >= 2, "need at least two objects");
-  CR_EXPECTS(config.workers_per_task <= config.worker_pool_size,
-             "replication w must not exceed the pool size m");
+  if (const auto errors = config.validate(); !errors.empty()) {
+    throw Error("invalid experiment config: " +
+                format_config_errors(errors));
+  }
   Rng rng(config.seed);
 
   // Hidden ground truth: a uniformly random permutation.

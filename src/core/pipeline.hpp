@@ -9,8 +9,10 @@
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/propagation.hpp"
 #include "core/saps.hpp"
 #include "core/smoothing.hpp"
@@ -29,6 +31,18 @@ namespace crowdrank {
 namespace trace {
 class TraceSink;
 }  // namespace trace
+
+/// One structured configuration problem found by a `validate()` pass:
+/// the offending field (dotted path, e.g. "saps.cooling_rate") and a
+/// human-readable explanation. Collected into a list so a caller sees
+/// every problem at once instead of fixing them one assert at a time.
+struct ConfigError {
+  std::string field;
+  std::string message;
+};
+
+/// "field: message" rendering used by CLI/service error output.
+std::string format_config_errors(const std::vector<ConfigError>& errors);
 
 /// Which Step-4 search produces the final ranking.
 enum class RankSearchMethod {
@@ -63,6 +77,19 @@ struct InferenceConfig {
   /// analysis::InvariantError. Validation only reads stage output, so an
   /// enabled run is bitwise-identical to a disabled one.
   bool check_invariants = false;
+  /// Cooperative stage control (core/checkpoint.hpp). When non-null the
+  /// engine calls `control->checkpoint()` before every stage and once with
+  /// PipelineStage::Done after Step 4; the controller may throw to abort
+  /// the run between stages. Null (the default) costs one branch per
+  /// stage. The serving layer uses this for deadlines, cancellation, and
+  /// fault injection.
+  StageControl* control = nullptr;
+
+  /// Validates every tunable and returns all problems found (empty =
+  /// valid). Used by the CLI and by `service::RankingService::submit`, so
+  /// bad configs surface as structured errors instead of asserts or
+  /// silent nonsense deep inside a stage.
+  std::vector<ConfigError> validate() const;
 };
 
 /// Everything the pipeline learned, with per-step timings (Fig. 4's
@@ -129,6 +156,12 @@ struct ExperimentConfig {
   WorkerPoolConfig worker_quality;
   InferenceConfig inference;
   std::uint64_t seed = 42;
+
+  /// Validates the experiment-level knobs (object count, budget ratio,
+  /// replication vs pool size, HIT sizing, reward) plus the nested
+  /// `inference` config. Empty result = valid. `run_experiment` throws a
+  /// crowdrank::Error listing every problem when this is non-empty.
+  std::vector<ConfigError> validate() const;
 };
 
 struct ExperimentResult {

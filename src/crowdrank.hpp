@@ -1,0 +1,147 @@
+// crowdrank.hpp — the single public entry point of the crowdrank library.
+//
+// External consumers (examples, benches, downstream tools) include this
+// umbrella header and nothing else; the lint gate (tools/crowdrank_lint.py)
+// rejects direct sub-module includes outside src/ and tests/. The header
+// re-exports every subsystem and adds the stable `crowdrank::api` facade:
+// a Request/Response pair that wraps the configure-harden-infer sequence
+// behind one call, so callers depend on a narrow surface that survives
+// internal pipeline refactors.
+//
+//     crowdrank::api::Request request;
+//     request.votes = ...;            // raw (possibly messy) vote batch
+//     request.object_count = n;
+//     crowdrank::api::Response response = crowdrank::api::rank(request);
+//     if (response.ok()) use(response.ranking.order);
+//
+// `rank` never throws on malformed input: repairs and degradations are
+// reported structurally (Response::outcome, Response::hardening), the same
+// contract the batch service (service/service.hpp) gives each job.
+#pragma once
+
+// util: primitives every layer shares
+#include "util/build_info.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/math.hpp"
+#include "util/matrix.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+// graph: preference graphs, closures, Hamiltonian search
+#include "graph/hamiltonian.hpp"
+#include "graph/preference_graph.hpp"
+#include "graph/scc.hpp"
+#include "graph/task_graph.hpp"
+#include "graph/transitive_closure.hpp"
+#include "graph/types.hpp"
+
+// metrics: ranking representation and quality measures
+#include "metrics/kendall.hpp"
+#include "metrics/ranking.hpp"
+#include "metrics/spearman.hpp"
+#include "metrics/topk.hpp"
+
+// crowd: votes, workers, HITs, budgets, simulators, AMT data
+#include "crowd/amt_dataset.hpp"
+#include "crowd/behaviors.hpp"
+#include "crowd/budget.hpp"
+#include "crowd/hit.hpp"
+#include "crowd/interactive.hpp"
+#include "crowd/simulator.hpp"
+#include "crowd/vote.hpp"
+#include "crowd/worker.hpp"
+
+// analysis: invariant validators
+#include "analysis/invariants.hpp"
+
+// core: the four-step inference pipeline and planners
+#include "core/checkpoint.hpp"
+#include "core/confidence.hpp"
+#include "core/diagnostics.hpp"
+#include "core/pipeline.hpp"
+#include "core/planning.hpp"
+#include "core/two_round.hpp"
+
+// baselines: comparison aggregators
+#include "baselines/bradley_terry.hpp"
+#include "baselines/crowd_bt.hpp"
+#include "baselines/local_kemeny.hpp"
+#include "baselines/majority_vote.hpp"
+#include "baselines/quicksort_rank.hpp"
+#include "baselines/repeat_choice.hpp"
+
+// service: the fault-tolerant batch ranking service
+#include "service/hardening.hpp"
+#include "service/job.hpp"
+#include "service/service.hpp"
+
+namespace crowdrank::api {
+
+/// Structured validation/configuration error: the facade's error currency
+/// is core's ConfigError (field + message), never an exception.
+using Error = ConfigError;
+
+/// One ranking request. Defaults give the paper's pipeline configuration;
+/// `repair` controls whether the input-hardening pass may drop/restrict
+/// votes (turn it off to demand the batch be used exactly as given, which
+/// restores the engine's strict-contract behavior).
+struct Request {
+  VoteBatch votes;
+  /// Number of objects (0 = derive from the highest vote id).
+  std::size_t object_count = 0;
+  /// Number of workers (0 = derive from the batch).
+  std::size_t worker_count = 0;
+  std::uint64_t seed = 1;
+  InferenceConfig inference;
+  /// Apply the input-hardening pass (validate/repair/restrict) first.
+  bool repair = true;
+  service::HardeningPolicy hardening;
+  /// Optional per-task worker assignment for smoothing. When null, the
+  /// workers consulted per task are exactly those who voted on it.
+  const HitAssignment* assignment = nullptr;
+};
+
+/// The structured answer: a (possibly partial) ranking plus the full
+/// degradation accounting. No exception escapes `rank`.
+struct Response {
+  service::JobOutcome outcome = service::JobOutcome::Failed;
+  /// Stage the request ended in (Done on success).
+  PipelineStage stage = PipelineStage::Validation;
+  /// Detail for Rejected/Failed outcomes.
+  std::string reason;
+  /// Ranking over original object ids; `excluded` lists objects the
+  /// evidence could not rank (empty on Completed).
+  service::PartialRanking ranking;
+  service::HardeningReport hardening;
+  double log_probability = 0.0;
+  /// Full engine output (step diagnostics, timings) for the compact
+  /// repaired batch; engaged only when `ok()`.
+  std::optional<InferenceResult> inference;
+  /// Validation errors (outcome Rejected when non-empty).
+  std::vector<Error> errors;
+
+  bool ok() const {
+    return outcome == service::JobOutcome::Completed ||
+           outcome == service::JobOutcome::Degraded;
+  }
+};
+
+/// Validates a request without running it: config range checks plus basic
+/// batch shape checks. Empty result = admissible.
+std::vector<Error> validate(const Request& request);
+
+/// Runs the facade sequence (validate -> harden -> infer) with a fresh
+/// Rng seeded from `request.seed`.
+Response rank(const Request& request);
+
+/// As above but threading the caller's Rng — for harnesses that share one
+/// generator across many calls (benches, simulations).
+Response rank(const Request& request, Rng& rng);
+
+}  // namespace crowdrank::api

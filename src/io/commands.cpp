@@ -1,6 +1,7 @@
 #include "io/commands.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -13,10 +14,12 @@
 #include "core/pipeline.hpp"
 #include "core/planning.hpp"
 #include "io/args.hpp"
+#include "io/job_record.hpp"
 #include "io/records.hpp"
 #include "metrics/kendall.hpp"
 #include "metrics/spearman.hpp"
 #include "metrics/topk.hpp"
+#include "service/service.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
 #include "util/trace.hpp"
@@ -30,6 +33,56 @@ std::vector<const char*> to_argv(const std::vector<std::string>& args) {
   argv.reserve(args.size());
   for (const auto& a : args) argv.push_back(a.c_str());
   return argv;
+}
+
+// -- the shared parser table --------------------------------------------
+//
+// Every command draws its options from these groups, so one concept is
+// spelled one way everywhere, and the canonical spellings match the
+// crowdrank::api / config field names (--object-count <-> object_count).
+// Historical spellings keep working as hidden aliases; they are rewritten
+// onto the canonical key before validation and stay out of the usage text.
+
+const std::map<std::string, std::string>& flag_aliases() {
+  static const std::map<std::string, std::string> aliases{
+      {"objects", "object-count"},
+      {"workers", "worker-count"},
+      {"pool", "worker-pool"},
+      {"replication", "workers-per-task"},
+      {"ratio", "selection-ratio"},
+      {"target", "target-accuracy"},
+      {"reward", "reward-per-comparison"},
+  };
+  return aliases;
+}
+
+std::set<std::string> merge(std::initializer_list<std::set<std::string>>
+                                groups) {
+  std::set<std::string> all;
+  for (const auto& group : groups) {
+    all.insert(group.begin(), group.end());
+  }
+  return all;
+}
+
+/// Batch shape: how many objects / workers the data covers.
+const std::set<std::string> kShapeOptions{"object-count", "worker-count"};
+/// Simulated crowd profile.
+const std::set<std::string> kCrowdOptions{"worker-pool", "workers-per-task",
+                                          "reward-per-comparison", "quality",
+                                          "distribution"};
+/// Budget selection.
+const std::set<std::string> kBudgetOptions{"selection-ratio", "budget"};
+/// Inference pipeline knobs.
+const std::set<std::string> kInferenceOptions{"search", "saps-iterations"};
+/// Observability outputs.
+const std::set<std::string> kObservabilityOptions{"trace", "metrics"};
+
+Args parse_args(const std::vector<const char*>& raw,
+                const std::set<std::string>& options,
+                const std::set<std::string>& flags = {}) {
+  return Args(static_cast<int>(raw.size()), raw.data(), 2, options, flags,
+              flag_aliases());
 }
 
 WorkerPoolConfig parse_quality(const Args& args) {
@@ -55,31 +108,34 @@ WorkerPoolConfig parse_quality(const Args& args) {
   return config;
 }
 
-RankSearchMethod parse_search(const Args& args) {
-  const std::string method = args.get_string("search", "saps");
+RankSearchMethod search_from_name(const std::string& method) {
   if (method == "saps") return RankSearchMethod::Saps;
   if (method == "taps") return RankSearchMethod::Taps;
   if (method == "heldkarp") return RankSearchMethod::HeldKarp;
-  throw Error("--search must be saps, taps, or heldkarp");
+  throw Error("search method must be saps, taps, or heldkarp (got '" +
+              method + "')");
+}
+
+RankSearchMethod parse_search(const Args& args) {
+  return search_from_name(args.get_string("search", "saps"));
 }
 
 int cmd_assign(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"objects", "ratio", "budget", "reward", "replication",
-                   "seed", "tasks-out"},
-                  {});
-  const std::size_t n = args.require_size("objects");
-  const double reward = args.get_double("reward", 0.025);
-  const std::size_t w = args.get_size("replication", 3);
+  const Args args = parse_args(
+      raw, merge({kBudgetOptions,
+                  {"object-count", "reward-per-comparison",
+                   "workers-per-task", "seed", "tasks-out"}}));
+  const std::size_t n = args.require_size("object-count");
+  const double reward = args.get_double("reward-per-comparison", 0.025);
+  const std::size_t w = args.get_size("workers-per-task", 3);
   Rng rng(args.get_seed("seed", 42));
 
-  BudgetModel budget = args.has("budget")
-                           ? BudgetModel(args.get_double("budget", 0.0),
-                                         reward, w)
-                           : BudgetModel::for_selection_ratio(
-                                 n, args.get_double("ratio", 0.1), reward,
-                                 w);
+  BudgetModel budget =
+      args.has("budget")
+          ? BudgetModel(args.get_double("budget", 0.0), reward, w)
+          : BudgetModel::for_selection_ratio(
+                n, args.get_double("selection-ratio", 0.1), reward, w);
   const auto assignment =
       generate_task_assignment(n, budget.unique_task_count(), rng);
   const std::vector<Edge> tasks(assignment.graph.edges().begin(),
@@ -99,29 +155,28 @@ int cmd_assign(const std::vector<std::string>& argv, std::ostream& out) {
 
 int cmd_simulate(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"objects", "ratio", "pool", "replication", "reward",
-                   "quality", "distribution", "seed", "votes-out",
-                   "truth-out", "tasks-out"},
-                  {});
-  const std::size_t n = args.require_size("objects");
+  const Args args = parse_args(
+      raw, merge({kCrowdOptions,
+                  {"object-count", "selection-ratio", "seed", "votes-out",
+                   "truth-out", "tasks-out"}}));
+  const std::size_t n = args.require_size("object-count");
   Rng rng(args.get_seed("seed", 42));
 
   const auto truth_perm = rng.permutation(n);
   const Ranking truth(
       std::vector<VertexId>(truth_perm.begin(), truth_perm.end()));
-  const std::size_t pool = args.get_size("pool", 30);
+  const std::size_t pool = args.get_size("worker-pool", 30);
   const auto workers = sample_worker_pool(pool, parse_quality(args), rng);
   const BudgetModel budget = BudgetModel::for_selection_ratio(
-      n, args.get_double("ratio", 0.1), args.get_double("reward", 0.025),
-      args.get_size("replication", 3));
+      n, args.get_double("selection-ratio", 0.1),
+      args.get_double("reward-per-comparison", 0.025),
+      args.get_size("workers-per-task", 3));
   const auto assignment =
       generate_task_assignment(n, budget.unique_task_count(), rng);
   const std::vector<Edge> tasks(assignment.graph.edges().begin(),
                                 assignment.graph.edges().end());
-  const HitAssignment hits(tasks, HitConfig{5, args.get_size("replication",
-                                                             3)},
-                           pool, rng);
+  const HitAssignment hits(
+      tasks, HitConfig{5, args.get_size("workers-per-task", 3)}, pool, rng);
   const SimulatedCrowd crowd(truth, workers);
   const VoteBatch votes = crowd.collect(hits, rng);
 
@@ -145,10 +200,11 @@ int cmd_simulate(const std::vector<std::string>& argv, std::ostream& out) {
 
 int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"votes", "objects", "workers", "search", "seed",
-                   "ranking-out", "saps-iterations", "trace", "metrics"},
-                  {"check-invariants"});
+  const Args args = parse_args(
+      raw,
+      merge({kShapeOptions, kInferenceOptions, kObservabilityOptions,
+             {"votes", "seed", "ranking-out"}}),
+      {"check-invariants"});
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
 
@@ -159,8 +215,8 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
     max_object = std::max({max_object, v.i, v.j});
     max_worker = std::max(max_worker, v.worker);
   }
-  const std::size_t n = args.get_size("objects", max_object + 1);
-  const std::size_t m = args.get_size("workers", max_worker + 1);
+  const std::size_t n = args.get_size("object-count", max_object + 1);
+  const std::size_t m = args.get_size("worker-count", max_worker + 1);
 
   // Observability outputs: --trace (Chrome trace-event JSON) and --metrics
   // (RunReport JSON). CROWDRANK_TRACE=path stands in for --trace when the
@@ -185,6 +241,9 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   // Stage invariant validation: --check-invariants, or the process-wide
   // CROWDRANK_CHECK_INVARIANTS env switch (analysis/invariants.hpp).
   config.check_invariants = args.flag("check-invariants");
+  if (const auto errors = config.validate(); !errors.empty()) {
+    throw Error("invalid inference config: " + format_config_errors(errors));
+  }
   const InferenceEngine engine(config);
   Rng rng(args.get_seed("seed", 1));
   const InferenceResult result = engine.infer(votes, n, m, rng);
@@ -248,8 +307,7 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
 
 int cmd_eval(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"reference", "ranking", "k"}, {});
+  const Args args = parse_args(raw, {"reference", "ranking", "k"});
   const Ranking reference = load_ranking(args.require_string("reference"));
   const Ranking ranking = load_ranking(args.require_string("ranking"));
   CR_EXPECTS(reference.size() == ranking.size(),
@@ -273,8 +331,7 @@ int cmd_eval(const std::vector<std::string>& argv, std::ostream& out) {
 
 int cmd_diagnose(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"votes", "objects", "workers"}, {});
+  const Args args = parse_args(raw, merge({kShapeOptions, {"votes"}}));
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
   std::size_t max_object = 0;
@@ -283,8 +340,8 @@ int cmd_diagnose(const std::vector<std::string>& argv, std::ostream& out) {
     max_object = std::max({max_object, v.i, v.j});
     max_worker = std::max(max_worker, v.worker);
   }
-  const std::size_t n = args.get_size("objects", max_object + 1);
-  const std::size_t m = args.get_size("workers", max_worker + 1);
+  const std::size_t n = args.get_size("object-count", max_object + 1);
+  const std::size_t m = args.get_size("worker-count", max_worker + 1);
   const RankabilityReport report = diagnose_votes(votes, n, m);
   out << format_report(report);
   return report.rankable ? 0 : 2;
@@ -292,16 +349,16 @@ int cmd_diagnose(const std::vector<std::string>& argv, std::ostream& out) {
 
 int cmd_plan(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
-  const Args args(static_cast<int>(raw.size()), raw.data(), 2,
-                  {"objects", "target", "pool", "replication", "reward",
-                   "quality", "distribution", "seed"},
-                  {});
+  const Args args = parse_args(
+      raw,
+      merge({kCrowdOptions, {"object-count", "target-accuracy", "seed"}}));
   PlanningConfig config;
-  config.object_count = args.require_size("objects");
-  config.target_accuracy = args.get_double("target", 0.9);
-  config.worker_pool_size = args.get_size("pool", 30);
-  config.workers_per_task = args.get_size("replication", 3);
-  config.reward_per_comparison = args.get_double("reward", 0.025);
+  config.object_count = args.require_size("object-count");
+  config.target_accuracy = args.get_double("target-accuracy", 0.9);
+  config.worker_pool_size = args.get_size("worker-pool", 30);
+  config.workers_per_task = args.get_size("workers-per-task", 3);
+  config.reward_per_comparison =
+      args.get_double("reward-per-comparison", 0.025);
   config.worker_quality = parse_quality(args);
   config.seed = args.get_seed("seed", 1);
 
@@ -320,6 +377,135 @@ int cmd_plan(const std::vector<std::string>& argv, std::ostream& out) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args = parse_args(
+      raw,
+      merge({kObservabilityOptions,
+             {"jobs", "results", "service-workers", "queue-capacity",
+              "queue-policy", "deadline-ms"}}),
+      {"check-invariants"});
+  const std::vector<JobRecord> records =
+      load_job_records(args.require_string("jobs"));
+  CR_EXPECTS(!records.empty(), "jobs file contains no jobs");
+
+  trace::TraceSink sink;
+  service::ServiceConfig config;
+  config.worker_count = args.get_size("service-workers", 1);
+  config.queue_capacity = args.get_size("queue-capacity", records.size());
+  const std::string policy = args.get_string("queue-policy", "reject");
+  if (policy == "reject") {
+    config.policy = service::QueuePolicy::RejectNew;
+  } else if (policy == "shed-oldest") {
+    config.policy = service::QueuePolicy::ShedOldest;
+  } else {
+    throw Error("--queue-policy must be reject or shed-oldest");
+  }
+  config.default_deadline =
+      std::chrono::milliseconds(args.get_size("deadline-ms", 0));
+  config.check_invariants = args.flag("check-invariants");
+  config.trace = &sink;
+
+  // The service records its own per-job spans on `sink`; installing the
+  // same sink as the process-global one here additionally captures the
+  // engine's internal step spans (the sink is thread-safe and parentage
+  // is per-thread, so concurrent jobs interleave without corruption).
+  const trace::ScopedSink scoped(&sink);
+
+  // Jobs whose votes file cannot be read still get a structured Failed
+  // line instead of aborting the whole batch. `slots` maps each record to
+  // its drained result (or the synthesized failure).
+  std::vector<service::JobResult> results(records.size());
+  std::vector<std::size_t> submitted_slots;
+  {
+    service::RankingService svc(config);
+    for (std::size_t slot = 0; slot < records.size(); ++slot) {
+      const JobRecord& record = records[slot];
+      service::RankingJob job;
+      try {
+        job.votes = load_votes(record.votes_path);
+        job.inference.search = search_from_name(record.search);
+      } catch (const std::exception& e) {
+        results[slot].id = record.id;
+        results[slot].outcome = service::JobOutcome::Failed;
+        results[slot].stage = PipelineStage::Validation;
+        results[slot].reason = e.what();
+        continue;
+      }
+      job.object_count = record.object_count;
+      job.worker_count = record.worker_count;
+      job.seed = record.seed;
+      job.deadline = std::chrono::milliseconds(record.deadline_ms);
+      if (record.saps_iterations > 0) {
+        job.inference.saps.iterations = record.saps_iterations;
+      }
+      svc.submit(std::move(job));
+      submitted_slots.push_back(slot);
+    }
+    const std::vector<service::JobResult> drained = svc.drain();
+    for (std::size_t k = 0; k < drained.size(); ++k) {
+      results[submitted_slots[k]] = drained[k];
+      results[submitted_slots[k]].id = records[submitted_slots[k]].id;
+    }
+  }
+
+  std::size_t ok_count = 0;
+  std::map<std::string, std::size_t> outcome_counts;
+  for (const service::JobResult& r : results) {
+    ++outcome_counts[service::outcome_name(r.outcome)];
+    if (r.outcome == service::JobOutcome::Completed ||
+        r.outcome == service::JobOutcome::Degraded) {
+      ++ok_count;
+    }
+  }
+
+  if (args.has("results")) {
+    std::ofstream os(args.value("results"));
+    CR_EXPECTS(os.good(), "cannot open --results output file");
+    for (const service::JobResult& r : results) {
+      os << format_job_result(r) << "\n";
+    }
+    out << "wrote " << args.value("results") << "\n";
+  } else {
+    for (const service::JobResult& r : results) {
+      out << format_job_result(r, /*include_ranking=*/false) << "\n";
+    }
+  }
+  out << "served " << records.size() << " jobs with "
+      << config.worker_count << " workers: ";
+  bool first = true;
+  for (const auto& [name, count] : outcome_counts) {
+    if (!first) out << ", ";
+    out << count << " " << name;
+    first = false;
+  }
+  out << "\n";
+
+  if (args.has("trace")) {
+    std::ofstream os(args.value("trace"));
+    CR_EXPECTS(os.good(), "cannot open --trace output file");
+    sink.write_chrome_trace(os);
+    out << "wrote " << args.value("trace") << "\n";
+  }
+  if (args.has("metrics")) {
+    trace::RunReport report("crowdrank serve");
+    report.note("jobs_file", args.require_string("jobs"));
+    report.note("jobs", static_cast<std::int64_t>(records.size()));
+    report.note("service_workers",
+                static_cast<std::int64_t>(config.worker_count));
+    report.note("queue_policy", policy);
+    trace::RunReport::Run& run = report.add_run("serve");
+    for (const auto& [name, count] : outcome_counts) {
+      run.note("outcome_" + name, static_cast<std::int64_t>(count));
+    }
+    run.capture(sink);
+    CR_EXPECTS(report.write_file(args.value("metrics")),
+               "cannot write --metrics output file");
+    out << "wrote " << args.value("metrics") << "\n";
+  }
+  return ok_count == records.size() ? 0 : 2;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -329,23 +515,32 @@ std::string cli_usage() {
          "crowdsourcing\n\n"
       << "usage: crowdrank <command> [options]\n\n"
       << "commands:\n"
-      << "  assign    --objects N [--ratio R | --budget $] [--reward $]\n"
-      << "            [--replication W] [--seed S] [--tasks-out F]\n"
-      << "  simulate  --objects N [--ratio R] [--pool M] [--replication W]\n"
+      << "  assign    --object-count N [--selection-ratio R | --budget $]\n"
+      << "            [--reward-per-comparison $] [--workers-per-task W]\n"
+      << "            [--seed S] [--tasks-out F]\n"
+      << "  simulate  --object-count N [--selection-ratio R]\n"
+      << "            [--worker-pool M] [--workers-per-task W]\n"
       << "            [--quality high|medium|low]\n"
       << "            [--distribution gaussian|uniform] [--seed S]\n"
       << "            [--votes-out F] [--truth-out F] [--tasks-out F]\n"
-      << "  infer     --votes F [--objects N] [--workers M]\n"
+      << "  infer     --votes F [--object-count N] [--worker-count M]\n"
       << "            [--search saps|taps|heldkarp] [--saps-iterations I]\n"
       << "            [--seed S] [--ranking-out F] [--check-invariants]\n"
       << "            [--trace F.json] [--metrics F.json]\n"
       << "            (CROWDRANK_TRACE=F.json substitutes for --trace;\n"
       << "             CROWDRANK_CHECK_INVARIANTS=1 for --check-invariants)\n"
+      << "  serve     --jobs F.jsonl [--results F.jsonl]\n"
+      << "            [--service-workers N] [--queue-capacity C]\n"
+      << "            [--queue-policy reject|shed-oldest] [--deadline-ms D]\n"
+      << "            [--check-invariants] [--trace F.json]\n"
+      << "            [--metrics F.json]\n"
+      << "            (exit 0 all jobs ranked, 2 otherwise)\n"
       << "  eval      --reference F --ranking F [--k K]\n"
-      << "  diagnose  --votes F [--objects N] [--workers M]\n"
+      << "  diagnose  --votes F [--object-count N] [--worker-count M]\n"
       << "            (exit 0 rankable, 2 not cleanly rankable)\n"
-      << "  plan      --objects N [--target A] [--pool M]\n"
-      << "            [--replication W] [--reward $] [--quality ...]\n"
+      << "  plan      --object-count N [--target-accuracy A]\n"
+      << "            [--worker-pool M] [--workers-per-task W]\n"
+      << "            [--reward-per-comparison $] [--quality ...]\n"
       << "            [--distribution ...] [--seed S]\n"
       << "  version   print build information (also --version)\n";
   return usage.str();
@@ -362,6 +557,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "assign") return cmd_assign(argv, out);
     if (command == "simulate") return cmd_simulate(argv, out);
     if (command == "infer") return cmd_infer(argv, out);
+    if (command == "serve") return cmd_serve(argv, out);
     if (command == "eval") return cmd_eval(argv, out);
     if (command == "plan") return cmd_plan(argv, out);
     if (command == "diagnose") return cmd_diagnose(argv, out);

@@ -1,0 +1,115 @@
+// Job vocabulary for the batch ranking service.
+//
+// A `RankingJob` is one unit of work the service executes: a vote batch
+// plus an inference config, a seed, and an optional deadline. Every job
+// ends in exactly one structured `JobOutcome` — exceptions never escape
+// to the caller — and carries a `JobResult` with the (possibly partial)
+// ranking, the input-hardening report, and timing.
+//
+// `FaultPlan` is the deterministic fault-injection harness the robustness
+// suite (tests/service) drives: it can drop or corrupt every Kth vote of
+// a batch before hardening sees it, stall the pipeline at a chosen stage,
+// or fail a job outright at a stage checkpoint. Plans are inert by
+// default and cost nothing in production paths.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/pipeline.hpp"
+#include "crowd/vote.hpp"
+#include "service/hardening.hpp"
+
+namespace crowdrank::service {
+
+/// How one job ended. Every submitted job terminates in exactly one of
+/// these; there is no "exception escaped" state.
+enum class JobOutcome {
+  Completed,  ///< full ranking over every requested object
+  Degraded,   ///< partial ranking of the largest reachable component
+  TimedOut,   ///< deadline expired at a stage checkpoint
+  Cancelled,  ///< cancelled while queued or at a stage checkpoint
+  Rejected,   ///< never ran: invalid config, full queue, or shed
+  Failed,     ///< a stage raised an error (stage + reason recorded)
+};
+
+/// Stable machine-readable outcome name ("completed", ...).
+const char* outcome_name(JobOutcome outcome);
+
+/// Deterministic fault-injection plan. All knobs compose; `only_job`
+/// restricts a service-level plan to the Kth submission (0-based) so a
+/// test can fail exactly one job of a stream.
+struct FaultPlan {
+  static constexpr std::size_t kEveryJob = static_cast<std::size_t>(-1);
+
+  /// Drop every Kth vote (1-based stride; 0 = off) before hardening.
+  std::size_t drop_every_kth_vote = 0;
+  /// Corrupt every Kth vote (1-based stride; 0 = off): the vote's second
+  /// object is pushed out of range, so hardening must repair it.
+  std::size_t corrupt_every_kth_vote = 0;
+  /// Stall for `stall_duration` when the named stage is about to start.
+  std::optional<PipelineStage> stall_before;
+  std::chrono::milliseconds stall_duration{0};
+  /// Throw an injected failure when the named stage is about to start.
+  std::optional<PipelineStage> fail_before;
+  std::string fail_reason = "injected fault";
+  /// Submission index this plan applies to (kEveryJob = all jobs).
+  std::size_t only_job = kEveryJob;
+
+  bool applies_to(std::size_t job_index) const {
+    return only_job == kEveryJob || only_job == job_index;
+  }
+  bool inert() const {
+    return drop_every_kth_vote == 0 && corrupt_every_kth_vote == 0 &&
+           !stall_before.has_value() && !fail_before.has_value();
+  }
+};
+
+/// One unit of work for the service.
+struct RankingJob {
+  VoteBatch votes;
+  /// Number of objects (0 = derive from the highest vote id).
+  std::size_t object_count = 0;
+  /// Number of workers (0 = derive from the highest voter id).
+  std::size_t worker_count = 0;
+  InferenceConfig inference;
+  std::uint64_t seed = 1;
+  /// Per-job deadline measured from submission (0 = the service default;
+  /// both 0 = no deadline). Checked cooperatively at stage checkpoints.
+  std::chrono::milliseconds deadline{0};
+  /// Per-job injected faults (tests only; inert by default).
+  FaultPlan fault;
+};
+
+/// A ranking that may cover only part of the requested objects: `order`
+/// ranks the largest reachable component (original object ids, best
+/// first); `excluded` lists the objects the evidence could not rank.
+struct PartialRanking {
+  std::vector<VertexId> order;
+  std::vector<VertexId> excluded;
+
+  bool complete() const { return excluded.empty(); }
+};
+
+/// Everything the service reports back for one job.
+struct JobResult {
+  std::uint64_t id = 0;
+  JobOutcome outcome = JobOutcome::Failed;
+  /// Stage the job ended in: Done for Completed/Degraded, otherwise the
+  /// stage that timed out / was cancelled / failed.
+  PipelineStage stage = PipelineStage::Validation;
+  /// Human-readable detail for TimedOut/Cancelled/Rejected/Failed.
+  std::string reason;
+  PartialRanking ranking;
+  HardeningReport hardening;
+  double log_probability = 0.0;
+  double queue_ms = 0.0;  ///< submission -> execution start
+  double run_ms = 0.0;    ///< execution start -> outcome
+};
+
+}  // namespace crowdrank::service

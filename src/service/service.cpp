@@ -1,0 +1,501 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "analysis/invariants.hpp"
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace crowdrank::service {
+
+const char* outcome_name(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::Completed:
+      return "completed";
+    case JobOutcome::Degraded:
+      return "degraded";
+    case JobOutcome::TimedOut:
+      return "timed_out";
+    case JobOutcome::Cancelled:
+      return "cancelled";
+    case JobOutcome::Rejected:
+      return "rejected";
+    case JobOutcome::Failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Thrown by JobControl at a stage checkpoint to abort a job; caught by
+/// the executor and mapped onto the structured outcome. Deliberately not
+/// a std::exception so no intermediate catch(std::exception) handler in
+/// library code can swallow an abort.
+struct JobInterrupt {
+  JobOutcome outcome;
+  PipelineStage stage;
+  std::string reason;
+};
+
+/// Applies a fault plan's deterministic vote mutations.
+void mutate_votes(VoteBatch& votes, const FaultPlan& plan,
+                  std::size_t object_count) {
+  if (plan.drop_every_kth_vote > 0) {
+    VoteBatch kept;
+    kept.reserve(votes.size());
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if ((i + 1) % plan.drop_every_kth_vote != 0) {
+        kept.push_back(votes[i]);
+      }
+    }
+    votes = std::move(kept);
+  }
+  if (plan.corrupt_every_kth_vote > 0) {
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if ((i + 1) % plan.corrupt_every_kth_vote == 0) {
+        votes[i].j = object_count + votes[i].i;  // out of any valid range
+      }
+    }
+  }
+}
+
+/// Cooperative per-job controller: records progress, stalls/fails on an
+/// injected fault, and aborts on cancellation or an expired deadline.
+/// Checkpoint order — stall, cancel, deadline, injected failure — makes
+/// the stall+deadline combination a deterministic TimedOut.
+class JobControl final : public StageControl {
+ public:
+  JobControl(const std::atomic<bool>& cancel_requested,
+             Clock::time_point deadline,
+             std::vector<const FaultPlan*> faults)
+      : cancel_requested_(cancel_requested),
+        deadline_(deadline),
+        faults_(std::move(faults)) {}
+
+  void checkpoint(const StageSnapshot& snapshot) override {
+    poll(snapshot.next);
+  }
+
+  /// Service-level stages (Hardening) poll directly with the stage id.
+  void poll(PipelineStage next) {
+    if (next != PipelineStage::Done) {
+      last_stage_ = next;
+    }
+    for (const FaultPlan* plan : faults_) {
+      if (plan->stall_before == next &&
+          plan->stall_duration.count() > 0) {
+        std::this_thread::sleep_for(plan->stall_duration);
+      }
+    }
+    if (cancel_requested_.load(std::memory_order_relaxed)) {
+      throw JobInterrupt{JobOutcome::Cancelled, next,
+                         "cancelled at stage checkpoint"};
+    }
+    if (Clock::now() > deadline_) {
+      throw JobInterrupt{JobOutcome::TimedOut, next, "deadline exceeded"};
+    }
+    for (const FaultPlan* plan : faults_) {
+      if (plan->fail_before == next) {
+        throw JobInterrupt{JobOutcome::Failed, next, plan->fail_reason};
+      }
+    }
+  }
+
+  PipelineStage last_stage() const { return last_stage_; }
+
+ private:
+  const std::atomic<bool>& cancel_requested_;
+  Clock::time_point deadline_;
+  std::vector<const FaultPlan*> faults_;
+  PipelineStage last_stage_ = PipelineStage::Validation;
+};
+
+}  // namespace
+
+struct RankingService::Impl {
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::size_t index = 0;  ///< submission index (FaultPlan::only_job)
+    RankingJob job;
+    std::atomic<bool> cancel_requested{false};
+    enum class State { Queued, Running, Done } state = State::Queued;
+    JobResult result;
+    Clock::time_point submit_time;
+    Clock::time_point deadline_point = Clock::time_point::max();
+  };
+
+  ServiceConfig config;
+
+  mutable std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable job_done;
+  std::deque<std::shared_ptr<Ticket>> queue;
+  std::map<std::uint64_t, std::shared_ptr<Ticket>> by_id;
+  std::vector<std::shared_ptr<Ticket>> all;
+  std::vector<std::thread> executors;
+  ServiceStats counters;
+  std::uint64_t next_id = 1;
+  bool stopping = false;
+
+  // -- metrics plumbing (no-ops when config.trace is null) ------------
+
+  void count_outcome(JobOutcome outcome) {
+    // Callers hold `mutex`.
+    switch (outcome) {
+      case JobOutcome::Completed:
+        ++counters.completed;
+        break;
+      case JobOutcome::Degraded:
+        ++counters.degraded;
+        break;
+      case JobOutcome::TimedOut:
+        ++counters.timed_out;
+        break;
+      case JobOutcome::Cancelled:
+        ++counters.cancelled;
+        break;
+      case JobOutcome::Rejected:
+        ++counters.rejected;
+        break;
+      case JobOutcome::Failed:
+        ++counters.failed;
+        break;
+    }
+    if (config.trace != nullptr) {
+      config.trace->metrics()
+          .counter(std::string("service.outcome.") + outcome_name(outcome))
+          .add(1);
+    }
+  }
+
+  void gauge_queue_depth() {
+    // Callers hold `mutex`.
+    counters.queue_depth = queue.size();
+    if (config.trace != nullptr) {
+      config.trace->metrics().gauge("service.queue_depth").set(
+          static_cast<double>(queue.size()));
+    }
+  }
+
+  // -- lifecycle ------------------------------------------------------
+
+  void settle(Ticket& ticket, JobOutcome outcome, PipelineStage stage,
+              std::string reason) {
+    // Callers hold `mutex`. Used for jobs that never run (rejected,
+    // shed, cancelled while queued).
+    ticket.result.id = ticket.id;
+    ticket.result.outcome = outcome;
+    ticket.result.stage = stage;
+    ticket.result.reason = std::move(reason);
+    ticket.state = Ticket::State::Done;
+    count_outcome(outcome);
+    job_done.notify_all();
+  }
+
+  void executor_loop() {
+    // Kernel-level parallel regions of this job run inline on this
+    // thread: jobs are the unit of parallelism, so N executors never
+    // serialize on the global pool's region lock.
+    InlineRegion inline_region;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) {
+          return;
+        }
+        continue;
+      }
+      std::shared_ptr<Ticket> ticket = queue.front();
+      queue.pop_front();
+      gauge_queue_depth();
+      if (ticket->state == Ticket::State::Done) {
+        continue;  // cancelled or shed while queued
+      }
+      ticket->state = Ticket::State::Running;
+      lock.unlock();
+      run_job(*ticket);
+      lock.lock();
+      ticket->state = Ticket::State::Done;
+      count_outcome(ticket->result.outcome);
+      job_done.notify_all();
+    }
+  }
+
+  void run_job(Ticket& ticket) {
+    JobResult& r = ticket.result;
+    r.id = ticket.id;
+    const Stopwatch run_watch;
+    r.queue_ms = std::chrono::duration<double, std::milli>(
+                     Clock::now() - ticket.submit_time)
+                     .count();
+
+    trace::TraceSink* sink = config.trace;
+    const std::size_t span =
+        sink != nullptr ? sink->open_span("service.job") : 0;
+    if (sink != nullptr) {
+      sink->span_attr(span, "id",
+                      static_cast<std::int64_t>(ticket.id));
+      sink->span_attr(span, "votes",
+                      static_cast<std::int64_t>(ticket.job.votes.size()));
+    }
+
+    // Which fault plans apply to this job: its own, plus the
+    // service-level plan when the submission index matches.
+    std::vector<const FaultPlan*> faults;
+    if (!ticket.job.fault.inert() &&
+        ticket.job.fault.applies_to(ticket.index)) {
+      faults.push_back(&ticket.job.fault);
+    }
+    if (!config.fault.inert() && config.fault.applies_to(ticket.index)) {
+      faults.push_back(&config.fault);
+    }
+
+    JobControl control(ticket.cancel_requested, ticket.deadline_point,
+                       faults);
+    try {
+      // Service stage: input hardening (plus injected vote mutations).
+      control.poll(PipelineStage::Hardening);
+      VoteBatch votes = ticket.job.votes;
+      for (const FaultPlan* plan : faults) {
+        mutate_votes(votes, *plan, ticket.job.object_count);
+      }
+      const HardenedBatch batch = harden_votes(
+          votes, ticket.job.object_count, config.hardening, &r.hardening);
+      r.ranking.excluded = r.hardening.excluded_objects;
+      if (!batch.usable()) {
+        throw JobInterrupt{
+            JobOutcome::Failed, PipelineStage::Hardening,
+            "batch unusable after hardening: fewer than two connected "
+            "objects remain"};
+      }
+
+      // Inference over the compacted batch. Worker-count hints below the
+      // compact worker universe are widened rather than trusted.
+      InferenceConfig inference = ticket.job.inference;
+      inference.control = &control;
+      inference.check_invariants |= config.check_invariants;
+      // Per-job engine sinks would race on the process-global active-sink
+      // pointer when jobs run concurrently; the service records per-job
+      // spans on its own sink instead.
+      inference.trace = nullptr;
+      const std::size_t workers =
+          std::max(ticket.job.worker_count, batch.workers.size());
+      Rng rng(ticket.job.seed);
+      const InferenceEngine engine(inference);
+      const InferenceResult result =
+          engine.infer(batch.votes, batch.objects.size(), workers, rng);
+
+      // Map the compact ranking back onto original object ids.
+      r.ranking.order.clear();
+      r.ranking.order.reserve(result.ranking.size());
+      for (const VertexId compact : result.ranking.order()) {
+        r.ranking.order.push_back(batch.objects[compact]);
+      }
+      r.log_probability = result.log_probability;
+      r.stage = PipelineStage::Done;
+      r.outcome = r.ranking.complete() ? JobOutcome::Completed
+                                       : JobOutcome::Degraded;
+
+      // Per-job invariant hook: the mapped partial ranking must be a
+      // permutation of the retained objects (the engine has already
+      // validated the compact ranking when invariant checks are on).
+      if (inference.check_invariants ||
+          analysis::invariant_checks_enabled()) {
+        std::vector<VertexId> sorted = r.ranking.order;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted != batch.objects) {
+          throw Error("service invariant violated: partial ranking is "
+                      "not a permutation of the retained objects");
+        }
+      }
+    } catch (const JobInterrupt& interrupt) {
+      r.outcome = interrupt.outcome;
+      r.stage = interrupt.stage;
+      r.reason = interrupt.reason;
+    } catch (const std::exception& e) {
+      r.outcome = JobOutcome::Failed;
+      r.stage = control.last_stage();
+      r.reason = e.what();
+    } catch (...) {
+      r.outcome = JobOutcome::Failed;
+      r.stage = control.last_stage();
+      r.reason = "unknown exception";
+    }
+    r.run_ms = run_watch.elapsed_millis();
+
+    if (sink != nullptr) {
+      sink->span_attr(span, "outcome", std::string(outcome_name(r.outcome)));
+      sink->span_attr(span, "stage", std::string(stage_name(r.stage)));
+      sink->metrics().histogram("service.job_ms").observe(r.run_ms);
+      sink->metrics().histogram("service.queue_ms").observe(r.queue_ms);
+      sink->close_span(span);
+    }
+  }
+};
+
+RankingService::RankingService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  CR_EXPECTS(config.worker_count >= 1,
+             "RankingService needs at least one executor");
+  CR_EXPECTS(config.queue_capacity >= 1,
+             "RankingService queue capacity must be at least 1");
+  impl_->config = std::move(config);
+  impl_->executors.reserve(impl_->config.worker_count);
+  for (std::size_t i = 0; i < impl_->config.worker_count; ++i) {
+    impl_->executors.emplace_back([impl = impl_.get()] {
+      impl->executor_loop();
+    });
+  }
+}
+
+RankingService::~RankingService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+    // Queued jobs settle as Cancelled; running jobs are asked to stop at
+    // their next checkpoint.
+    for (const auto& ticket : impl_->queue) {
+      if (ticket->state == Impl::Ticket::State::Queued) {
+        impl_->settle(*ticket, JobOutcome::Cancelled,
+                      PipelineStage::Validation, "service shut down");
+      }
+    }
+    impl_->queue.clear();
+    impl_->gauge_queue_depth();
+    for (const auto& ticket : impl_->all) {
+      if (ticket->state == Impl::Ticket::State::Running) {
+        ticket->cancel_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& t : impl_->executors) {
+    t.join();
+  }
+}
+
+const ServiceConfig& RankingService::config() const {
+  return impl_->config;
+}
+
+std::uint64_t RankingService::submit(RankingJob job) {
+  // Structured config validation happens before the job is admitted, so
+  // a bad config is a Rejected outcome, not a mid-pipeline throw.
+  const std::vector<ConfigError> errors = job.inference.validate();
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto ticket = std::make_shared<Impl::Ticket>();
+  ticket->id = impl_->next_id++;
+  ticket->index = impl_->counters.submitted++;
+  ticket->submit_time = Clock::now();
+  const auto deadline = job.deadline.count() > 0
+                            ? job.deadline
+                            : impl_->config.default_deadline;
+  if (deadline.count() > 0) {
+    ticket->deadline_point = ticket->submit_time + deadline;
+  }
+  ticket->job = std::move(job);
+  impl_->by_id.emplace(ticket->id, ticket);
+  impl_->all.push_back(ticket);
+
+  if (!errors.empty()) {
+    impl_->settle(*ticket, JobOutcome::Rejected, PipelineStage::Validation,
+                  "invalid config: " + format_config_errors(errors));
+    return ticket->id;
+  }
+  if (impl_->stopping) {
+    impl_->settle(*ticket, JobOutcome::Rejected, PipelineStage::Validation,
+                  "service shutting down");
+    return ticket->id;
+  }
+  if (impl_->queue.size() >= impl_->config.queue_capacity) {
+    if (impl_->config.policy == QueuePolicy::RejectNew) {
+      impl_->settle(*ticket, JobOutcome::Rejected,
+                    PipelineStage::Validation, "queue full");
+      return ticket->id;
+    }
+    // ShedOldest: evict the head of the queue to make room.
+    std::shared_ptr<Impl::Ticket> oldest = impl_->queue.front();
+    impl_->queue.pop_front();
+    ++impl_->counters.shed;
+    if (impl_->config.trace != nullptr) {
+      impl_->config.trace->metrics().counter("service.shed").add(1);
+    }
+    impl_->settle(*oldest, JobOutcome::Rejected, PipelineStage::Validation,
+                  "shed: queue full and policy is ShedOldest");
+  }
+  impl_->queue.push_back(ticket);
+  impl_->gauge_queue_depth();
+  impl_->work_ready.notify_one();
+  return ticket->id;
+}
+
+bool RankingService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->by_id.find(id);
+  if (it == impl_->by_id.end()) {
+    return false;
+  }
+  Impl::Ticket& ticket = *it->second;
+  switch (ticket.state) {
+    case Impl::Ticket::State::Queued:
+      // Settles immediately; the executor skips Done tickets on pop.
+      impl_->settle(ticket, JobOutcome::Cancelled,
+                    PipelineStage::Validation, "cancelled while queued");
+      return true;
+    case Impl::Ticket::State::Running:
+      ticket.cancel_requested.store(true, std::memory_order_relaxed);
+      return true;
+    case Impl::Ticket::State::Done:
+      return false;
+  }
+  return false;
+}
+
+JobResult RankingService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->by_id.find(id);
+  CR_EXPECTS(it != impl_->by_id.end(), "unknown job id");
+  const std::shared_ptr<Impl::Ticket> ticket = it->second;
+  impl_->job_done.wait(lock, [&] {
+    return ticket->state == Impl::Ticket::State::Done;
+  });
+  return ticket->result;
+}
+
+std::vector<JobResult> RankingService::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  // Snapshot now: jobs submitted while draining are not waited on.
+  const std::vector<std::shared_ptr<Impl::Ticket>> tickets = impl_->all;
+  std::vector<JobResult> results;
+  results.reserve(tickets.size());
+  for (const auto& ticket : tickets) {
+    impl_->job_done.wait(lock, [&] {
+      return ticket->state == Impl::Ticket::State::Done;
+    });
+    results.push_back(ticket->result);
+  }
+  return results;
+}
+
+ServiceStats RankingService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->counters;
+}
+
+}  // namespace crowdrank::service

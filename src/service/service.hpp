@@ -1,0 +1,122 @@
+// RankingService: a fault-tolerant batch-inference job engine.
+//
+// The service owns a set of job-executor threads, a bounded FIFO queue
+// with configurable backpressure, and the lifecycle of every submitted
+// `RankingJob`:
+//
+//     submit -> [Queued] -> [Running: hardening -> steps 1-4] -> Done
+//                  |  \                |
+//               cancel shed      deadline / cancel / stage error
+//                  |    \               |
+//              Cancelled Rejected   TimedOut / Cancelled / Failed
+//
+// Robustness contract:
+//  * No exception escapes a job: every terminal state is a structured
+//    `JobResult` (outcome, stage, reason, degradation report).
+//  * Deadlines and cancellation are cooperative, enforced at the stage
+//    checkpoints of core/checkpoint.hpp, so an aborted job unwinds
+//    between stages and its executor immediately serves the next job —
+//    a timed-out job never wedges the pool.
+//  * Malformed batches are repaired by service/hardening.hpp; a job that
+//    cannot produce a full ranking returns a partial ranking of the
+//    largest reachable component with outcome Degraded.
+//  * Results are deterministic per job (content depends only on the job
+//    and its seed, never on worker count or interleaving), and `drain()`
+//    reports them in submission order.
+//
+// Each executor thread holds a `InlineRegion`, so the engine's internal
+// parallel kernels run inline on the job's own lane: throughput scales by
+// running jobs concurrently instead of serializing kernel-level regions
+// on the global pool.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/hardening.hpp"
+#include "service/job.hpp"
+
+namespace crowdrank::trace {
+class TraceSink;
+}  // namespace crowdrank::trace
+
+namespace crowdrank::service {
+
+/// What to do with a submission that finds the queue full.
+enum class QueuePolicy {
+  RejectNew,   ///< the new job is Rejected ("queue full")
+  ShedOldest,  ///< the oldest queued job is Rejected ("shed"); new enters
+};
+
+struct ServiceConfig {
+  std::size_t worker_count = 1;     ///< job-executor threads (>= 1)
+  std::size_t queue_capacity = 64;  ///< max queued (not running) jobs
+  QueuePolicy policy = QueuePolicy::RejectNew;
+  /// Deadline for jobs that do not set their own (0 = none).
+  std::chrono::milliseconds default_deadline{0};
+  HardeningPolicy hardening;
+  /// Runs the stage invariant validators for every job (ORed with each
+  /// job's own `inference.check_invariants`).
+  bool check_invariants = false;
+  /// Service-level fault plan (tests): merged into any job whose
+  /// submission index it applies to.
+  FaultPlan fault;
+  /// Optional service-lifetime sink: per-job spans, queue-depth gauge,
+  /// outcome/shed counters, and latency histograms land here. The service
+  /// never installs it as the process-global sink — callers wanting the
+  /// engine's internal spans too wrap the run in a trace::ScopedSink.
+  trace::TraceSink* trace = nullptr;
+};
+
+/// Aggregate counters, readable at any time.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t degraded = 0;
+  std::size_t timed_out = 0;
+  std::size_t cancelled = 0;
+  std::size_t rejected = 0;  ///< invalid config, full queue, or shed
+  std::size_t shed = 0;      ///< subset of rejected: evicted by ShedOldest
+  std::size_t failed = 0;
+  std::size_t queue_depth = 0;  ///< currently queued (not running)
+};
+
+class RankingService {
+ public:
+  explicit RankingService(ServiceConfig config = {});
+  RankingService(const RankingService&) = delete;
+  RankingService& operator=(const RankingService&) = delete;
+  /// Cancels queued jobs, asks running jobs to stop at their next
+  /// checkpoint, and joins the executors.
+  ~RankingService();
+
+  const ServiceConfig& config() const;
+
+  /// Enqueues a job and returns its ticket id immediately. A job that
+  /// cannot be accepted (invalid config per InferenceConfig::validate(),
+  /// or a full queue under RejectNew) still gets a ticket whose result is
+  /// already Rejected — `wait` explains why.
+  std::uint64_t submit(RankingJob job);
+
+  /// Requests cancellation. Queued jobs settle as Cancelled without
+  /// running; a running job stops at its next stage checkpoint. Returns
+  /// false when the job is unknown or already finished.
+  bool cancel(std::uint64_t id);
+
+  /// Blocks until the job finishes and returns its result.
+  JobResult wait(std::uint64_t id);
+
+  /// Waits for every job submitted so far; results in submission order.
+  std::vector<JobResult> drain();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crowdrank::service

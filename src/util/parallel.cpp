@@ -255,6 +255,12 @@ void ThreadPool::run(std::size_t count,
   }
 }
 
+InlineRegion::InlineRegion() : previous_(t_in_region) {
+  t_in_region = true;
+}
+
+InlineRegion::~InlineRegion() { t_in_region = previous_; }
+
 std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
 
 void set_thread_count(std::size_t count) {

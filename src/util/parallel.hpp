@@ -78,6 +78,25 @@ class ThreadPool {
 std::size_t thread_count();
 void set_thread_count(std::size_t count);
 
+/// Scoped opt-out of the global pool for the current thread: while an
+/// InlineRegion is alive, every `parallel_for` / `parallel_reduce` /
+/// `ThreadPool::run` issued from this thread executes inline, exactly as
+/// inside a nested region. The serving layer (src/service) holds one per
+/// job-executor thread so concurrent jobs each run on their own lane
+/// instead of serializing on the pool's region lock — job-level
+/// parallelism replaces kernel-level parallelism. Nestable; restores the
+/// previous state on destruction.
+class InlineRegion {
+ public:
+  InlineRegion();
+  InlineRegion(const InlineRegion&) = delete;
+  InlineRegion& operator=(const InlineRegion&) = delete;
+  ~InlineRegion();
+
+ private:
+  bool previous_;
+};
+
 /// Chunked parallel loop over [begin, end): `body(b, e)` is invoked for
 /// consecutive half-open sub-ranges of at most `grain` elements. Chunk
 /// boundaries depend only on `grain`, so element-disjoint bodies produce

@@ -8,6 +8,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/truth_discovery.hpp"
+#include "crowdrank.hpp"
 #include "util/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -159,6 +160,88 @@ TEST_F(DeterminismTest, TracingNeverPerturbsPipelineResults) {
     EXPECT_EQ(spans[1].parent, 0u);
     EXPECT_GT(sink.metrics().counter("truth_discovery.iterations").value(),
               0u);
+  }
+}
+
+TEST_F(DeterminismTest, ApiFacadeMatchesEngineAcrossThreadCounts) {
+  // The crowdrank::api facade must be a pure repackaging: with repair off
+  // it reproduces the engine's output bit for bit, and with repair on a
+  // clean batch it still does (hardening leaves clean input untouched) —
+  // at one kernel thread and at several.
+  VoteBatch votes;
+  const std::size_t n = 12;
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, true});
+      }
+    }
+  }
+
+  api::Request request;
+  request.votes = votes;
+  request.object_count = n;
+  request.worker_count = 3;
+  request.seed = 99;
+
+  set_thread_count(1);
+  Rng engine_rng(99);
+  const InferenceResult direct =
+      InferenceEngine{}.infer(votes, n, 3, engine_rng);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    for (const bool repair : {false, true}) {
+      request.repair = repair;
+      const api::Response response = api::rank(request);
+      ASSERT_TRUE(response.ok())
+          << "threads = " << threads << ", repair = " << repair
+          << ", reason: " << response.reason;
+      EXPECT_EQ(response.outcome, service::JobOutcome::Completed);
+      EXPECT_EQ(response.ranking.order,
+                std::vector<VertexId>(direct.ranking.order().begin(),
+                                      direct.ranking.order().end()))
+          << "threads = " << threads << ", repair = " << repair;
+      EXPECT_EQ(response.log_probability, direct.log_probability);
+    }
+  }
+}
+
+TEST_F(DeterminismTest, ServiceResultsAreIdenticalAcrossKernelThreadCounts) {
+  // Service executors force kernel regions inline (InlineRegion), so the
+  // configured pool width must not leak into job content either.
+  VoteBatch votes;
+  const std::size_t n = 10;
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, true});
+      }
+    }
+  }
+  const auto run_once = [&] {
+    service::ServiceConfig config;
+    config.worker_count = 2;
+    service::RankingService svc(config);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      service::RankingJob job;
+      job.votes = votes;
+      job.object_count = n;
+      job.seed = seed;
+      svc.submit(std::move(job));
+    }
+    return svc.drain();
+  };
+
+  set_thread_count(1);
+  const auto narrow = run_once();
+  set_thread_count(4);
+  const auto wide = run_once();
+  ASSERT_EQ(narrow.size(), wide.size());
+  for (std::size_t k = 0; k < narrow.size(); ++k) {
+    EXPECT_EQ(narrow[k].outcome, wide[k].outcome);
+    EXPECT_EQ(narrow[k].ranking.order, wide[k].ranking.order);
+    EXPECT_EQ(narrow[k].log_probability, wide[k].log_probability);
   }
 }
 

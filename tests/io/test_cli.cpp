@@ -304,5 +304,104 @@ TEST(Cli, TracingDoesNotChangeTheInferredRanking) {
   EXPECT_EQ(plain_order, traced_order);
 }
 
+TEST(Cli, CanonicalAndAliasSpellingsAgree) {
+  // Canonical flags follow the api:: field names; historical spellings
+  // stay as hidden aliases and must behave identically.
+  std::string alias_out;
+  ASSERT_EQ(run({"assign", "--objects", "12", "--ratio", "0.5", "--seed",
+                 "4"},
+                &alias_out),
+            0);
+  std::string canonical_out;
+  ASSERT_EQ(run({"assign", "--object-count", "12", "--selection-ratio",
+                 "0.5", "--seed", "4"},
+                &canonical_out),
+            0);
+  EXPECT_EQ(alias_out, canonical_out);
+
+  // Mixing an alias with its canonical spelling is ambiguous.
+  std::string err;
+  EXPECT_EQ(run({"assign", "--objects", "12", "--object-count", "12"},
+                &alias_out, &err),
+            1);
+  EXPECT_NE(err.find("conflicts"), std::string::npos);
+}
+
+TEST(Cli, ServeProcessesJobsFile) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "15", "--selection-ratio",
+                 "0.5", "--seed", "5", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+  {
+    std::ofstream jobs(dir.file("jobs.jsonl"));
+    jobs << "{\"id\": 1, \"votes\": \"" << dir.file("votes.csv")
+         << "\", \"seed\": 2}\n";
+    jobs << "{\"id\": 2, \"votes\": \"" << dir.file("votes.csv")
+         << "\", \"seed\": 3, \"search\": \"taps\"}\n";
+    jobs << "{\"id\": 3, \"votes\": \"" << dir.file("missing.csv")
+         << "\"}\n";
+  }
+  // One job's votes file is missing: exit 2, but the other jobs still
+  // complete and every job gets a structured result line.
+  const int code = run({"serve", "--jobs", dir.file("jobs.jsonl"),
+                        "--results", dir.file("results.jsonl"),
+                        "--service-workers", "2", "--metrics",
+                        dir.file("metrics.json")},
+                       &out);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("2 completed"), std::string::npos);
+  EXPECT_NE(out.find("1 failed"), std::string::npos);
+
+  std::ifstream results(dir.file("results.jsonl"));
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(results, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"id\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"outcome\": \"completed\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"outcome\": \"completed\""),
+            std::string::npos);
+  EXPECT_NE(lines[2].find("\"outcome\": \"failed\""), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir.file("metrics.json")));
+}
+
+TEST(Cli, ServeIsDeterministicAcrossServiceWorkerCounts) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "12", "--selection-ratio",
+                 "0.6", "--seed", "8", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+  {
+    std::ofstream jobs(dir.file("jobs.jsonl"));
+    for (int k = 1; k <= 4; ++k) {
+      jobs << "{\"id\": " << k << ", \"votes\": \"" << dir.file("votes.csv")
+           << "\", \"seed\": " << k << "}\n";
+    }
+  }
+  const auto results_text = [&](const std::string& workers) {
+    std::string serve_out;
+    EXPECT_EQ(run({"serve", "--jobs", dir.file("jobs.jsonl"), "--results",
+                   dir.file("results_" + workers + ".jsonl"),
+                   "--service-workers", workers},
+                  &serve_out),
+              0);
+    std::ifstream in(dir.file("results_" + workers + ".jsonl"));
+    std::ostringstream text;
+    std::string line;
+    // Timing fields differ run to run; compare everything before them.
+    while (std::getline(in, line)) {
+      text << line.substr(0, line.find(", \"queue_ms\"")) << "\n";
+    }
+    return text.str();
+  };
+  EXPECT_EQ(results_text("1"), results_text("3"));
+}
+
 }  // namespace
 }  // namespace crowdrank::io

@@ -1,0 +1,111 @@
+// JSONL job-record parsing/formatting for `crowdrank serve`.
+#include "io/job_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace crowdrank::io {
+namespace {
+
+TEST(JobRecord, ParsesFullAndMinimalLines) {
+  const std::string text =
+      "{\"id\": 9, \"votes\": \"a.csv\", \"object_count\": 50, "
+      "\"worker_count\": 12, \"seed\": 7, \"search\": \"taps\", "
+      "\"saps_iterations\": 400, \"deadline_ms\": 250}\n"
+      "\n"
+      "{\"votes\": \"b.csv\"}\n";
+  const auto records = parse_job_records(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 9u);
+  EXPECT_EQ(records[0].votes_path, "a.csv");
+  EXPECT_EQ(records[0].object_count, 50u);
+  EXPECT_EQ(records[0].worker_count, 12u);
+  EXPECT_EQ(records[0].seed, 7u);
+  EXPECT_EQ(records[0].search, "taps");
+  EXPECT_EQ(records[0].saps_iterations, 400u);
+  EXPECT_EQ(records[0].deadline_ms, 250u);
+  // Minimal record: defaults plus a line-ordinal id.
+  EXPECT_EQ(records[1].id, 2u);
+  EXPECT_EQ(records[1].votes_path, "b.csv");
+  EXPECT_EQ(records[1].search, "saps");
+  EXPECT_EQ(records[1].seed, 1u);
+}
+
+TEST(JobRecord, MalformedLinesFailWithLineNumber) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      parse_job_records(text);
+      FAIL() << "expected Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("{\"votes\": \"a.csv\"}\nnot json\n", "line 2");
+  expect_error("{\"seed\": 3}\n", "missing required key \"votes\"");
+  expect_error("{\"votes\": \"a.csv\", \"bogus\": 1}\n", "unknown key");
+  expect_error("{\"votes\": \"a.csv\", \"seed\": \"x\"}\n",
+               "must be a number");
+  expect_error("{\"votes\": 5}\n", "must be a string path");
+  expect_error("{\"votes\": \"a.csv\", \"votes\": \"b.csv\"}\n",
+               "duplicate key");
+  expect_error("{\"votes\": \"a.csv\"} trailing\n", "trailing content");
+}
+
+TEST(JobRecord, FormatParseRoundTrip) {
+  JobRecord record;
+  record.id = 3;
+  record.votes_path = "dir/votes \"x\".csv";  // needs escaping
+  record.object_count = 20;
+  record.seed = 11;
+  record.search = "heldkarp";
+  record.deadline_ms = 100;
+  const auto parsed = parse_job_records(format_job_record(record) + "\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].id, record.id);
+  EXPECT_EQ(parsed[0].votes_path, record.votes_path);
+  EXPECT_EQ(parsed[0].object_count, record.object_count);
+  EXPECT_EQ(parsed[0].seed, record.seed);
+  EXPECT_EQ(parsed[0].search, record.search);
+  EXPECT_EQ(parsed[0].deadline_ms, record.deadline_ms);
+}
+
+TEST(JobRecord, FormatsStructuredResults) {
+  service::JobResult result;
+  result.id = 4;
+  result.outcome = service::JobOutcome::Degraded;
+  result.stage = PipelineStage::Done;
+  result.ranking.order = {2, 0, 1};
+  result.ranking.excluded = {3};
+  result.hardening.input_votes = 10;
+  result.hardening.retained_votes = 8;
+  result.hardening.dropped_disconnected = 2;
+  result.hardening.excluded_objects = {3};
+  result.log_probability = -1.5;
+  const std::string line = format_job_result(result);
+  EXPECT_NE(line.find("\"outcome\": \"degraded\""), std::string::npos);
+  EXPECT_NE(line.find("\"stage\": \"done\""), std::string::npos);
+  EXPECT_NE(line.find("\"ranking\": [2, 0, 1]"), std::string::npos);
+  EXPECT_NE(line.find("\"excluded_objects\": 1"), std::string::npos);
+  // Ranked outcomes can skip the (possibly long) ranking array.
+  EXPECT_EQ(format_job_result(result, false).find("\"ranking\""),
+            std::string::npos);
+
+  service::JobResult failed;
+  failed.id = 5;
+  failed.outcome = service::JobOutcome::Failed;
+  failed.stage = PipelineStage::Propagation;
+  failed.reason = "injected fault";
+  const std::string failed_line = format_job_result(failed);
+  EXPECT_NE(failed_line.find("\"outcome\": \"failed\""), std::string::npos);
+  EXPECT_NE(failed_line.find("\"stage\": \"propagation\""),
+            std::string::npos);
+  EXPECT_NE(failed_line.find("\"reason\": \"injected fault\""),
+            std::string::npos);
+  EXPECT_EQ(failed_line.find("\"ranking\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdrank::io

@@ -1,0 +1,162 @@
+// Unit tests for the input-hardening pass (service/hardening.hpp):
+// every repair is applied, counted, and deterministic.
+#include "service/hardening.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crowd/vote.hpp"
+
+namespace crowdrank::service {
+namespace {
+
+/// All-pairs consistent batch: every worker prefers lower ids.
+VoteBatch clean_batch(std::size_t n, std::size_t workers) {
+  VoteBatch votes;
+  for (WorkerId w = 0; w < workers; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, true});
+      }
+    }
+  }
+  return votes;
+}
+
+TEST(HardeningTest, CleanBatchPassesThroughUntouched) {
+  const VoteBatch votes = clean_batch(5, 3);
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 5, {}, &report);
+
+  EXPECT_TRUE(batch.usable());
+  EXPECT_EQ(batch.votes, votes);  // ids already dense: identity remap
+  EXPECT_EQ(batch.objects, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(batch.workers, (std::vector<WorkerId>{0, 1, 2}));
+  EXPECT_FALSE(report.repaired());
+  EXPECT_TRUE(report.full_coverage());
+  EXPECT_EQ(report.retained_votes, votes.size());
+  EXPECT_EQ(report.component_count, 1u);
+}
+
+TEST(HardeningTest, DropsOutOfRangeAndSelfVotes) {
+  VoteBatch votes = clean_batch(4, 2);
+  votes.push_back(Vote{0, 0, 9, true});  // unknown object
+  votes.push_back(Vote{1, 7, 0, true});  // unknown object
+  votes.push_back(Vote{0, 2, 2, true});  // self comparison
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 4, {}, &report);
+
+  EXPECT_EQ(report.dropped_out_of_range, 2u);
+  EXPECT_EQ(report.dropped_self, 1u);
+  EXPECT_EQ(batch.votes.size(), votes.size() - 3);
+  EXPECT_TRUE(report.full_coverage());
+}
+
+TEST(HardeningTest, DropsDuplicatesKeepingFirstOccurrence) {
+  VoteBatch votes = clean_batch(3, 1);
+  votes.push_back(Vote{0, 0, 1, true});  // repeat of the first answer
+  votes.push_back(Vote{0, 1, 0, false});  // same answer, flipped spelling
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 3, {}, &report);
+
+  EXPECT_EQ(report.dropped_duplicate, 2u);
+  EXPECT_EQ(batch.votes.size(), clean_batch(3, 1).size());
+}
+
+TEST(HardeningTest, ConflictingAnswersDropAllVotesOnThatTask) {
+  VoteBatch votes = clean_batch(3, 2);
+  // Worker 0 contradicts their own (0,1) answer.
+  votes.push_back(Vote{0, 0, 1, false});
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 3, {}, &report);
+
+  // Both directions of worker 0's (0,1) answers are gone; worker 1's
+  // votes survive, so connectivity and coverage are intact.
+  EXPECT_EQ(report.dropped_conflicting, 2u);
+  EXPECT_EQ(batch.votes.size(), votes.size() - 2);
+  EXPECT_TRUE(report.full_coverage());
+}
+
+TEST(HardeningTest, RestrictsToLargestComponentAndCompacts) {
+  // Island A = {0,1,2} (two workers), island B = {5,6} (one worker);
+  // object 3 and 4 are never compared at all.
+  VoteBatch votes;
+  for (WorkerId w = 0; w < 2; ++w) {
+    votes.push_back(Vote{w, 0, 1, true});
+    votes.push_back(Vote{w, 1, 2, true});
+  }
+  votes.push_back(Vote{7, 5, 6, true});
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 7, {}, &report);
+
+  EXPECT_EQ(report.component_count, 2u);
+  EXPECT_EQ(report.dropped_disconnected, 1u);
+  EXPECT_EQ(batch.objects, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(report.excluded_objects, (std::vector<VertexId>{3, 4, 5, 6}));
+  // Worker ids are compacted in ascending order of the original id.
+  EXPECT_EQ(batch.workers, (std::vector<WorkerId>{0, 1}));
+  for (const Vote& v : batch.votes) {
+    EXPECT_LT(v.i, batch.objects.size());
+    EXPECT_LT(v.j, batch.objects.size());
+    EXPECT_LT(v.worker, batch.workers.size());
+  }
+}
+
+TEST(HardeningTest, LargestComponentTieBreaksTowardSmallestMember) {
+  // Two components of equal size; {0,1} must win over {2,3}.
+  VoteBatch votes{Vote{0, 2, 3, true}, Vote{0, 0, 1, true}};
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 4, {}, &report);
+  EXPECT_EQ(batch.objects, (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(report.excluded_objects, (std::vector<VertexId>{2, 3}));
+}
+
+TEST(HardeningTest, DerivesObjectUniverseFromVoteIds) {
+  VoteBatch votes{Vote{0, 3, 7, true}, Vote{0, 7, 3, false}};
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 0, {}, &report);
+  EXPECT_EQ(report.requested_objects, 8u);
+  EXPECT_EQ(batch.objects, (std::vector<VertexId>{3, 7}));
+  // The flipped spelling is the same answer: one duplicate dropped.
+  EXPECT_EQ(report.dropped_duplicate, 1u);
+  EXPECT_TRUE(batch.usable());
+}
+
+TEST(HardeningTest, EmptyAndUnusableBatches) {
+  HardeningReport report;
+  EXPECT_FALSE(harden_votes({}, 5, {}, &report).usable());
+  EXPECT_EQ(report.retained_votes, 0u);
+
+  // Only self votes: nothing usable survives.
+  const VoteBatch selfs{Vote{0, 1, 1, true}, Vote{1, 2, 2, false}};
+  EXPECT_FALSE(harden_votes(selfs, 5, {}, &report).usable());
+  EXPECT_EQ(report.dropped_self, 2u);
+}
+
+TEST(HardeningTest, PolicySwitchesDisableIndividualRepairs) {
+  VoteBatch votes = clean_batch(3, 1);
+  votes.push_back(Vote{0, 0, 1, true});  // duplicate
+  HardeningPolicy policy;
+  policy.drop_duplicates = false;
+  HardeningReport report;
+  const HardenedBatch batch = harden_votes(votes, 3, policy, &report);
+  EXPECT_EQ(report.dropped_duplicate, 0u);
+  EXPECT_EQ(batch.votes.size(), votes.size());
+}
+
+TEST(HardeningTest, DeterministicAcrossRepeatedRuns) {
+  VoteBatch votes = clean_batch(6, 3);
+  votes.push_back(Vote{0, 0, 11, true});
+  votes.push_back(Vote{2, 4, 4, true});
+  votes.push_back(Vote{1, 0, 1, false});  // conflict with clean batch
+  HardeningReport first_report;
+  const HardenedBatch first = harden_votes(votes, 6, {}, &first_report);
+  HardeningReport second_report;
+  const HardenedBatch second = harden_votes(votes, 6, {}, &second_report);
+  EXPECT_EQ(first.votes, second.votes);
+  EXPECT_EQ(first.objects, second.objects);
+  EXPECT_EQ(first.workers, second.workers);
+  EXPECT_EQ(first_report.excluded_objects, second_report.excluded_objects);
+}
+
+}  // namespace
+}  // namespace crowdrank::service

@@ -1,0 +1,410 @@
+// Robustness suite for the batch ranking service: every fault-injection
+// scenario must land in its documented structured outcome — never a crash,
+// never an escaped exception, never a wedged executor pool — and results
+// must be identical no matter how many executor threads run.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/pipeline.hpp"
+#include "crowd/vote.hpp"
+
+namespace crowdrank::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// All-pairs consistent batch over n objects: lower id always preferred,
+/// so a healthy job completes with the identity ranking.
+VoteBatch clean_batch(std::size_t n, std::size_t workers) {
+  VoteBatch votes;
+  for (WorkerId w = 0; w < workers; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, true});
+      }
+    }
+  }
+  return votes;
+}
+
+/// Two disconnected islands: {0..4} fully compared, {5,6} compared only
+/// with each other. A correct service degrades to ranking the big island.
+VoteBatch island_batch() {
+  VoteBatch votes = clean_batch(5, 3);
+  for (WorkerId w = 0; w < 3; ++w) {
+    votes.push_back(Vote{w, 5, 6, true});
+  }
+  return votes;
+}
+
+/// Spins until the executor has dequeued everything submitted so far —
+/// used by the backpressure tests so "the queue is empty, the blocker is
+/// running" is an established fact, not a race.
+void wait_until_queue_empty(RankingService& svc) {
+  for (int spin = 0; spin < 500 && svc.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(svc.stats().queue_depth, 0u);
+}
+
+RankingJob clean_job(std::size_t n = 6) {
+  RankingJob job;
+  job.votes = clean_batch(n, 3);
+  job.object_count = n;
+  job.worker_count = 3;
+  job.seed = 7;
+  return job;
+}
+
+// ---------------------------------------------------------------------
+// Table-driven fault matrix: one row per FaultPlan case, each asserting
+// the documented outcome.
+// ---------------------------------------------------------------------
+
+struct FaultCase {
+  const char* name;
+  FaultPlan fault;
+  milliseconds deadline{0};
+  bool use_island_batch = false;
+  JobOutcome expected_outcome;
+  PipelineStage expected_stage;
+  /// Substring the result's reason must contain ("" = don't care).
+  const char* reason_contains = "";
+};
+
+std::vector<FaultCase> fault_matrix() {
+  std::vector<FaultCase> cases;
+  cases.push_back({"clean", FaultPlan{}, milliseconds(0), false,
+                   JobOutcome::Completed, PipelineStage::Done, ""});
+  {
+    FaultCase c{"dropped_votes", FaultPlan{}, milliseconds(0), false,
+                JobOutcome::Completed, PipelineStage::Done, ""};
+    c.fault.drop_every_kth_vote = 3;
+    cases.push_back(c);
+  }
+  {
+    FaultCase c{"corrupted_votes", FaultPlan{}, milliseconds(0), false,
+                JobOutcome::Completed, PipelineStage::Done, ""};
+    c.fault.corrupt_every_kth_vote = 5;
+    cases.push_back(c);
+  }
+  {
+    FaultCase c{"disconnected_batch", FaultPlan{}, milliseconds(0), true,
+                JobOutcome::Degraded, PipelineStage::Done, ""};
+    cases.push_back(c);
+  }
+  {
+    FaultCase c{"injected_stage_failure", FaultPlan{}, milliseconds(0),
+                false, JobOutcome::Failed, PipelineStage::Propagation,
+                "injected fault"};
+    c.fault.fail_before = PipelineStage::Propagation;
+    cases.push_back(c);
+  }
+  {
+    FaultCase c{"stalled_stage_past_deadline", FaultPlan{},
+                milliseconds(40), false, JobOutcome::TimedOut,
+                PipelineStage::Smoothing, "deadline"};
+    c.fault.stall_before = PipelineStage::Smoothing;
+    c.fault.stall_duration = milliseconds(200);
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+TEST(ServiceFaultMatrixTest, EveryCaseYieldsItsDocumentedOutcome) {
+  for (const FaultCase& c : fault_matrix()) {
+    SCOPED_TRACE(c.name);
+    RankingService svc;
+    RankingJob job = clean_job();
+    if (c.use_island_batch) {
+      job.votes = island_batch();
+      job.object_count = 7;
+    }
+    job.fault = c.fault;
+    job.deadline = c.deadline;
+    const JobResult result = svc.wait(svc.submit(std::move(job)));
+
+    EXPECT_EQ(result.outcome, c.expected_outcome);
+    EXPECT_EQ(result.stage, c.expected_stage);
+    EXPECT_NE(result.reason.find(c.reason_contains), std::string::npos)
+        << "reason was: " << result.reason;
+
+    if (result.outcome == JobOutcome::Completed) {
+      EXPECT_TRUE(result.ranking.complete());
+      EXPECT_EQ(result.ranking.order.size(), 6u);
+    }
+    if (c.fault.drop_every_kth_vote > 0) {
+      EXPECT_LT(result.hardening.input_votes, clean_job().votes.size());
+    }
+    if (c.fault.corrupt_every_kth_vote > 0) {
+      EXPECT_GT(result.hardening.dropped_out_of_range, 0u);
+    }
+    if (result.outcome == JobOutcome::Degraded) {
+      EXPECT_EQ(result.ranking.order.size(), 5u);
+      EXPECT_EQ(result.ranking.excluded,
+                (std::vector<VertexId>{5, 6}));
+      EXPECT_GT(result.hardening.dropped_disconnected, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Admission control and lifecycle.
+// ---------------------------------------------------------------------
+
+TEST(ServiceTest, InvalidConfigIsRejectedStructurally) {
+  RankingService svc;
+  RankingJob job = clean_job();
+  job.inference.saps.iterations = 0;
+  const JobResult result = svc.wait(svc.submit(std::move(job)));
+  EXPECT_EQ(result.outcome, JobOutcome::Rejected);
+  EXPECT_EQ(result.stage, PipelineStage::Validation);
+  EXPECT_NE(result.reason.find("saps.iterations"), std::string::npos)
+      << result.reason;
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(ServiceTest, EmptyBatchFailsAtHardening) {
+  RankingService svc;
+  RankingJob job;
+  job.object_count = 5;
+  const JobResult result = svc.wait(svc.submit(std::move(job)));
+  EXPECT_EQ(result.outcome, JobOutcome::Failed);
+  EXPECT_EQ(result.stage, PipelineStage::Hardening);
+  EXPECT_NE(result.reason.find("unusable"), std::string::npos);
+}
+
+TEST(ServiceTest, CancelWhileQueuedSettlesWithoutRunning) {
+  ServiceConfig config;
+  config.worker_count = 1;
+  RankingService svc(config);
+
+  // Occupy the single executor long enough for the victim to stay queued.
+  RankingJob blocker = clean_job();
+  blocker.fault.stall_before = PipelineStage::TruthDiscovery;
+  blocker.fault.stall_duration = milliseconds(150);
+  const std::uint64_t blocker_id = svc.submit(std::move(blocker));
+  const std::uint64_t victim_id = svc.submit(clean_job());
+
+  EXPECT_TRUE(svc.cancel(victim_id));
+  const JobResult victim = svc.wait(victim_id);
+  EXPECT_EQ(victim.outcome, JobOutcome::Cancelled);
+  EXPECT_TRUE(victim.ranking.order.empty());
+  EXPECT_EQ(svc.wait(blocker_id).outcome, JobOutcome::Completed);
+  EXPECT_FALSE(svc.cancel(victim_id));  // already settled
+}
+
+TEST(ServiceTest, CancelRunningJobStopsAtNextCheckpoint) {
+  ServiceConfig config;
+  config.worker_count = 1;
+  RankingService svc(config);
+  RankingJob job = clean_job();
+  job.fault.stall_before = PipelineStage::Smoothing;
+  job.fault.stall_duration = milliseconds(150);
+  const std::uint64_t id = svc.submit(std::move(job));
+  // Give the executor time to enter the stall, then cancel mid-run.
+  std::this_thread::sleep_for(milliseconds(30));
+  svc.cancel(id);
+  const JobResult result = svc.wait(id);
+  EXPECT_EQ(result.outcome, JobOutcome::Cancelled);
+  EXPECT_NE(result.stage, PipelineStage::Done);
+}
+
+TEST(ServiceTest, RejectNewPolicyRejectsWhenQueueIsFull) {
+  ServiceConfig config;
+  config.worker_count = 1;
+  config.queue_capacity = 1;
+  RankingService svc(config);
+
+  RankingJob blocker = clean_job();
+  blocker.fault.stall_before = PipelineStage::TruthDiscovery;
+  blocker.fault.stall_duration = milliseconds(250);
+  const std::uint64_t a = svc.submit(std::move(blocker));
+  wait_until_queue_empty(svc);  // blocker is now running, queue empty
+  const std::uint64_t b = svc.submit(clean_job());  // fills the queue
+  const std::uint64_t c = svc.submit(clean_job());  // bounces
+
+  const JobResult rejected = svc.wait(c);
+  EXPECT_EQ(rejected.outcome, JobOutcome::Rejected);
+  EXPECT_NE(rejected.reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(svc.wait(a).outcome, JobOutcome::Completed);
+  EXPECT_EQ(svc.wait(b).outcome, JobOutcome::Completed);
+  EXPECT_EQ(svc.stats().shed, 0u);
+}
+
+TEST(ServiceTest, ShedOldestPolicyEvictsTheHeadOfTheQueue) {
+  ServiceConfig config;
+  config.worker_count = 1;
+  config.queue_capacity = 1;
+  config.policy = QueuePolicy::ShedOldest;
+  RankingService svc(config);
+
+  RankingJob blocker = clean_job();
+  blocker.fault.stall_before = PipelineStage::TruthDiscovery;
+  blocker.fault.stall_duration = milliseconds(250);
+  const std::uint64_t a = svc.submit(std::move(blocker));
+  wait_until_queue_empty(svc);  // blocker is now running, queue empty
+  const std::uint64_t b = svc.submit(clean_job());  // queued
+  const std::uint64_t c = svc.submit(clean_job());  // sheds b
+
+  const JobResult shed = svc.wait(b);
+  EXPECT_EQ(shed.outcome, JobOutcome::Rejected);
+  EXPECT_NE(shed.reason.find("shed"), std::string::npos);
+  EXPECT_EQ(svc.wait(a).outcome, JobOutcome::Completed);
+  EXPECT_EQ(svc.wait(c).outcome, JobOutcome::Completed);
+  EXPECT_EQ(svc.stats().shed, 1u);
+}
+
+TEST(ServiceTest, ServiceLevelFaultPlanTargetsOneSubmission) {
+  ServiceConfig config;
+  config.fault.fail_before = PipelineStage::RankSearch;
+  config.fault.only_job = 1;  // second submission only
+  RankingService svc(config);
+  const std::uint64_t a = svc.submit(clean_job());
+  const std::uint64_t b = svc.submit(clean_job());
+  const std::uint64_t c = svc.submit(clean_job());
+  EXPECT_EQ(svc.wait(a).outcome, JobOutcome::Completed);
+  const JobResult failed = svc.wait(b);
+  EXPECT_EQ(failed.outcome, JobOutcome::Failed);
+  EXPECT_EQ(failed.stage, PipelineStage::RankSearch);
+  EXPECT_EQ(svc.wait(c).outcome, JobOutcome::Completed);
+}
+
+TEST(ServiceTest, PoolIsNeverWedgedByAbortedJobs) {
+  ServiceConfig config;
+  config.worker_count = 2;
+  RankingService svc(config);
+
+  RankingJob doomed = clean_job();
+  doomed.fault.stall_before = PipelineStage::Smoothing;
+  doomed.fault.stall_duration = milliseconds(120);
+  doomed.deadline = milliseconds(30);
+  const std::uint64_t timed_out = svc.submit(std::move(doomed));
+
+  RankingJob failing = clean_job();
+  failing.fault.fail_before = PipelineStage::TruthDiscovery;
+  const std::uint64_t failed = svc.submit(std::move(failing));
+
+  EXPECT_EQ(svc.wait(timed_out).outcome, JobOutcome::TimedOut);
+  EXPECT_EQ(svc.wait(failed).outcome, JobOutcome::Failed);
+
+  // The same executors must still serve healthy work.
+  const JobResult after = svc.wait(svc.submit(clean_job()));
+  EXPECT_EQ(after.outcome, JobOutcome::Completed);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceTest, DestructorSettlesQueuedJobsAndJoins) {
+  std::uint64_t queued_id = 0;
+  JobResult queued_result;
+  {
+    ServiceConfig config;
+    config.worker_count = 1;
+    RankingService svc(config);
+    RankingJob blocker = clean_job();
+    blocker.fault.stall_before = PipelineStage::TruthDiscovery;
+    blocker.fault.stall_duration = milliseconds(100);
+    svc.submit(std::move(blocker));
+    queued_id = svc.submit(clean_job());
+    // Destroying the service must not hang: the queued job settles as
+    // Cancelled and the running one stops at its next checkpoint.
+  }
+  EXPECT_GT(queued_id, 0u);
+}
+
+TEST(ServiceTest, DrainReturnsSubmissionOrder) {
+  ServiceConfig config;
+  config.worker_count = 4;
+  RankingService svc(config);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RankingJob job = clean_job();
+    job.seed = seed;
+    ids.push_back(svc.submit(std::move(job)));
+  }
+  const std::vector<JobResult> results = svc.drain();
+  ASSERT_EQ(results.size(), ids.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    EXPECT_EQ(results[k].id, ids[k]);
+    EXPECT_EQ(results[k].outcome, JobOutcome::Completed);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the same job stream produces bitwise-identical rankings
+// at 1 executor and at N executors (content never depends on
+// interleaving; only queue/run timing may differ).
+// ---------------------------------------------------------------------
+
+std::vector<RankingJob> determinism_stream() {
+  std::vector<RankingJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    RankingJob job = clean_job(7);
+    job.seed = seed;
+    jobs.push_back(job);
+  }
+  {
+    RankingJob job = clean_job(6);
+    job.fault.drop_every_kth_vote = 4;
+    jobs.push_back(job);
+  }
+  {
+    RankingJob job = clean_job(6);
+    job.fault.corrupt_every_kth_vote = 6;
+    jobs.push_back(job);
+  }
+  {
+    RankingJob job;
+    job.votes = island_batch();
+    job.object_count = 7;
+    job.seed = 5;
+    jobs.push_back(job);
+  }
+  {
+    RankingJob job = clean_job();
+    job.fault.fail_before = PipelineStage::RankSearch;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<JobResult> run_stream(std::size_t workers) {
+  ServiceConfig config;
+  config.worker_count = workers;
+  RankingService svc(config);
+  for (const RankingJob& job : determinism_stream()) {
+    svc.submit(job);
+  }
+  return svc.drain();
+}
+
+TEST(ServiceDeterminismTest, IdenticalResultsAtOneAndManyExecutors) {
+  const std::vector<JobResult> solo = run_stream(1);
+  const std::vector<JobResult> fleet = run_stream(4);
+  ASSERT_EQ(solo.size(), fleet.size());
+  for (std::size_t k = 0; k < solo.size(); ++k) {
+    SCOPED_TRACE("job " + std::to_string(k));
+    EXPECT_EQ(solo[k].outcome, fleet[k].outcome);
+    EXPECT_EQ(solo[k].stage, fleet[k].stage);
+    EXPECT_EQ(solo[k].ranking.order, fleet[k].ranking.order);
+    EXPECT_EQ(solo[k].ranking.excluded, fleet[k].ranking.excluded);
+    EXPECT_EQ(solo[k].log_probability, fleet[k].log_probability);
+    EXPECT_EQ(solo[k].hardening.retained_votes,
+              fleet[k].hardening.retained_votes);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrank::service

@@ -19,6 +19,18 @@ quietly break that promise, so this script bans them in src/:
   raw-new           raw new/delete expressions — own memory with
                     containers or smart pointers ('= delete' is fine).
 
+Beyond src/, the script also enforces the public-API facade
+(src/crowdrank.hpp) over out-of-tree consumers:
+
+  engine-outside-facade   naming InferenceEngine in bench/, examples/, or
+                          tools/ — consumers drive the pipeline through
+                          crowdrank::api::rank (or the batch service), so
+                          internal engine refactors cannot break them.
+  submodule-include       #include "core/..." (or any other sub-module
+                          header) from examples/ — examples are the copy-
+                          paste template for downstream users and must
+                          compile against the umbrella crowdrank.hpp only.
+
 Suppress a finding for one line with a trailing comment:
     // lint:allow(<rule>)
 
@@ -63,6 +75,16 @@ RULES = {
         r"\bnew\s+[A-Za-z_:(]|\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]"
     ),
 }
+
+# Facade enforcement over out-of-tree consumers. src/ and tests/ may touch
+# the engine directly (tests pin its exact contract); everything else goes
+# through crowdrank::api or the batch service.
+FACADE_DIRS = ("bench", "examples", "tools")
+ENGINE_RE = re.compile(r"\bInferenceEngine\b")
+SUBMODULE_INCLUDE_RE = re.compile(
+    r'#include\s+"(?:analysis|baselines|core|crowd|graph|io|metrics|'
+    r'service|util)/'
+)
 
 
 def strip_noise(line: str) -> str:
@@ -141,6 +163,36 @@ def lint_file(path: str) -> list[tuple[str, int, str, str]]:
     return findings
 
 
+def facade_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", *FACADE_DIRS],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.splitlines()
+    return [f for f in out if f.endswith(CPP_EXTENSIONS)]
+
+
+def lint_facade_file(path: str) -> list[tuple[str, int, str, str]]:
+    findings = []
+    with open(os.path.join(ROOT, path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    in_examples = path.startswith("examples/")
+    for lineno, raw in enumerate(lines, start=1):
+        allow = allowed_rules(raw)
+        # Includes live inside string literals, so match the raw line here.
+        if (in_examples and "submodule-include" not in allow
+                and SUBMODULE_INCLUDE_RE.search(raw)):
+            findings.append((path, lineno, "submodule-include", raw.strip()))
+        if ("engine-outside-facade" not in allow
+                and ENGINE_RE.search(strip_noise(raw))):
+            findings.append(
+                (path, lineno, "engine-outside-facade", raw.strip())
+            )
+    return findings
+
+
 def find_clang_format() -> str | None:
     env = os.environ.get("CLANG_FORMAT")
     if env and shutil.which(env):
@@ -191,6 +243,9 @@ def main() -> int:
     findings = []
     for path in files:
         findings.extend(lint_file(path))
+    consumer_files = facade_files()
+    for path in consumer_files:
+        findings.extend(lint_facade_file(path))
 
     for path, lineno, rule, text in findings:
         print("%s:%d: [%s] %s" % (path, lineno, rule, text), file=sys.stderr)
@@ -198,14 +253,17 @@ def main() -> int:
     status = 0
     if findings:
         print(
-            "lint: %d nondeterminism hazard(s) in src/ — see rules in "
+            "lint: %d finding(s) — see rules in "
             "tools/crowdrank_lint.py; suppress a deliberate use with "
             "// lint:allow(<rule>)" % len(findings),
             file=sys.stderr,
         )
         status = 1
     else:
-        print("lint: %d source files clean" % len(files))
+        print(
+            "lint: %d source + %d consumer files clean"
+            % (len(files), len(consumer_files))
+        )
 
     if check_format() != 0:
         status = 1
