@@ -9,10 +9,21 @@
 // This file is the perf trajectory anchor: every future optimization PR
 // should move these numbers and nothing else.
 //
+// A second "kernels" section isolates the two hot-stage kernels the
+// pipeline numbers above aggregate: the cache-tiled matrix product vs the
+// untiled row-block formulation it replaced (matmul_naive vs
+// matmul_blocked), and SAPS at one thread vs the configured pool
+// (saps_serial vs saps_parallel — identical output is asserted). Those
+// labels land in BENCH_pipeline.json so the perf trajectory has per-kernel
+// before/after rows.
+//
 // The timed runs deliberately execute with NO trace sink attached — they
 // double as the <2% overhead regression check for the tracing layer's
 // disabled path. Set CROWDRANK_TRACE=out.json to additionally capture an
-// (untimed) traced run of the largest size.
+// (untimed) traced run of the largest size. Set CROWDRANK_BENCH_SMOKE=1
+// (the CI release job does) to run only n=100 with single reps — a fast
+// regression canary that the bench binary and both kernels still work.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -20,7 +31,10 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/saps.hpp"
+#include "util/matrix.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -60,6 +74,152 @@ StageTimes run_once(std::size_t n) {
   return out;
 }
 
+bool smoke_mode() {
+  const char* env = std::getenv("CROWDRANK_BENCH_SMOKE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The pre-tiling production matmul (row-blocked i-k-j, full-width inner
+/// j), kept here verbatim as the naive reference the blocked kernel is
+/// measured against. Runs on the same pool with the same grain so the
+/// comparison isolates the tiling.
+Matrix naive_multiply(const Matrix& lhs, const Matrix& rhs) {
+  const std::size_t n = lhs.rows();
+  const std::size_t k_dim = lhs.cols();
+  const std::size_t m = rhs.cols();
+  Matrix out(n, m, 0.0);
+  constexpr std::size_t kBlock = 64;
+  parallel_for(0, n, 16, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t ii = r0; ii < r1; ii += kBlock) {
+      const std::size_t i_end = std::min(ii + kBlock, r1);
+      for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
+        const std::size_t k_end = std::min(kk + kBlock, k_dim);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          auto out_row = out.row(i);
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double a = lhs(i, k);
+            if (a == 0.0) continue;
+            const auto rhs_row = rhs.row(k);
+            for (std::size_t j = 0; j < m; ++j) {
+              out_row[j] += a * rhs_row[j];
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Matrix random_closure(std::size_t n, Rng& rng) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double w = rng.uniform(0.05, 0.95);
+      m(i, j) = w;
+      m(j, i) = 1.0 - w;
+    }
+  }
+  return m;
+}
+
+/// Best-of-`reps` wall milliseconds of `fn()`.
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    const double ms = watch.elapsed_millis();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Per-kernel micro rows: matmul_naive vs matmul_blocked and saps_serial
+/// vs saps_parallel at each n, appended to the report under kernel_*
+/// labels.
+void run_kernel_benches(trace::RunReport& report,
+                        const std::vector<std::size_t>& object_counts,
+                        std::size_t parallel_threads) {
+  const int reps = smoke_mode() ? 1 : 3;
+  TableWriter table({"n", "kernel", "baseline_ms", "new_ms", "ratio"});
+  for (const std::size_t n : object_counts) {
+    Rng rng(1000 + n);
+    const Matrix a = random_closure(n, rng);
+    const Matrix b = random_closure(n, rng);
+
+    set_thread_count(parallel_threads);
+    Matrix naive_out;
+    Matrix blocked_out;
+    const double naive_ms =
+        best_ms(reps, [&] { naive_out = naive_multiply(a, b); });
+    const double blocked_ms =
+        best_ms(reps, [&] { blocked_out = Matrix::multiply(a, b); });
+    if (!(naive_out == blocked_out)) {
+      std::cerr << "ERROR: blocked matmul diverges from naive at n=" << n
+                << "\n";
+      std::exit(1);
+    }
+    const double matmul_ratio =
+        blocked_ms > 0.0 ? naive_ms / blocked_ms : 1.0;
+    table.add_row({std::to_string(n), "matmul_naive/matmul_blocked",
+                   TableWriter::fmt(naive_ms), TableWriter::fmt(blocked_ms),
+                   TableWriter::fmt(matmul_ratio)});
+    std::string matmul_label = "kernel_matmul_n";
+    matmul_label.append(std::to_string(n));
+    trace::RunReport::Run& matmul = report.add_run(matmul_label);
+    matmul.note("n", static_cast<std::int64_t>(n));
+    matmul.note("threads", static_cast<std::int64_t>(parallel_threads));
+    matmul.note("matmul_naive_ms", naive_ms);
+    matmul.note("matmul_blocked_ms", blocked_ms);
+    matmul.note("speedup", matmul_ratio);
+
+    // SAPS with the pipeline's default config on the same closure shape;
+    // serial vs pooled runs must agree exactly (parallel restarts are
+    // deterministic by construction).
+    SapsConfig saps_config;
+    if (smoke_mode()) saps_config.iterations = 500;
+    set_thread_count(1);
+    SapsResult saps_serial;
+    const double saps_serial_ms = best_ms(reps, [&] {
+      Rng saps_rng(2000 + n);
+      saps_serial = saps_search(a, saps_config, saps_rng);
+    });
+    set_thread_count(parallel_threads);
+    SapsResult saps_parallel;
+    const double saps_parallel_ms = best_ms(reps, [&] {
+      Rng saps_rng(2000 + n);
+      saps_parallel = saps_search(a, saps_config, saps_rng);
+    });
+    const bool identical =
+        saps_serial.best_path == saps_parallel.best_path &&
+        saps_serial.log_cost == saps_parallel.log_cost;
+    if (!identical) {
+      std::cerr << "ERROR: saps_serial and saps_parallel diverge at n=" << n
+                << "\n";
+      std::exit(1);
+    }
+    const double saps_ratio =
+        saps_parallel_ms > 0.0 ? saps_serial_ms / saps_parallel_ms : 1.0;
+    table.add_row({std::to_string(n), "saps_serial/saps_parallel",
+                   TableWriter::fmt(saps_serial_ms),
+                   TableWriter::fmt(saps_parallel_ms),
+                   TableWriter::fmt(saps_ratio)});
+    std::string saps_label = "kernel_saps_n";
+    saps_label.append(std::to_string(n));
+    trace::RunReport::Run& saps = report.add_run(saps_label);
+    saps.note("n", static_cast<std::int64_t>(n));
+    saps.note("threads", static_cast<std::int64_t>(parallel_threads));
+    saps.note("saps_serial_ms", saps_serial_ms);
+    saps.note("saps_parallel_ms", saps_parallel_ms);
+    saps.note("speedup", saps_ratio);
+    saps.note("identical", identical);
+  }
+  std::cout << "\n-- hot-path kernels --\n";
+  bench::emit(table);
+}
+
 void capture_run(trace::RunReport& report, const std::string& label,
                  const StageTimes& t, std::size_t threads) {
   trace::RunReport::Run& run = report.add_run(label);
@@ -75,7 +235,9 @@ void run() {
                 "end-to-end inference wall time per stage, serial vs "
                 "thread pool (fixed seeds; rankings must be identical)");
 
-  const std::vector<std::size_t> object_counts = {100, 300, 1000};
+  const std::vector<std::size_t> object_counts =
+      smoke_mode() ? std::vector<std::size_t>{100}
+                   : std::vector<std::size_t>{100, 300, 1000};
   const std::size_t parallel_threads = configured_thread_count();
 
   trace::RunReport report("perf_pipeline");
@@ -119,6 +281,9 @@ void run() {
     par.capture(parallel.timings);
   }
   report.note("rankings_match", all_match);
+
+  run_kernel_benches(report, object_counts, parallel_threads);
+  set_thread_count(parallel_threads);
 
   // Optional traced rerun of the largest size (outside the timed loop, so
   // the figures above stay a pure no-sink measurement).

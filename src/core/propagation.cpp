@@ -23,27 +23,34 @@ constexpr std::size_t kRowGrain = 16;
 /// needs). L = smallest power of two >= target_length.
 Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
   const std::size_t n = w.rows();
-  double w_max = 0.0;
-  for (const double v : w.data()) w_max = std::max(w_max, v);
+
+  // Per-doubling-step trace: the log-scale of W^m ("residual" of the power
+  // iteration — how far the high-order terms have decayed), the carry
+  // factor that re-injects S(m), and a count of the full-matrix max scans
+  // (w_max + every renormalize) now folded into the parallel max-reduce.
+  // Pure observation of existing state.
+  metrics::Counter* trace_steps = trace::counter("propagation.power_steps");
+  metrics::Counter* trace_scans =
+      trace::counter("propagation.renormalize_scans");
+  metrics::Series* trace_lp = trace::series("propagation.lp");
+  metrics::Series* trace_carry = trace::series("propagation.carry");
+
+  const double w_max = w.max_value();
+  if (trace_scans != nullptr) trace_scans->add(1);
   if (w_max <= 0.0) {
     return Matrix(n, n, 0.0);  // edgeless graph: no evidence anywhere
   }
 
-  const auto renormalize = [](Matrix& m) {
-    double max_entry = 0.0;
-    for (const double v : m.data()) max_entry = std::max(max_entry, v);
+  const auto renormalize = [&](Matrix& m) {
+    // Parallel exact max-reduce + parallel scale; both are element-disjoint
+    // or rounding-free, so the pass is bitwise-stable at any thread count.
+    const double max_entry = m.max_value();
     if (max_entry > 0.0) {
       m *= 1.0 / max_entry;
     }
+    if (trace_scans != nullptr) trace_scans->add(1);
     return max_entry;
   };
-
-  // Per-doubling-step trace: the log-scale of W^m ("residual" of the power
-  // iteration — how far the high-order terms have decayed) and the carry
-  // factor that re-injects S(m). Pure observation of existing state.
-  metrics::Counter* trace_steps = trace::counter("propagation.power_steps");
-  metrics::Series* trace_lp = trace::series("propagation.lp");
-  metrics::Series* trace_carry = trace::series("propagation.carry");
 
   // Invariants: s_hat ∝ S(m), p_hat = W^m / e^{lp} with max entry 1.
   Matrix s_hat = w;
@@ -58,19 +65,14 @@ Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
       // W^m is vanishingly small against S(m): the sum has converged.
       break;
     }
-    Matrix next = Matrix::multiply(p_hat, s_hat);
-    if (lp < 700.0) {  // outside this band one term fully dominates
-      const double carry = std::exp(-lp);
-      parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-          auto dst = next.row(i);
-          const auto src = s_hat.row(i);
-          for (std::size_t j = 0; j < n; ++j) {
-            dst[j] += carry * src[j];
-          }
-        }
-      });
-    }
+    // The carry add is fused into the product's parallel pass: each row
+    // task applies `+ carry * s_hat` right after producing its rows, while
+    // they are cache-hot, instead of a second full sweep over the matrix.
+    Matrix next =
+        lp < 700.0  // outside this band one term fully dominates
+            ? Matrix::multiply_add_scaled(p_hat, s_hat, std::exp(-lp),
+                                          s_hat)
+            : Matrix::multiply(p_hat, s_hat);
     renormalize(next);
     s_hat = std::move(next);
 
@@ -158,26 +160,32 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
   if (config.aggregation == PathAggregation::Average) {
     // Divide each pair's walk-sum by the number of contributing walks so
     // w* stays on the direct weights' [0,1] scale. The count matrix reuses
-    // the same power-sum over the 0/1 adjacency indicator.
+    // the same power-sum over the 0/1 adjacency indicator. Both O(n^2)
+    // element-wise passes (indicator build, normalization) run as
+    // element-disjoint row blocks on the pool.
     Matrix adjacency(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (direct(i, j) > 0.0) adjacency(i, j) = 1.0;
+    parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (direct(i, j) > 0.0) adjacency(i, j) = 1.0;
+        }
       }
-    }
+    });
     const Matrix counts =
         config.mode == PropagationMode::BoundedWalks
             ? walk_indirect_preferences(adjacency, config.max_length)
             : exact_indirect_preferences(
                   PreferenceGraph::from_matrix(adjacency),
                   config.max_length);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (counts(i, j) > 0.0) {
-          indirect(i, j) /= counts(i, j);
+    parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (counts(i, j) > 0.0) {
+            indirect(i, j) /= counts(i, j);
+          }
         }
       }
-    }
+    });
   }
 
   PropagationStats local;
@@ -214,15 +222,23 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
       },
       [](std::size_t a, std::size_t b) { return a + b; });
 
-  local.complete = true;
-  for (std::size_t i = 0; i < n && local.complete; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i != j && closure(i, j) <= 0.0) {
-        local.complete = false;
-        break;
-      }
-    }
-  }
+  // Completeness scan as an AND-reduction over row chunks. Each chunk
+  // keeps the serial loop's early exit (it stops at its first hole), and
+  // logical AND is exact, so the verdict matches the serial scan at any
+  // thread count.
+  local.complete = parallel_reduce(
+      std::size_t{0}, n, kRowGrain, true,
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (i != j && closure(i, j) <= 0.0) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      [](bool acc, bool part) { return acc && part; });
   if (metrics::Counter* c =
           trace::counter("propagation.pairs_without_evidence")) {
     c->add(local.pairs_without_evidence);

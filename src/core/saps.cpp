@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <numeric>
 
+#include "core/saps_kernel.hpp"
 #include "graph/hamiltonian.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -36,7 +38,10 @@ void saps_swap(Path& path, std::size_t a, std::size_t b) {
 
 namespace {
 
-/// Edge cost c(u -> v) = -log w(u, v), with the safe_log floor.
+/// Edge cost c(u -> v) = -log w(u, v), with the safe_log floor. Uncached
+/// formulation, kept as the reference the cost-cache kernels are pinned
+/// against (tests/core/test_saps_kernel.cpp); the annealing loop itself
+/// reads the SapsCostCache.
 double edge_cost(const Matrix& w, VertexId u, VertexId v) {
   return -math::safe_log(w(u, v));
 }
@@ -140,63 +145,133 @@ double saps_swap_delta(const Matrix& w, const Path& path, std::size_t a,
 
 namespace {
 
-Path initial_path(const Matrix& w, VertexId start, SapsInitMode mode,
-                  bool force_anchor, Rng& rng) {
-  const std::size_t n = w.rows();
-  switch (mode) {
-    case SapsInitMode::GreedyNearestNeighbor: {
-      Path path;
-      path.reserve(n);
-      std::vector<bool> used(n, false);
-      VertexId current = start;
-      path.push_back(current);
-      used[current] = true;
-      for (std::size_t step = 1; step < n; ++step) {
-        VertexId best = n;
-        double best_w = -1.0;
-        for (VertexId next = 0; next < n; ++next) {
-          if (used[next]) continue;
-          if (w(current, next) > best_w) {
-            best_w = w(current, next);
-            best = next;
-          }
+/// Everything one restart chain produces; restarts write disjoint slots of
+/// an outcome vector, and the winner is selected by a deterministic
+/// min-reduction afterwards.
+struct RestartOutcome {
+  Path best_path;
+  double log_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t moves_proposed = 0;
+  std::uint64_t moves_accepted = 0;
+};
+
+/// Trace handles resolved once on the calling thread; the sharded metrics
+/// registry is safe to push from pool workers.
+struct SapsTraceHandles {
+  metrics::Series* temperature = nullptr;
+  metrics::Series* acceptance = nullptr;
+  metrics::Series* best = nullptr;
+  std::size_t stride = 1;
+};
+
+/// One annealing chain (Algorithm 2 lines 3-11 + Algorithm 3 acceptance),
+/// self-contained: it reads only the immutable cost cache and its own Rng
+/// stream, so chains run concurrently without sharing any mutable state.
+RestartOutcome run_restart(const SapsCostCache& cache,
+                           const SapsConfig& config, std::size_t restart,
+                           Rng& rng, const SapsTraceHandles& handles) {
+  const std::size_t n = cache.size();
+  trace::Span restart_span("saps_restart");
+  if (restart_span.active()) {
+    restart_span.set_attr("restart", restart);
+  }
+
+  // Algorithm 3: Metropolis acceptance on d = sum log(1/w).
+  const auto accept = [&](double d_cur, double d_next, double temp) {
+    if (d_next < d_cur) return true;
+    if (temp <= 0.0) return false;
+    const double p = std::exp(-(d_next - d_cur) / temp);
+    return rng.bernoulli(p);
+  };
+
+  RestartOutcome out;
+  const VertexId anchor = static_cast<VertexId>(restart % n);
+  Path current = saps_initial_path(cache, anchor, config.init_mode,
+                                   /*force_anchor=*/restart > 0, rng);
+  double d_cur = path_log_cost(cache, current);
+  out.log_cost = d_cur;
+  out.best_path = current;
+
+  // Windowed acceptance bookkeeping for the trace samples below. The
+  // best-cost series tracks this restart's own best (chains no longer see
+  // each other's progress mid-flight).
+  std::uint64_t window_proposed = 0;
+  std::uint64_t window_accepted = 0;
+  const double iter_base =
+      static_cast<double>(restart) * static_cast<double>(config.iterations);
+
+  double temp = config.initial_temperature;
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Algorithm 2 lines 5-11: propose each enabled move in turn. Each
+    // proposal is scored by its incremental delta (O(1) for rotate and
+    // swap, O(segment) for reverse) and applied only on acceptance.
+    for (int move = 0; move < 3; ++move) {
+      if (move == 0 && !config.use_rotate) continue;
+      if (move == 1 && !config.use_reverse) continue;
+      if (move == 2 && !config.use_swap) continue;
+
+      double delta = 0.0;
+      std::size_t p0 = 0;
+      std::size_t p1 = 0;
+      std::size_t p2 = 0;
+      if (move == 0) {
+        // Rotate a random range about a random interior pivot.
+        p0 = rng.uniform_index(n);
+        p2 = rng.uniform_index(n);
+        if (p0 > p2) std::swap(p0, p2);
+        p1 = p0 + static_cast<std::size_t>(rng.uniform_index(p2 - p0 + 1));
+        delta = saps_rotate_delta(cache, current, p0, p1, p2);
+      } else if (move == 1) {
+        p0 = rng.uniform_index(n);
+        p1 = rng.uniform_index(n);
+        if (p0 > p1) std::swap(p0, p1);
+        delta = saps_reverse_delta(cache, current, p0, p1);
+      } else {
+        p0 = rng.uniform_index(n);
+        p1 = rng.uniform_index(n - 1);
+        if (p1 >= p0) ++p1;
+        delta = saps_swap_delta(cache, current, p0, p1);
+      }
+
+      ++out.moves_proposed;
+      ++window_proposed;
+      if (accept(d_cur, d_cur + delta, temp)) {
+        if (move == 0) {
+          saps_rotate(current, p0, p1, p2);
+        } else if (move == 1) {
+          saps_reverse(current, p0, p1);
+        } else {
+          saps_swap(current, p0, p1);
         }
-        path.push_back(best);
-        used[best] = true;
-        current = best;
-      }
-      return path;
-    }
-    case SapsInitMode::WeightDifferenceRanking: {
-      std::vector<double> diff(n, 0.0);
-      for (VertexId v = 0; v < n; ++v) {
-        for (VertexId u = 0; u < n; ++u) {
-          if (u == v) continue;
-          diff[v] += w(v, u) - w(u, v);
+        d_cur += delta;
+        ++out.moves_accepted;
+        ++window_accepted;
+        if (d_cur < out.log_cost) {
+          out.log_cost = d_cur;
+          out.best_path = current;
         }
       }
-      Path path(n);
-      std::iota(path.begin(), path.end(), VertexId{0});
-      std::stable_sort(path.begin(), path.end(), [&](VertexId a, VertexId b) {
-        return diff[a] > diff[b];
-      });
-      if (force_anchor) {
-        // Later restarts diversify by pulling their anchor vertex to the
-        // front, preserving the relative order of the rest.
-        const auto it = std::find(path.begin(), path.end(), start);
-        std::rotate(path.begin(), it, it + 1);
-      }
-      return path;
     }
-    case SapsInitMode::RandomPermutation: {
-      auto perm = rng.permutation(n);
-      Path path(perm.begin(), perm.end());
-      const auto it = std::find(path.begin(), path.end(), start);
-      std::swap(*path.begin(), *it);
-      return path;
+    temp *= config.cooling_rate;
+
+    if (handles.temperature != nullptr &&
+        (iter + 1) % handles.stride == 0) {
+      const double t = iter_base + static_cast<double>(iter + 1);
+      trace::push_series(handles.temperature, t, temp);
+      trace::push_series(
+          handles.acceptance, t,
+          window_proposed > 0 ? static_cast<double>(window_accepted) /
+                                    static_cast<double>(window_proposed)
+                              : 0.0);
+      trace::push_series(handles.best, t, out.log_cost);
+      window_proposed = 0;
+      window_accepted = 0;
     }
   }
-  throw Error("unknown SAPS init mode");
+  if (restart_span.active()) {
+    restart_span.set_attr("best_log_cost", out.log_cost);
+  }
+  return out;
 }
 
 }  // namespace
@@ -220,122 +295,52 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
                                    ? n
                                    : std::min(config.restarts, n);
 
-  SapsResult result;
-  result.log_cost = std::numeric_limits<double>::infinity();
+  // Materialize the -log w cost matrix once; every delta evaluation below
+  // is a handful of loads instead of std::log calls.
+  const SapsCostCache cache(closure);
+
+  // One draw from the caller's stream seeds every restart chain: restart r
+  // runs on Rng(task_stream_seed(base, r)). The derivation depends only on
+  // (caller seed state, restart index) — never on the thread count or the
+  // execution schedule — and the caller's Rng advances by exactly one step
+  // regardless of how many restarts run, so results are bitwise-identical
+  // at 1 vs N threads and across repeated runs.
+  const std::uint64_t stream_base = rng();
 
   // Annealing-schedule trace, sampled every `stride` iterations so even
   // million-iteration runs stay at ~128 points per restart. The stride is
   // derived from the config alone (never the clock), and all observations
   // are reads of existing state — the anneal itself is untouched.
-  metrics::Series* trace_temp = trace::series("saps.temperature");
-  metrics::Series* trace_accept = trace::series("saps.acceptance_rate");
-  metrics::Series* trace_best = trace::series("saps.best_log_cost");
-  const std::size_t trace_stride =
-      config.iterations > 128 ? config.iterations / 128 : 1;
+  SapsTraceHandles handles;
+  handles.temperature = trace::series("saps.temperature");
+  handles.acceptance = trace::series("saps.acceptance_rate");
+  handles.best = trace::series("saps.best_log_cost");
+  handles.stride = config.iterations > 128 ? config.iterations / 128 : 1;
 
-  // Algorithm 3: Metropolis acceptance on d = sum log(1/w).
-  const auto accept = [&](double d_cur, double d_next, double temp) {
-    if (d_next < d_cur) return true;
-    if (temp <= 0.0) return false;
-    const double p = std::exp(-(d_next - d_cur) / temp);
-    return rng.bernoulli(p);
-  };
+  // Restart chains fan out across the pool as independent tasks; each
+  // writes only its own outcome slot. Inside a nested region (or with
+  // CROWDRANK_THREADS=1) this degenerates to the serial restart loop.
+  std::vector<RestartOutcome> outcomes(restarts);
+  ThreadPool::instance().run(restarts, [&](std::size_t restart) {
+    Rng restart_rng(task_stream_seed(stream_base, restart));
+    outcomes[restart] =
+        run_restart(cache, config, restart, restart_rng, handles);
+  });
 
-  for (std::size_t restart = 0; restart < restarts; ++restart) {
-    trace::Span restart_span("saps_restart");
-    if (restart_span.active()) {
-      restart_span.set_attr("restart", restart);
+  // Deterministic winner: min-reduction in ascending restart order keyed on
+  // (log_cost, restart_index) — strict < keeps the earliest restart on
+  // exact ties, independent of which thread finished first.
+  SapsResult result;
+  std::size_t winner = 0;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    if (outcomes[r].log_cost < outcomes[winner].log_cost) {
+      winner = r;
     }
-    const VertexId anchor = static_cast<VertexId>(restart % n);
-    Path current = initial_path(closure, anchor, config.init_mode,
-                                /*force_anchor=*/restart > 0, rng);
-    double d_cur = path_log_cost(closure, current);
-    if (d_cur < result.log_cost) {
-      result.log_cost = d_cur;
-      result.best_path = current;
-    }
-
-    // Windowed acceptance bookkeeping for the trace samples below.
-    std::uint64_t window_proposed = 0;
-    std::uint64_t window_accepted = 0;
-    const double iter_base =
-        static_cast<double>(restart) * static_cast<double>(config.iterations);
-
-    double temp = config.initial_temperature;
-    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-      // Algorithm 2 lines 5-11: propose each enabled move in turn. Each
-      // proposal is scored by its incremental delta (O(1) for rotate and
-      // swap, O(segment) for reverse) and applied only on acceptance.
-      for (int move = 0; move < 3; ++move) {
-        if (move == 0 && !config.use_rotate) continue;
-        if (move == 1 && !config.use_reverse) continue;
-        if (move == 2 && !config.use_swap) continue;
-
-        double delta = 0.0;
-        std::size_t p0 = 0;
-        std::size_t p1 = 0;
-        std::size_t p2 = 0;
-        if (move == 0) {
-          // Rotate a random range about a random interior pivot.
-          p0 = rng.uniform_index(n);
-          p2 = rng.uniform_index(n);
-          if (p0 > p2) std::swap(p0, p2);
-          p1 = p0 +
-               static_cast<std::size_t>(rng.uniform_index(p2 - p0 + 1));
-          delta = saps_rotate_delta(closure, current, p0, p1, p2);
-        } else if (move == 1) {
-          p0 = rng.uniform_index(n);
-          p1 = rng.uniform_index(n);
-          if (p0 > p1) std::swap(p0, p1);
-          delta = saps_reverse_delta(closure, current, p0, p1);
-        } else {
-          p0 = rng.uniform_index(n);
-          p1 = rng.uniform_index(n - 1);
-          if (p1 >= p0) ++p1;
-          delta = saps_swap_delta(closure, current, p0, p1);
-        }
-
-        ++result.moves_proposed;
-        ++window_proposed;
-        if (accept(d_cur, d_cur + delta, temp)) {
-          if (move == 0) {
-            saps_rotate(current, p0, p1, p2);
-          } else if (move == 1) {
-            saps_reverse(current, p0, p1);
-          } else {
-            saps_swap(current, p0, p1);
-          }
-          d_cur += delta;
-          ++result.moves_accepted;
-          ++window_accepted;
-          if (d_cur < result.log_cost) {
-            result.log_cost = d_cur;
-            result.best_path = current;
-          }
-        }
-      }
-      temp *= config.cooling_rate;
-
-      if (trace_temp != nullptr && (iter + 1) % trace_stride == 0) {
-        const double t = iter_base + static_cast<double>(iter + 1);
-        trace::push_series(trace_temp, t, temp);
-        trace::push_series(
-            trace_accept, t,
-            window_proposed > 0 ? static_cast<double>(window_accepted) /
-                                      static_cast<double>(window_proposed)
-                                : 0.0);
-        trace::push_series(trace_best, t, result.log_cost);
-        window_proposed = 0;
-        window_accepted = 0;
-      }
-    }
-    if (restart_span.active()) {
-      restart_span.set_attr("best_log_cost", result.log_cost);
-    }
-    // Guard against float drift from long delta chains: the reported cost
-    // is recomputed exactly from the stored best path below.
+    result.moves_proposed += outcomes[r].moves_proposed;
+    result.moves_accepted += outcomes[r].moves_accepted;
     ++result.restarts_run;
   }
+  result.best_path = std::move(outcomes[winner].best_path);
 
   if (metrics::Counter* c = trace::counter("saps.moves_proposed")) {
     c->add(result.moves_proposed);
@@ -345,7 +350,7 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
 
   // Re-derive the exact cost of the winner: accumulated deltas can drift
   // by float rounding over millions of accepted moves.
-  result.log_cost = path_log_cost(closure, result.best_path);
+  result.log_cost = path_log_cost(cache, result.best_path);
   result.probability = std::exp(-result.log_cost);
   CR_ENSURES(is_permutation_path(result.best_path, n),
              "SAPS produced a non-Hamiltonian path");

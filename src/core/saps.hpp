@@ -11,6 +11,15 @@
 // (greedy nearest-neighbor, or the out-/in-weight-difference ranking). A
 // full n-restart sweep is quadratic-ish at n = 1000, so the restart count
 // is configurable; `paper_mode` restores the literal per-vertex sweep.
+//
+// Hot-path kernels (core/saps_kernel.hpp): `saps_search` materializes the
+// -log w cost matrix once per call and scores every proposal through it,
+// and its restart chains run as independent pool tasks — restart r is
+// seeded with `task_stream_seed(base, r)` where `base` is a single draw
+// from the caller's Rng, and the winner is a min-reduction in restart
+// order keyed on (log_cost, restart_index). Output is therefore
+// bitwise-identical at any thread count (tests/core/test_determinism.cpp)
+// and SAPS wall time scales with CROWDRANK_THREADS.
 #pragma once
 
 #include <cstddef>

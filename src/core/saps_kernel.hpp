@@ -1,0 +1,75 @@
+// Hot-path kernels for SAPS (Step 4): the materialized log-cost matrix.
+//
+// Every SAPS proposal is scored as a sum/difference of edge costs
+// c(u -> v) = -log w(u, v). The closure matrix never changes during a
+// search, yet the uncached formulation in core/saps.hpp re-derives each
+// cost through `safe_log` on every evaluation — millions of redundant
+// `std::log` calls per search. `SapsCostCache` materializes the full n x n
+// cost matrix once per `saps_search` call (parallelized, element-disjoint)
+// and the cached kernels below read it back with one load per edge.
+//
+// Contract: every cached kernel is **bitwise-identical** to its uncached
+// counterpart in core/saps.hpp / graph/hamiltonian.hpp. The cache stores
+// exactly `-math::safe_log(w(u, v))` (including the safe_log floor for
+// w <= 0), and each kernel accumulates its terms in the same order as the
+// uncached code, so no float rounding can diverge.
+// tests/core/test_saps_kernel.cpp pins this bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/saps.hpp"
+#include "graph/types.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+
+/// Immutable -log w cost matrix over a square weight matrix. Built once
+/// per search; the referenced weight matrix must outlive the cache.
+class SapsCostCache {
+ public:
+  /// Materializes cost(u, v) = -safe_log(w(u, v)) for all pairs. The fill
+  /// is an element-disjoint parallel transform, so it is bitwise-identical
+  /// at any thread count.
+  explicit SapsCostCache(const Matrix& weights);
+
+  std::size_t size() const { return n_; }
+
+  /// Edge cost c(u -> v); exactly -safe_log(weights(u, v)).
+  double cost(VertexId u, VertexId v) const { return costs_[u * n_ + v]; }
+
+  /// The weight matrix the cache was built from.
+  const Matrix& weights() const { return *weights_; }
+
+ private:
+  const Matrix* weights_;
+  std::size_t n_;
+  std::vector<double> costs_;
+};
+
+/// Total path cost sum of c(p[i] -> p[i+1]); bitwise-identical to
+/// path_log_cost(weights, path) from graph/hamiltonian.hpp.
+double path_log_cost(const SapsCostCache& cache, const Path& path);
+
+/// Cached incremental deltas: bitwise-identical to the Matrix overloads in
+/// core/saps.hpp with the same index preconditions.
+double saps_rotate_delta(const SapsCostCache& cache, const Path& path,
+                         std::size_t first, std::size_t middle,
+                         std::size_t last);
+double saps_reverse_delta(const SapsCostCache& cache, const Path& path,
+                          std::size_t first, std::size_t last);
+double saps_swap_delta(const SapsCostCache& cache, const Path& path,
+                       std::size_t a, std::size_t b);
+
+/// Restart-chain initial path (Algorithm 2 line 3), routed through the
+/// cache. GreedyNearestNeighbor picks the minimum-cost unvisited successor,
+/// which selects exactly the maximum-weight successor the uncached code
+/// picked (-log is strictly decreasing and ties map to ties), so the
+/// produced paths are identical. WeightDifferenceRanking and
+/// RandomPermutation read `cache.weights()` / the rng as before.
+Path saps_initial_path(const SapsCostCache& cache, VertexId start,
+                       SapsInitMode mode, bool force_anchor, Rng& rng);
+
+}  // namespace crowdrank

@@ -1,5 +1,7 @@
 #include "util/math.hpp"
 
+#include <math.h>
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -9,6 +11,21 @@
 namespace crowdrank::math {
 
 namespace {
+
+/// Thread-safe log-gamma. glibc's lgamma writes the sign of Γ(x) to the
+/// process-global `signgam`, which is a data race when several pipeline
+/// stages evaluate chi-squared quantiles concurrently (TSan flags it via
+/// the service executors). Every call site in this file has x > 0, where
+/// the sign is always +1, so the reentrant variant's sign output is
+/// discarded.
+inline double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = std::numeric_limits<double>::epsilon();
@@ -27,7 +44,7 @@ double gamma_p_series(double a, double x) {
       break;
     }
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 /// Lentz continued fraction for Q(a, x), good for x >= a + 1.
@@ -50,7 +67,7 @@ double gamma_q_cf(double a, double x) {
       break;
     }
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - lgamma_threadsafe(a)) * h;
 }
 
 }  // namespace
@@ -96,7 +113,7 @@ double chi_squared_quantile(double p, double k) {
     const double f = chi_squared_cdf(x, k) - p;
     const double a = k / 2.0;
     const double log_pdf = (a - 1.0) * std::log(x / 2.0) - x / 2.0 -
-                           std::lgamma(a) - std::log(2.0);
+                           lgamma_threadsafe(a) - std::log(2.0);
     const double pdf = std::exp(log_pdf);
     if (pdf <= 0.0) break;
     const double step = f / pdf;
@@ -199,7 +216,7 @@ double kahan_sum(std::span<const double> values) {
 }
 
 double log_factorial(std::size_t n) {
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0);
 }
 
 std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }

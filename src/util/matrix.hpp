@@ -2,13 +2,20 @@
 //
 // Step 3 of the inference pipeline computes W* = sum_{k=2..L} W^k over the
 // n x n smoothed preference matrix; at n = 1000 this is the hot loop of the
-// whole system, so multiply() is cache-blocked (i-k-j loop order with a
-// hoisted A(i,k)), which is within a small factor of a tuned BLAS for the
-// sizes we need without adding a dependency. multiply(), operator+= and
-// max_abs_diff() run on the util/parallel thread pool over disjoint
-// row/element blocks: every output element is produced by exactly one task
-// with the same per-element arithmetic order as the serial loop, so results
-// are bitwise-identical at any thread count.
+// whole system, so multiply() is cache-blocked and register-grouped: i and
+// k run in 64-wide blocks (one rhs block stays resident in L2 while the
+// whole output block sweeps it) and each pass over the streamed output row
+// applies up to four nonzero lhs terms while the row value sits in a
+// register, instead of a load/store round-trip per term. For every output
+// element the k terms still accumulate one += at a time in ascending
+// order — exactly the order of the one-term-per-sweep loop — so the
+// optimization changes no bits (bench/perf_pipeline's matmul_naive vs
+// matmul_blocked rows track the win). multiply(), multiply_add_scaled(),
+// operator+=, operator*= and max_abs_diff()/max_value() run on the
+// util/parallel thread pool over disjoint row/element blocks: every output
+// element is produced by exactly one task with the same per-element
+// arithmetic order as the serial loop, so results are bitwise-identical at
+// any thread count.
 #pragma once
 
 #include <cstddef>
@@ -63,8 +70,17 @@ class Matrix {
     return lhs;
   }
 
-  /// Cache-blocked matrix product; requires lhs.cols() == rhs.rows().
+  /// Cache-tiled matrix product; requires lhs.cols() == rhs.rows().
   static Matrix multiply(const Matrix& lhs, const Matrix& rhs);
+
+  /// Fused `lhs * rhs + scale * addend` in one parallel pass: each row
+  /// task finishes its product rows and immediately applies the scaled
+  /// addend while the rows are cache-hot. Bitwise-identical to multiply()
+  /// followed by a separate scaled add (per element: all k terms first,
+  /// then + scale * addend). Requires addend shaped like the product.
+  /// Used by the spectral doubling's carry step (core/propagation.cpp).
+  static Matrix multiply_add_scaled(const Matrix& lhs, const Matrix& rhs,
+                                    double scale, const Matrix& addend);
 
   /// Sum of powers: W^from + W^{from+1} + ... + W^to (from >= 1).
   /// Used by bounded-length walk propagation.
@@ -73,9 +89,21 @@ class Matrix {
   /// Max |a - b| over all entries; requires equal shapes.
   static double max_abs_diff(const Matrix& a, const Matrix& b);
 
+  /// Maximum entry, floored at 0.0 (the parallel exact max-reduce starts
+  /// from 0.0, matching the historical renormalize-scan semantics on the
+  /// non-negative matrices propagation works with). The spectral-walk
+  /// w_max/renormalize scans run through this instead of a serial pass
+  /// over data().
+  double max_value() const;
+
   bool operator==(const Matrix& other) const = default;
 
  private:
+  /// Shared tiled kernel: product plus optional fused scaled-add epilogue
+  /// (addend == nullptr skips it).
+  static Matrix multiply_impl(const Matrix& lhs, const Matrix& rhs,
+                              double scale, const Matrix* addend);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;

@@ -263,6 +263,18 @@ InlineRegion::~InlineRegion() { t_in_region = previous_; }
 
 std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
 
+std::uint64_t task_stream_seed(std::uint64_t base,
+                               std::uint64_t task) noexcept {
+  // SplitMix64 finalizer over base offset by (task + 1) gammas: adjacent
+  // task indices land in statistically independent streams, and task 0 is
+  // offset too so task_stream_seed(s, 0) != splitmix(s) collisions with
+  // other derivations of the same base stay unlikely.
+  std::uint64_t z = base + (task + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 void set_thread_count(std::size_t count) {
   ThreadPool::instance().resize(count);
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -77,6 +78,15 @@ class ThreadPool {
 /// Convenience accessors for the global pool.
 std::size_t thread_count();
 void set_thread_count(std::size_t count);
+
+/// Derives a well-mixed 64-bit seed for per-task RNG streams: task `t` of a
+/// fan-out seeded with `base` runs on `Rng(task_stream_seed(base, t))`.
+/// Pure SplitMix64-style mixing of (base, task) — no global state, no
+/// clock — so the stream a task sees depends only on the caller's seed and
+/// the task index, never on the thread count or execution schedule. This
+/// is how SAPS keeps its parallel restarts bitwise-deterministic.
+std::uint64_t task_stream_seed(std::uint64_t base,
+                               std::uint64_t task) noexcept;
 
 /// Scoped opt-out of the global pool for the current thread: while an
 /// InlineRegion is alive, every `parallel_for` / `parallel_reduce` /

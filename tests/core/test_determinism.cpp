@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/saps.hpp"
 #include "core/truth_discovery.hpp"
 #include "crowdrank.hpp"
 #include "util/matrix.hpp"
@@ -57,6 +58,52 @@ TEST_F(DeterminismTest, PowerSumIsBitwiseIdenticalAcrossThreadCounts) {
   set_thread_count(4);
   const Matrix parallel = Matrix::power_sum(w, 2, 5);
   EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(DeterminismTest, SapsIsBitwiseIdenticalAcrossThreadCounts) {
+  // The parallel-restart SAPS kernel: restart chains fan out across the
+  // pool with per-restart Rng streams derived from (seed, restart index),
+  // and the winner is a deterministic min-reduction — so the search output
+  // must be bitwise-identical at 1 vs N threads, for both the configurable
+  // restart count and paper_mode's full per-vertex sweep.
+  Rng setup(19);
+  Matrix closure(60, 60, 0.0);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      const double w = setup.uniform(0.05, 0.95);
+      closure(i, j) = w;
+      closure(j, i) = 1.0 - w;
+    }
+  }
+
+  for (const bool paper_mode : {false, true}) {
+    SapsConfig config;
+    config.iterations = paper_mode ? 60 : 400;
+    config.restarts = 6;
+    config.paper_mode = paper_mode;
+
+    set_thread_count(1);
+    Rng serial_rng(77);
+    const SapsResult serial = saps_search(closure, config, serial_rng);
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      set_thread_count(threads);
+      Rng parallel_rng(77);
+      const SapsResult parallel = saps_search(closure, config, parallel_rng);
+      EXPECT_EQ(serial.best_path, parallel.best_path)
+          << "threads = " << threads << ", paper_mode = " << paper_mode;
+      EXPECT_EQ(serial.log_cost, parallel.log_cost);  // bitwise
+      EXPECT_EQ(serial.moves_proposed, parallel.moves_proposed);
+      EXPECT_EQ(serial.moves_accepted, parallel.moves_accepted);
+      EXPECT_EQ(serial.restarts_run, parallel.restarts_run);
+
+      // And repeated runs with the same seed at the same width agree too.
+      Rng repeat_rng(77);
+      const SapsResult repeat = saps_search(closure, config, repeat_rng);
+      EXPECT_EQ(parallel.best_path, repeat.best_path);
+      EXPECT_EQ(parallel.log_cost, repeat.log_cost);
+    }
+  }
 }
 
 TEST_F(DeterminismTest, TruthDiscoveryIsBitwiseIdenticalAcrossThreadCounts) {
