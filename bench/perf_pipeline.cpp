@@ -9,13 +9,23 @@
 // This file is the perf trajectory anchor: every future optimization PR
 // should move these numbers and nothing else.
 //
-// A second "kernels" section isolates the two hot-stage kernels the
-// pipeline numbers above aggregate: the cache-tiled matrix product vs the
-// untiled row-block formulation it replaced (matmul_naive vs
-// matmul_blocked), and SAPS at one thread vs the configured pool
-// (saps_serial vs saps_parallel — identical output is asserted). Those
-// labels land in BENCH_pipeline.json so the perf trajectory has per-kernel
-// before/after rows.
+// A second "kernels" section isolates the hot-stage kernels the pipeline
+// numbers above aggregate: the cache-tiled matrix product vs the untiled
+// row-block formulation it replaced (matmul_naive vs matmul_blocked), the
+// Gustavson CSR x CSR product vs the dense kernel on propagation-shaped
+// sparse operands (spmm_dense vs spmm_sparse — bitwise-identical output is
+// asserted, the sparse-first hybrid's correctness contract), and SAPS at
+// one thread vs the configured pool (saps_serial vs saps_parallel —
+// identical output is asserted). Those labels land in BENCH_pipeline.json
+// so the perf trajectory has per-kernel before/after rows.
+//
+// A third "large n" section breaks the former n=1000 ceiling: end-to-end
+// runs at n in {3000, 10000} on degree-16 sparse budgets (l = 8n tasks,
+// selection_ratio 16/(n-1)), contrasting spectral_horizon = 4 (Step 3
+// never leaves the CSR phase; <10 s at n=10000 on one core) against
+// horizon = 8 (accuracy recovers to the full-limit range, and the state
+// densifies mid-loop — both regimes asserted). Smoke mode runs only the
+// all-sparse n=3000 row.
 //
 // The timed runs deliberately execute with NO trace sink attached — they
 // double as the <2% overhead regression check for the tracing layer's
@@ -35,6 +45,7 @@
 #include "util/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/sparse_matrix.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -46,6 +57,7 @@ struct StageTimes {
   PhaseTimer timings;
   std::vector<VertexId> ranking;
   double accuracy = 0.0;
+  PropagationStats step3;
 };
 
 ExperimentConfig make_config(std::size_t n) {
@@ -60,8 +72,7 @@ ExperimentConfig make_config(std::size_t n) {
   return config;
 }
 
-StageTimes run_once(std::size_t n) {
-  const ExperimentConfig config = make_config(n);
+StageTimes run_config(const ExperimentConfig& config) {
   Stopwatch watch;
   const ExperimentResult r = run_experiment(config);
   StageTimes out;
@@ -71,8 +82,11 @@ StageTimes run_once(std::size_t n) {
   const auto order = r.inference.ranking.order();
   out.ranking.assign(order.begin(), order.end());
   out.accuracy = r.accuracy;
+  out.step3 = r.inference.step3;
   return out;
 }
+
+StageTimes run_once(std::size_t n) { return run_config(make_config(n)); }
 
 bool smoke_mode() {
   const char* env = std::getenv("CROWDRANK_BENCH_SMOKE");
@@ -118,6 +132,22 @@ Matrix random_closure(std::size_t n, Rng& rng) {
       const double w = rng.uniform(0.05, 0.95);
       m(i, j) = w;
       m(j, i) = 1.0 - w;
+    }
+  }
+  return m;
+}
+
+/// Propagation-shaped sparse operand: non-negative, ~`degree` stored
+/// entries per row — the fill regime the sparse-first doubling runs in.
+Matrix random_degree_matrix(std::size_t n, std::size_t degree, Rng& rng) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (j != i) {
+        m(i, j) = rng.uniform(0.05, 0.95);
+      }
     }
   }
   return m;
@@ -175,6 +205,42 @@ void run_kernel_benches(trace::RunReport& report,
     matmul.note("matmul_blocked_ms", blocked_ms);
     matmul.note("speedup", matmul_ratio);
 
+    // CSR x CSR vs the dense kernel on degree-16 operands (the budget
+    // shape Step 3's sparse phase multiplies). The outputs must agree bit
+    // for bit — this is the equivalence the hybrid propagator's
+    // representation switch rests on, asserted on every bench run.
+    Rng sparse_rng(3000 + n);
+    const Matrix sa = random_degree_matrix(n, 16, sparse_rng);
+    const Matrix sb = random_degree_matrix(n, 16, sparse_rng);
+    const SparseMatrix csr_a = SparseMatrix::from_dense(sa);
+    const SparseMatrix csr_b = SparseMatrix::from_dense(sb);
+    Matrix spmm_dense_out;
+    SparseMatrix spmm_sparse_out;
+    const double spmm_dense_ms =
+        best_ms(reps, [&] { spmm_dense_out = Matrix::multiply(sa, sb); });
+    const double spmm_sparse_ms = best_ms(
+        reps, [&] { spmm_sparse_out = SparseMatrix::multiply(csr_a, csr_b); });
+    if (!(spmm_sparse_out.to_dense() == spmm_dense_out)) {
+      std::cerr << "ERROR: sparse spmm diverges from dense matmul at n="
+                << n << "\n";
+      std::exit(1);
+    }
+    const double spmm_ratio =
+        spmm_sparse_ms > 0.0 ? spmm_dense_ms / spmm_sparse_ms : 1.0;
+    table.add_row({std::to_string(n), "spmm_dense/spmm_sparse",
+                   TableWriter::fmt(spmm_dense_ms),
+                   TableWriter::fmt(spmm_sparse_ms),
+                   TableWriter::fmt(spmm_ratio)});
+    std::string spmm_label = "kernel_spmm_n";
+    spmm_label.append(std::to_string(n));
+    trace::RunReport::Run& spmm = report.add_run(spmm_label);
+    spmm.note("n", static_cast<std::int64_t>(n));
+    spmm.note("threads", static_cast<std::int64_t>(parallel_threads));
+    spmm.note("spmm_dense_ms", spmm_dense_ms);
+    spmm.note("spmm_sparse_ms", spmm_sparse_ms);
+    spmm.note("speedup", spmm_ratio);
+    spmm.note("identical", true);
+
     // SAPS with the pipeline's default config on the same closure shape;
     // serial vs pooled runs must agree exactly (parallel restarts are
     // deterministic by construction).
@@ -217,6 +283,83 @@ void run_kernel_benches(trace::RunReport& report,
     saps.note("identical", identical);
   }
   std::cout << "\n-- hot-path kernels --\n";
+  bench::emit(table);
+}
+
+/// End-to-end runs past the former n=1000 ceiling, all on degree-16
+/// budgets (l = 8n tasks). Each row is an (n, spectral_horizon) pair:
+///
+///  * horizon 4 stays inside the CSR kernels from start to finish (the
+///    doubling state only fills up on the final step, after the last fill
+///    check) — the pure sparse-phase regime, and the only one that holds
+///    Step 3 under ~10 s at n = 10000 on one core. The truncation is a
+///    real accuracy trade: length <= 4 walks carry only local evidence,
+///    so distant pairs pair-normalize to near-coin-flips and the global
+///    Kendall accuracy collapses toward 0.5.
+///  * horizon 8 recovers the long-walk global signal (accuracy back in
+///    the ~0.85-0.9 range of the full spectral limit at these budgets)
+///    and exercises the hybrid's mid-loop densify: the state blows past
+///    the fill threshold at step 3 and the final doubling runs dense.
+///
+/// Both regimes are asserted, not just reported: a horizon-4 row that
+/// densifies (or a horizon-8 row that doesn't) means the fill monitoring
+/// broke. Single rep per row; smoke mode keeps only the fast all-sparse
+/// n=3000 row.
+void run_large_n(trace::RunReport& report, std::size_t parallel_threads) {
+  struct LargeRun {
+    std::size_t n;
+    std::size_t horizon;
+  };
+  const std::vector<LargeRun> runs =
+      smoke_mode()
+          ? std::vector<LargeRun>{{3000, 4}}
+          : std::vector<LargeRun>{{3000, 4}, {3000, 8}, {10000, 4}};
+  TableWriter table({"n", "horizon", "experiment_ms", "step3_ms",
+                     "fill_ratio", "densify_step", "sparse_gflop",
+                     "accuracy"});
+  set_thread_count(parallel_threads);
+  for (const LargeRun& spec : runs) {
+    ExperimentConfig config = make_config(spec.n);
+    config.selection_ratio = 16.0 / static_cast<double>(spec.n - 1);
+    config.inference.propagation.spectral_horizon = spec.horizon;
+    const StageTimes t = run_config(config);
+    const double step3_ms = t.timings.seconds("step3_propagation") * 1e3;
+    const double gflop = static_cast<double>(t.step3.sparse_flops) / 1e9;
+    const bool expect_sparse = spec.horizon <= 4;
+    if (expect_sparse != (t.step3.densify_step == 0)) {
+      std::cerr << "ERROR: large-n run (n=" << spec.n << ", horizon="
+                << spec.horizon << ") densified at step "
+                << t.step3.densify_step << "; expected "
+                << (expect_sparse ? "all-sparse" : "a mid-loop densify")
+                << "\n";
+      std::exit(1);
+    }
+    table.add_row({std::to_string(spec.n), std::to_string(spec.horizon),
+                   TableWriter::fmt(t.experiment_ms),
+                   TableWriter::fmt(step3_ms),
+                   TableWriter::fmt(t.step3.fill_ratio),
+                   std::to_string(t.step3.densify_step),
+                   TableWriter::fmt(gflop), TableWriter::fmt(t.accuracy)});
+    std::string label = "large_n";
+    label.append(std::to_string(spec.n))
+        .append("_h")
+        .append(std::to_string(spec.horizon));
+    trace::RunReport::Run& run = report.add_run(label);
+    run.note("n", static_cast<std::int64_t>(spec.n));
+    run.note("horizon", static_cast<std::int64_t>(spec.horizon));
+    run.note("threads", static_cast<std::int64_t>(parallel_threads));
+    run.note("experiment_ms", t.experiment_ms);
+    run.note("inference_ms", t.total_ms);
+    run.note("step3_ms", step3_ms);
+    run.note("fill_ratio", t.step3.fill_ratio);
+    run.note("densify_step",
+             static_cast<std::int64_t>(t.step3.densify_step));
+    run.note("sparse_flops",
+             static_cast<std::int64_t>(t.step3.sparse_flops));
+    run.note("accuracy", t.accuracy);
+    run.capture(t.timings);
+  }
+  std::cout << "\n-- large n (degree-16 budget, sparse-first doubling) --\n";
   bench::emit(table);
 }
 
@@ -283,6 +426,7 @@ void run() {
   report.note("rankings_match", all_match);
 
   run_kernel_benches(report, object_counts, parallel_threads);
+  run_large_n(report, parallel_threads);
   set_thread_count(parallel_threads);
 
   // Optional traced rerun of the largest size (outside the timed loop, so

@@ -36,6 +36,7 @@
 #include "metrics/ranking.hpp"
 #include "util/error.hpp"
 #include "util/matrix.hpp"
+#include "util/sparse_matrix.hpp"
 
 namespace crowdrank::analysis {
 
@@ -87,6 +88,17 @@ void check_preference_graph(const PreferenceGraph& graph);
 /// any (weights, csr) pair claiming to describe the same digraph. Exposed
 /// separately so tests can corrupt a detached CsrAdjacency.
 void check_csr_consistency(const Matrix& weights, const CsrAdjacency& csr);
+
+/// SparseMatrix structural invariants (the sparse-first propagation state,
+/// checked at the densify boundary): row_ptr spans [0, nnz] monotonically
+/// with rows + 1 slots, per-row column indices strictly ascending and in
+/// range, every stored value finite and nonzero.
+void check_sparse_matrix(const SparseMatrix& matrix);
+
+/// Cross-representation check: `dense` holds exactly the sparse matrix's
+/// stored entries (bit-equal values) and 0.0 everywhere else.
+void check_sparse_dense_consistency(const SparseMatrix& sparse,
+                                    const Matrix& dense);
 
 /// Step 2 (§V-B): smoothing touched exactly the 1-edges. For every
 /// 1-edge of `direct` the smoothed pair carries total mass 1 with the

@@ -82,6 +82,14 @@ std::vector<ConfigError> InferenceConfig::validate() const {
         propagation.completeness_floor > 0.0 &&
             propagation.completeness_floor < 0.5,
         "propagation.completeness_floor", "must lie in (0, 0.5)");
+  check(errors,
+        propagation.fill_threshold >= 0.0 &&
+            propagation.fill_threshold <= 1.0,
+        "propagation.fill_threshold", "must lie in [0, 1]");
+  check(errors,
+        propagation.spectral_horizon == 0 ||
+            propagation.spectral_horizon >= 2,
+        "propagation.spectral_horizon", "must be 0 (auto) or at least 2");
   check(errors, saps.iterations >= 1, "saps.iterations",
         "must be at least 1");
   check(errors, saps.initial_temperature > 0.0, "saps.initial_temperature",
@@ -260,6 +268,13 @@ InferenceResult InferenceEngine::infer_impl(
       phase.span().set_attr("pairs_without_evidence",
                             result.step3.pairs_without_evidence);
       phase.span().set_attr("complete", result.step3.complete);
+      if (config_.propagation.mode == PropagationMode::SpectralLimit) {
+        phase.span().set_attr("fill_ratio", result.step3.fill_ratio);
+        phase.span().set_attr("densify_step", result.step3.densify_step);
+        phase.span().set_attr("doubling_steps",
+                              result.step3.doubling_steps);
+        phase.span().set_attr("sparse_flops", result.step3.sparse_flops);
+      }
     }
   }
   if (validate) {

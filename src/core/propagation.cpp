@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/invariants.hpp"
 #include "graph/transitive_closure.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/sparse_matrix.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -20,28 +22,52 @@ constexpr std::size_t kRowGrain = 16;
 
 /// S = sum_{k=1..L} W^k by doubling, max-renormalized each step (only the
 /// entry *ratios* of S survive, which is all the pair-normalized closure
-/// needs). L = smallest power of two >= target_length.
-Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
-  const std::size_t n = w.rows();
+/// needs). L = smallest power of two >= the configured target length.
+///
+/// Sparse-first hybrid: the doubling starts on the smoothed graph's CSR
+/// view and runs on SparseMatrix kernels while the state's fill stays
+/// under config.fill_threshold; the moment a step would run past it the
+/// state densifies once and the loop finishes on the blocked dense Matrix
+/// kernels. The sparse kernels accumulate every output element in the
+/// same ascending-k order as the dense ones, so where the representation
+/// switches is unobservable in the result — any threshold (including 0,
+/// dense from the start: the pinned oracle) produces a bitwise-identical
+/// sum. Diagnostics land in `stats` and the propagation.* trace metrics.
+Matrix spectral_walk_sum(const PreferenceGraph& smoothed,
+                         const PropagationConfig& config,
+                         PropagationStats& stats) {
+  const std::size_t n = smoothed.vertex_count();
+  const std::size_t target = config.spectral_horizon > 0
+                                 ? config.spectral_horizon
+                                 : std::max(config.max_length, n);
 
   // Per-doubling-step trace: the log-scale of W^m ("residual" of the power
   // iteration — how far the high-order terms have decayed), the carry
-  // factor that re-injects S(m), and a count of the full-matrix max scans
-  // (w_max + every renormalize) now folded into the parallel max-reduce.
-  // Pure observation of existing state.
+  // factor that re-injects S(m), a count of the full-matrix max scans, and
+  // the sparse state's fill per step. Pure observation of existing state.
   metrics::Counter* trace_steps = trace::counter("propagation.power_steps");
   metrics::Counter* trace_scans =
       trace::counter("propagation.renormalize_scans");
   metrics::Series* trace_lp = trace::series("propagation.lp");
   metrics::Series* trace_carry = trace::series("propagation.carry");
+  metrics::Series* trace_fill = trace::series("propagation.fill_ratio");
 
-  const double w_max = w.max_value();
+  const bool validate = analysis::invariant_checks_enabled();
+
+  // The smoothed graph's cached CSR view is the natural sparse starting
+  // point — no dense scan, no conversion beyond an O(m) copy.
+  const CsrAdjacency& adj = smoothed.out_csr();
+  SparseMatrix s_sparse = SparseMatrix::from_csr(
+      n, n, adj.row_ptr, adj.neighbors, adj.weights);
+
+  const double w_max = s_sparse.max_value();
   if (trace_scans != nullptr) trace_scans->add(1);
   if (w_max <= 0.0) {
-    return Matrix(n, n, 0.0);  // edgeless graph: no evidence anywhere
+    // Edgeless graph: no evidence anywhere.
+    return Matrix(n, n, 0.0);  // lint:allow(dense-in-propagation)
   }
 
-  const auto renormalize = [&](Matrix& m) {
+  const auto renormalize_dense = [&](Matrix& m) {
     // Parallel exact max-reduce + parallel scale; both are element-disjoint
     // or rounding-free, so the pass is bitwise-stable at any thread count.
     const double max_entry = m.max_value();
@@ -51,46 +77,131 @@ Matrix spectral_walk_sum(const Matrix& w, std::size_t target_length) {
     if (trace_scans != nullptr) trace_scans->add(1);
     return max_entry;
   };
+  const auto renormalize_sparse = [&](SparseMatrix& m) {
+    // Same scan over the stored entries only: absent entries are zeros,
+    // which the dense reduce floors away and the dense scale maps to
+    // 0.0 * s == 0.0 — bit-for-bit the dense pass.
+    const double max_entry = m.max_value();
+    if (max_entry > 0.0) {
+      m *= 1.0 / max_entry;
+    }
+    if (trace_scans != nullptr) trace_scans->add(1);
+    return max_entry;
+  };
 
-  // Invariants: s_hat ∝ S(m), p_hat = W^m / e^{lp} with max entry 1.
-  Matrix s_hat = w;
-  renormalize(s_hat);
-  Matrix p_hat = s_hat;
+  // Invariants: s_hat ∝ S(m), p_hat = W^m / e^{lp} with max entry 1 —
+  // held in exactly one representation at a time.
+  renormalize_sparse(s_sparse);
+  SparseMatrix p_sparse = s_sparse;
+  Matrix s_dense;
+  Matrix p_dense;
   double lp = std::log(w_max);
   std::size_t length = 1;
-  while (length < target_length) {
+  std::size_t step = 0;
+  bool sparse = config.fill_threshold > 0.0;
+
+  // The one sanctioned dense-materialization point of the hybrid: both
+  // state matrices cross to the dense representation together, exactly
+  // once per run (tools/crowdrank_lint.py bans dense Matrix construction
+  // in this file everywhere else).
+  const auto densify = [&] {
+    if (validate) {
+      analysis::check_sparse_matrix(s_sparse);
+      analysis::check_sparse_matrix(p_sparse);
+    }
+    s_dense = s_sparse.to_dense();  // lint:allow(dense-in-propagation)
+    p_dense = p_sparse.to_dense();  // lint:allow(dense-in-propagation)
+    if (validate) {
+      analysis::check_sparse_dense_consistency(s_sparse, s_dense);
+      analysis::check_sparse_dense_consistency(p_sparse, p_dense);
+    }
+    s_sparse = SparseMatrix();
+    p_sparse = SparseMatrix();
+    sparse = false;
+    stats.densify_step = step + 1;
+  };
+
+  if (!sparse) {
+    densify();  // fill_threshold == 0: the dense oracle, from step one
+  }
+
+  while (length < target) {
     // S(2m) = S(m) + W^m * S(m)  ==>  (up to global scale)
     // s' = p_hat * s_hat + e^{-lp} * s_hat.
     if (lp <= -700.0) {
       // W^m is vanishingly small against S(m): the sum has converged.
       break;
     }
-    // The carry add is fused into the product's parallel pass: each row
-    // task applies `+ carry * s_hat` right after producing its rows, while
-    // they are cache-hot, instead of a second full sweep over the matrix.
-    Matrix next =
-        lp < 700.0  // outside this band one term fully dominates
-            ? Matrix::multiply_add_scaled(p_hat, s_hat, std::exp(-lp),
-                                          s_hat)
-            : Matrix::multiply(p_hat, s_hat);
-    renormalize(next);
-    s_hat = std::move(next);
-
-    Matrix p_next = Matrix::multiply(p_hat, p_hat);
-    const double scale = renormalize(p_next);
-    p_hat = std::move(p_next);
-    lp = 2.0 * lp + std::log(std::max(scale, 1e-300));
+    if (sparse) {
+      const double fill =
+          std::max(s_sparse.fill_ratio(), p_sparse.fill_ratio());
+      trace::push_series(trace_fill, static_cast<double>(length), fill);
+      if (fill > config.fill_threshold) {
+        densify();
+      }
+    }
+    // On the final doubling step p_hat is dead after the s update — the
+    // loop exits and only s_hat survives — so its squaring (the single
+    // most expensive multiply of the step) is skipped. Applies to both
+    // representations alike; no result bit depends on it.
+    const bool last = length * 2 >= target;
+    const bool carry = lp < 700.0;  // outside this band one term dominates
+    ++step;
+    if (sparse) {
+      std::uint64_t flops = 0;
+      // The carry add is fused into the product's row pass, mirroring the
+      // dense fused kernel (per element: product terms first, then
+      // + carry * s_hat).
+      SparseMatrix next =
+          carry ? SparseMatrix::multiply_add_scaled(
+                      p_sparse, s_sparse, std::exp(-lp), s_sparse, &flops)
+                : SparseMatrix::multiply(p_sparse, s_sparse, &flops);
+      stats.sparse_flops += flops;
+      renormalize_sparse(next);
+      s_sparse = std::move(next);
+      if (!last) {
+        SparseMatrix p_next =
+            SparseMatrix::multiply(p_sparse, p_sparse, &flops);
+        stats.sparse_flops += flops;
+        const double scale = renormalize_sparse(p_next);
+        p_sparse = std::move(p_next);
+        lp = 2.0 * lp + std::log(std::max(scale, 1e-300));
+      }
+    } else {
+      // The carry add is fused into the product's parallel pass: each row
+      // task applies `+ carry * s_hat` right after producing its rows,
+      // while they are cache-hot, instead of a second full sweep.
+      Matrix next =
+          carry ? Matrix::multiply_add_scaled(p_dense, s_dense,
+                                              std::exp(-lp), s_dense)
+                : Matrix::multiply(p_dense, s_dense);
+      renormalize_dense(next);
+      s_dense = std::move(next);
+      if (!last) {
+        Matrix p_next = Matrix::multiply(p_dense, p_dense);
+        const double scale = renormalize_dense(p_next);
+        p_dense = std::move(p_next);
+        lp = 2.0 * lp + std::log(std::max(scale, 1e-300));
+      }
+    }
     length *= 2;
 
     if (trace_steps != nullptr) {
       trace_steps->add(1);
-      const double len = static_cast<double>(length);
-      trace::push_series(trace_lp, len, lp);
-      trace::push_series(trace_carry, len,
-                         lp < 700.0 && lp > -700.0 ? std::exp(-lp) : 0.0);
+      if (!last) {
+        const double len = static_cast<double>(length);
+        trace::push_series(trace_lp, len, lp);
+        trace::push_series(trace_carry, len,
+                           lp < 700.0 && lp > -700.0 ? std::exp(-lp) : 0.0);
+      }
     }
   }
-  return s_hat;
+  stats.doubling_steps = step;
+  stats.fill_ratio = sparse ? s_sparse.fill_ratio() : 1.0;
+  if (sparse) {
+    return s_sparse.to_dense();  // lint:allow(dense-in-propagation)
+  }
+  return s_dense;
 }
 
 }  // namespace
@@ -109,13 +220,20 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
   const Matrix& direct = smoothed.weights();
 
   if (config.mode == PropagationMode::SpectralLimit) {
+    CR_EXPECTS(config.fill_threshold >= 0.0 && config.fill_threshold <= 1.0,
+               "fill threshold must be in [0, 1]");
+    CR_EXPECTS(config.spectral_horizon == 0 || config.spectral_horizon >= 2,
+               "spectral horizon must be 0 (auto) or >= 2");
     // The doubling sum already contains the direct (k = 1) term and its
     // global scale is normalized away, so the closure is simply the
     // pair-normalized sum (alpha is documented as ignored).
-    const std::size_t target = std::max(config.max_length, n);
-    const Matrix sum = spectral_walk_sum(direct, target);
     PropagationStats local;
-    Matrix closure(n, n, 0.0);
+    const Matrix sum = spectral_walk_sum(smoothed, config, local);
+    if (metrics::Counter* c = trace::counter("propagation.densify_step")) {
+      c->add(local.densify_step);
+      trace::counter("propagation.sparse_flops")->add(local.sparse_flops);
+    }
+    Matrix closure(n, n, 0.0);  // lint:allow(dense-in-propagation)
     local.pairs_without_evidence = parallel_reduce(
         std::size_t{0}, n, kRowGrain, std::size_t{0},
         [&](std::size_t r0, std::size_t r1) {
@@ -152,6 +270,9 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
     return closure;
   }
 
+  // The bounded-walks / exact-paths engines are inherently dense (they
+  // blend against the dense direct matrix pairwise); the sparse-first
+  // mandate covers only the SpectralLimit branch above.
   Matrix indirect =
       config.mode == PropagationMode::BoundedWalks
           ? walk_indirect_preferences(direct, config.max_length)
@@ -163,7 +284,7 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
     // the same power-sum over the 0/1 adjacency indicator. Both O(n^2)
     // element-wise passes (indicator build, normalization) run as
     // element-disjoint row blocks on the pool.
-    Matrix adjacency(n, n, 0.0);
+    Matrix adjacency(n, n, 0.0);  // lint:allow(dense-in-propagation)
     parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
       for (std::size_t i = r0; i < r1; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
@@ -189,7 +310,7 @@ Matrix propagate_preferences(const PreferenceGraph& smoothed,
   }
 
   PropagationStats local;
-  Matrix closure(n, n, 0.0);
+  Matrix closure(n, n, 0.0);  // lint:allow(dense-in-propagation)
   local.pairs_without_evidence = parallel_reduce(
       std::size_t{0}, n, kRowGrain, std::size_t{0},
       [&](std::size_t r0, std::size_t r1) {

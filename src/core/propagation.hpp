@@ -28,13 +28,18 @@ enum class PropagationMode {
   /// Exhaustive simple-path enumeration — exponential, n <= ~12 only.
   ExactPaths,
   /// sum_{k=1..L} W^k with L the smallest power of two >= max(n,
-  /// max_length), computed by doubling (S(2m) = S(m) + W^m S(m)) with
-  /// per-step max-renormalization so nothing overflows. Covers pairs up to
-  /// graph distance ~n (a bounded horizon leaves far pairs evidence-free
-  /// on sparse, path-like task graphs) at O(log L * n^3). The global scale
-  /// of the sum is lost to the renormalization, so `alpha` is ignored:
-  /// direct edges participate through the k = 1 term and the closure is
-  /// the pair-normalized sum itself.
+  /// max_length) (or >= spectral_horizon when set), computed by doubling
+  /// (S(2m) = S(m) + W^m S(m)) with per-step max-renormalization so
+  /// nothing overflows. Covers pairs up to graph distance ~n (a bounded
+  /// horizon leaves far pairs evidence-free on sparse, path-like task
+  /// graphs). The doubling runs sparse-first on CSR kernels while the
+  /// state's fill stays under fill_threshold, then densifies once and
+  /// finishes on the blocked dense kernels — O(flops performed) in the
+  /// sparse regime, O(log L * n^3) once dense; both phases are
+  /// bitwise-identical to the all-dense formulation (DESIGN.md §7c). The
+  /// global scale of the sum is lost to the renormalization, so `alpha`
+  /// is ignored: direct edges participate through the k = 1 term and the
+  /// closure is the pair-normalized sum itself.
   SpectralLimit,
 };
 
@@ -57,6 +62,23 @@ enum class PathAggregation {
 struct PropagationConfig {
   PropagationMode mode = PropagationMode::BoundedWalks;
   PathAggregation aggregation = PathAggregation::Sum;
+  /// SpectralLimit only: stored-entry fill ratio of the doubling state at
+  /// which the hybrid abandons the CSR kernels and finishes densely.
+  /// Below ~15-25% fill the Gustavson CSR x CSR product does strictly
+  /// less work than the blocked dense kernel; past it the dense kernel's
+  /// constant factor wins. 0 forces dense from the first step (the
+  /// equivalence oracle the sparse path is pinned against); 1 keeps the
+  /// loop sparse throughout. Representation choice only — the sparse and
+  /// dense kernels are bitwise-identical on the same operands, so any
+  /// threshold yields the same closure (DESIGN.md §7c).
+  double fill_threshold = 0.20;
+  /// SpectralLimit only: walk-length horizon the doubling sums to. 0 (the
+  /// default) keeps the true spectral limit, max(max_length, n). A small
+  /// explicit horizon (e.g. 4 with a degree-16 budget) truncates the sum
+  /// after covering every pair within that graph distance — the
+  /// truncated-path-length regime that keeps very large n (10k+) inside
+  /// the sparse phase end to end. Must be 0 or >= 2.
+  std::size_t spectral_horizon = 0;
   /// Maximum transitive path/walk length considered (paper: up to n-1).
   /// Longer horizons push W^k toward its dominant-eigenvector structure, so
   /// the normalized closure approaches a spectral ranking of the smoothed
@@ -77,6 +99,13 @@ struct PropagationConfig {
 struct PropagationStats {
   std::size_t pairs_without_evidence = 0;  ///< pairs defaulted to 0.5 / 0.5
   bool complete = false;                   ///< closure is a complete digraph
+  // Sparse-first doubling diagnostics (SpectralLimit mode; zero
+  // otherwise). Mirrored into the propagation.* trace metrics so RunReport
+  // / BENCH output shows where the hybrid switched representation.
+  double fill_ratio = 0.0;       ///< doubling-state fill when the loop ended
+  std::size_t densify_step = 0;  ///< 1-based step run dense first; 0 = all-sparse
+  std::size_t doubling_steps = 0;  ///< doubling steps executed
+  std::uint64_t sparse_flops = 0;  ///< flops spent in the CSR kernels
 };
 
 /// Runs Step 3 on the smoothed graph G~_P and returns the normalized

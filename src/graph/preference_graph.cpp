@@ -32,16 +32,29 @@ void PreferenceGraph::set_weight(VertexId from, VertexId to, double weight) {
   CR_EXPECTS(weight >= 0.0 && weight <= 1.0,
              "preference weight must lie in [0, 1]");
   weights_(from, to) = weight;
-  csr_valid_ = false;
+  if (csr_built_) {
+    // Only row `from` of the CSR mirror went stale; remember exactly that
+    // so the next out_csr() re-scans one row, not the whole matrix.
+    if (dirty_rows_.empty()) {
+      dirty_rows_.assign(n_, 0);
+    }
+    if (dirty_rows_[from] == 0) {
+      dirty_rows_[from] = 1;
+      ++dirty_count_;
+    }
+  }
 }
 
 const CsrAdjacency& PreferenceGraph::out_csr() const {
-  if (!csr_valid_) {
+  if (csr_built_ && dirty_count_ == 0) {
+    return csr_;
+  }
+  if (!csr_built_) {
+    // First build: one row-major scan. The scan emits each row's neighbors
+    // in ascending id order, which the single-pass build preserves.
     csr_.row_ptr.assign(n_ + 1, 0);
     csr_.neighbors.clear();
     csr_.weights.clear();
-    // The row-major scan emits each row's neighbors in ascending id order,
-    // which the single-pass build preserves.
     for (std::size_t i = 0; i < n_; ++i) {
       csr_.row_ptr[i] = csr_.neighbors.size();
       for (std::size_t j = 0; j < n_; ++j) {
@@ -53,8 +66,41 @@ const CsrAdjacency& PreferenceGraph::out_csr() const {
       }
     }
     csr_.row_ptr[n_] = csr_.neighbors.size();
-    csr_valid_ = true;
+    csr_built_ = true;
+    return csr_;
   }
+  // Amortized refresh: splice the clean rows' segments out of the stale
+  // view verbatim and re-scan the dense matrix only for the d dirty rows —
+  // O(n + m + d * n) against the full rebuild's O(n^2).
+  CsrAdjacency fresh;
+  fresh.row_ptr.assign(n_ + 1, 0);
+  fresh.neighbors.reserve(csr_.neighbors.size());
+  fresh.weights.reserve(csr_.weights.size());
+  for (std::size_t i = 0; i < n_; ++i) {
+    fresh.row_ptr[i] = fresh.neighbors.size();
+    if (dirty_rows_[i] != 0) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double w = weights_(i, j);
+        if (w > 0.0) {
+          fresh.neighbors.push_back(static_cast<VertexId>(j));
+          fresh.weights.push_back(w);
+        }
+      }
+    } else {
+      const std::size_t begin = csr_.row_ptr[i];
+      const std::size_t end = csr_.row_ptr[i + 1];
+      fresh.neighbors.insert(fresh.neighbors.end(),
+                             csr_.neighbors.begin() + begin,
+                             csr_.neighbors.begin() + end);
+      fresh.weights.insert(fresh.weights.end(),
+                           csr_.weights.begin() + begin,
+                           csr_.weights.begin() + end);
+    }
+  }
+  fresh.row_ptr[n_] = fresh.neighbors.size();
+  csr_ = std::move(fresh);
+  std::fill(dirty_rows_.begin(), dirty_rows_.end(), 0);
+  dirty_count_ = 0;
   return csr_;
 }
 

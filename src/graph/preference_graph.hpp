@@ -86,10 +86,15 @@ class PreferenceGraph {
   /// The underlying weight matrix (dense, row = from, col = to).
   const Matrix& weights() const { return weights_; }
 
-  /// CSR view of the out-edges, built lazily and cached until the next
-  /// set_weight(). Not thread-safe against mutation or a concurrent first
-  /// build: obtain the reference once, before fanning out parallel readers
-  /// (reachability_closure does exactly that).
+  /// CSR view of the out-edges, built lazily and kept fresh by amortized
+  /// dirty-row rebuilds: set_weight(from, to, w) marks only row `from`
+  /// dirty, and the next out_csr() re-scans the d dirty rows while
+  /// splicing the other rows' segments straight out of the previous view —
+  /// O(n + m + d * n) instead of the full O(n^2) dense scan. Smoothing,
+  /// which touches a handful of 1-edge rows between propagation reads, is
+  /// the workload this amortizes. Not thread-safe against mutation or a
+  /// concurrent rebuild: obtain the reference once, before fanning out
+  /// parallel readers (reachability_closure does exactly that).
   const CsrAdjacency& out_csr() const;
 
   /// Builds a graph directly from a weight matrix (validating invariants).
@@ -100,10 +105,15 @@ class PreferenceGraph {
 
   std::size_t n_;
   Matrix weights_;
-  // Lazily-built CSR mirror of weights_; csr_valid_ flips false on any
-  // set_weight() so stale views are never served.
+  // Lazily-built CSR mirror of weights_. After the first build, set_weight
+  // marks only the written row in dirty_rows_ so out_csr() can splice the
+  // untouched rows from the cached view instead of re-scanning the whole
+  // dense matrix; dirty_count_ lets the fresh-view fast path skip the flag
+  // array entirely.
   mutable CsrAdjacency csr_;
-  mutable bool csr_valid_ = false;
+  mutable bool csr_built_ = false;
+  mutable std::vector<unsigned char> dirty_rows_;
+  mutable std::size_t dirty_count_ = 0;
 };
 
 }  // namespace crowdrank

@@ -74,7 +74,9 @@ const std::set<std::string> kCrowdOptions{"worker-pool", "workers-per-task",
 /// Budget selection.
 const std::set<std::string> kBudgetOptions{"selection-ratio", "budget"};
 /// Inference pipeline knobs.
-const std::set<std::string> kInferenceOptions{"search", "saps-iterations"};
+const std::set<std::string> kInferenceOptions{
+    "search", "saps-iterations", "propagation-fill-threshold",
+    "propagation-horizon"};
 /// Observability outputs.
 const std::set<std::string> kObservabilityOptions{"trace", "metrics"};
 
@@ -237,6 +239,13 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   config.search = parse_search(args);
   config.saps.iterations =
       args.get_size("saps-iterations", config.saps.iterations);
+  // Sparse-first propagation knobs (SpectralLimit mode; see DESIGN.md §7c):
+  // the fill ratio past which the doubling densifies, and an optional
+  // truncated walk-length horizon for very large n.
+  config.propagation.fill_threshold = args.get_double(
+      "propagation-fill-threshold", config.propagation.fill_threshold);
+  config.propagation.spectral_horizon = args.get_size(
+      "propagation-horizon", config.propagation.spectral_horizon);
   config.trace = sink.get();
   // Stage invariant validation: --check-invariants, or the process-wide
   // CROWDRANK_CHECK_INVARIANTS env switch (analysis/invariants.hpp).
@@ -525,6 +534,8 @@ std::string cli_usage() {
       << "            [--votes-out F] [--truth-out F] [--tasks-out F]\n"
       << "  infer     --votes F [--object-count N] [--worker-count M]\n"
       << "            [--search saps|taps|heldkarp] [--saps-iterations I]\n"
+      << "            [--propagation-fill-threshold T] "
+         "[--propagation-horizon H]\n"
       << "            [--seed S] [--ranking-out F] [--check-invariants]\n"
       << "            [--trace F.json] [--metrics F.json]\n"
       << "            (CROWDRANK_TRACE=F.json substitutes for --trace;\n"

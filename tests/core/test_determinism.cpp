@@ -60,6 +60,44 @@ TEST_F(DeterminismTest, PowerSumIsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST_F(DeterminismTest,
+       SparsePropagationIsBitwiseIdenticalAcrossThreadCounts) {
+  // The sparse-first hybrid adds two parallel kernels to the hot path
+  // (Gustavson CSR x CSR and its fused carry variant) plus a mid-loop
+  // representation handoff; the closure must not depend on the thread
+  // count at any fill threshold.
+  Rng rng(29);
+  PreferenceGraph g(60);
+  for (VertexId i = 0; i + 1 < 60; ++i) {
+    g.set_weight(i, i + 1, 0.9);
+    g.set_weight(i + 1, i, 0.1);
+    // A few long-range chords so the fill grows unevenly across rows.
+    if (rng.bernoulli(0.2)) {
+      const auto j = static_cast<VertexId>(rng.uniform_int(0, 59));
+      if (j != i && !g.has_edge(i, j)) {
+        g.set_weight(i, j, rng.uniform(0.3, 0.7));
+      }
+    }
+  }
+  PropagationConfig config;
+  config.mode = PropagationMode::SpectralLimit;
+  for (const double threshold : {0.15, 1.0}) {
+    config.fill_threshold = threshold;
+    set_thread_count(1);
+    PropagationStats serial_stats;
+    const Matrix serial = propagate_preferences(g, config, &serial_stats);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      set_thread_count(threads);
+      PropagationStats stats;
+      const Matrix parallel = propagate_preferences(g, config, &stats);
+      EXPECT_EQ(serial, parallel)
+          << "threads = " << threads << ", threshold = " << threshold;
+      EXPECT_EQ(stats.densify_step, serial_stats.densify_step);
+      EXPECT_EQ(stats.sparse_flops, serial_stats.sparse_flops);
+    }
+  }
+}
+
 TEST_F(DeterminismTest, SapsIsBitwiseIdenticalAcrossThreadCounts) {
   // The parallel-restart SAPS kernel: restart chains fan out across the
   // pool with per-restart Rng streams derived from (seed, restart index),

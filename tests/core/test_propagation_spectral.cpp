@@ -104,6 +104,83 @@ TEST(SpectralPropagation, ClosureHamiltonianAlways) {
   }
 }
 
+TEST(SpectralPropagation, SparseHybridMatchesDenseOracleBitwise) {
+  // The fill threshold picks a *representation*, never a result: the
+  // sparse kernels accumulate in the dense kernels' order, so all-dense
+  // (0.0, the pinned oracle), the hybrid default, and all-sparse (1.0)
+  // closures must agree bit for bit on the same graph.
+  const auto g = smoothed_chain(33, 0.85);
+  PropagationConfig dense_oracle = spectral();
+  dense_oracle.fill_threshold = 0.0;
+  PropagationStats dense_stats;
+  const Matrix expected =
+      propagate_preferences(g, dense_oracle, &dense_stats);
+  EXPECT_EQ(dense_stats.densify_step, 1u);
+  EXPECT_EQ(dense_stats.sparse_flops, 0u);
+  EXPECT_DOUBLE_EQ(dense_stats.fill_ratio, 1.0);
+
+  for (const double threshold : {0.10, 0.20, 1.0}) {
+    PropagationConfig hybrid = spectral();
+    hybrid.fill_threshold = threshold;
+    PropagationStats stats;
+    const Matrix closure = propagate_preferences(g, hybrid, &stats);
+    EXPECT_EQ(closure, expected) << "threshold = " << threshold;
+    EXPECT_GT(stats.sparse_flops, 0u) << "threshold = " << threshold;
+    EXPECT_EQ(stats.doubling_steps, dense_stats.doubling_steps);
+  }
+
+  // All-sparse never densifies; the chain's closure fills up, so a small
+  // threshold must densify at some step after the first.
+  PropagationConfig all_sparse = spectral();
+  all_sparse.fill_threshold = 1.0;
+  PropagationStats sparse_stats;
+  propagate_preferences(g, all_sparse, &sparse_stats);
+  EXPECT_EQ(sparse_stats.densify_step, 0u);
+  EXPECT_GT(sparse_stats.fill_ratio, 0.0);
+
+  // The 33-chain starts at fill 64/1089 ~ 0.06, and one doubling puts the
+  // state past 0.10 — so this threshold runs step 1 sparse and densifies
+  // at a later step, exercising the mid-loop handoff.
+  PropagationConfig tight = spectral();
+  tight.fill_threshold = 0.10;
+  PropagationStats tight_stats;
+  propagate_preferences(g, tight, &tight_stats);
+  EXPECT_GT(tight_stats.densify_step, 1u);
+  EXPECT_GT(tight_stats.sparse_flops, 0u);
+}
+
+TEST(SpectralPropagation, HorizonTruncatesTheWalkSum) {
+  // A 40-chain with horizon 4 covers only pairs within graph distance 4:
+  // the endpoints (39 hops apart) fall back to the uninformative prior,
+  // while near pairs are still oriented. The full limit covers everything.
+  const auto g = smoothed_chain(40, 0.95);
+  PropagationConfig truncated = spectral();
+  truncated.spectral_horizon = 4;
+  PropagationStats stats;
+  const Matrix closure = propagate_preferences(g, truncated, &stats);
+  EXPECT_DOUBLE_EQ(closure(0, 39), 0.5);
+  EXPECT_GT(stats.pairs_without_evidence, 0u);
+  EXPECT_GT(closure(0, 3), 0.5);
+  EXPECT_NEAR(closure(2, 3) + closure(3, 2), 1.0, 1e-12);
+
+  // Horizon >= n is the same sum the auto limit computes (n rounds up to
+  // the same power of two), so the closures agree exactly.
+  PropagationConfig wide = spectral();
+  wide.spectral_horizon = 64;
+  const Matrix full = propagate_preferences(g, spectral(), nullptr);
+  EXPECT_EQ(propagate_preferences(g, wide, nullptr), full);
+}
+
+TEST(SpectralPropagation, RejectsInvalidHybridKnobs) {
+  const auto g = smoothed_chain(4);
+  PropagationConfig bad_threshold = spectral();
+  bad_threshold.fill_threshold = 1.5;
+  EXPECT_THROW(propagate_preferences(g, bad_threshold, nullptr), Error);
+  PropagationConfig bad_horizon = spectral();
+  bad_horizon.spectral_horizon = 1;
+  EXPECT_THROW(propagate_preferences(g, bad_horizon, nullptr), Error);
+}
+
 TEST(SpectralPropagation, NoOverflowOnHeavyGraphs) {
   // Dense near-1 weights: unnormalized W^n would overflow by astronomical
   // margins; the renormalized doubling must stay finite.

@@ -134,5 +134,72 @@ TEST(PreferenceGraph, RejectsTinyGraphs) {
   EXPECT_THROW(PreferenceGraph(1), Error);
 }
 
+/// Reference CSR build: the plain row-major dense scan the amortized
+/// dirty-row rebuild must always agree with.
+CsrAdjacency full_scan_csr(const PreferenceGraph& g) {
+  const std::size_t n = g.vertex_count();
+  CsrAdjacency csr;
+  csr.row_ptr.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    csr.row_ptr[i] = csr.neighbors.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (g.weight(i, j) > 0.0) {
+        csr.neighbors.push_back(j);
+        csr.weights.push_back(g.weight(i, j));
+      }
+    }
+  }
+  csr.row_ptr[n] = csr.neighbors.size();
+  return csr;
+}
+
+void expect_csr_eq(const CsrAdjacency& actual, const CsrAdjacency& expected) {
+  EXPECT_EQ(actual.row_ptr, expected.row_ptr);
+  EXPECT_EQ(actual.neighbors, expected.neighbors);
+  EXPECT_EQ(actual.weights, expected.weights);
+}
+
+TEST(PreferenceGraphCsr, DirtyRowRebuildMatchesFullScan) {
+  PreferenceGraph g(10);
+  for (VertexId i = 0; i + 1 < 10; ++i) {
+    g.set_weight(i, i + 1, 0.8);
+    g.set_weight(i + 1, i, 0.2);
+  }
+  expect_csr_eq(g.out_csr(), full_scan_csr(g));  // first (full) build
+
+  // Touch a few rows between reads: add, update, and remove edges.
+  g.set_weight(3, 7, 0.5);   // new edge in a clean row
+  g.set_weight(4, 5, 0.65);  // update an existing edge's weight
+  g.set_weight(6, 5, 0.0);   // remove an edge
+  expect_csr_eq(g.out_csr(), full_scan_csr(g));
+
+  // A second batch after the refresh, including a re-dirtied row.
+  g.set_weight(3, 7, 0.0);
+  g.set_weight(0, 9, 1.0);
+  expect_csr_eq(g.out_csr(), full_scan_csr(g));
+}
+
+TEST(PreferenceGraphCsr, RepeatedReadsAfterMutationStayFresh) {
+  // The smoothing workload: a handful of single-row writes between every
+  // read. Each out_csr() must reflect all mutations so far.
+  PreferenceGraph g(6);
+  g.set_weight(0, 1, 1.0);
+  for (int round = 0; round < 5; ++round) {
+    const auto v = static_cast<VertexId>(round + 1);
+    if (v + 1 < 6) {
+      g.set_weight(v, v + 1, 0.5 + 0.05 * round);
+    }
+    g.set_weight(0, 1, 1.0 - 0.1 * round);  // same row re-dirtied each round
+    expect_csr_eq(g.out_csr(), full_scan_csr(g));
+  }
+}
+
+TEST(PreferenceGraphCsr, MutationBeforeFirstBuildTakesFullScanPath) {
+  PreferenceGraph g(4);
+  g.set_weight(0, 1, 0.9);  // no CSR exists yet: nothing to mark dirty
+  g.set_weight(2, 3, 0.4);
+  expect_csr_eq(g.out_csr(), full_scan_csr(g));
+}
+
 }  // namespace
 }  // namespace crowdrank

@@ -1,0 +1,183 @@
+// Unit tests for the CSR matrix behind sparse-first preference
+// propagation. The load-bearing property is *bitwise* agreement with the
+// dense kernels: the hybrid propagator switches representation mid-loop
+// and relies on the switch being unobservable in the result.
+#include "util/sparse_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace crowdrank {
+namespace {
+
+class SparseMatrixTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(configured_thread_count()); }
+};
+
+/// Non-negative random matrix with the given fill — the shape of every
+/// matrix the propagation loop touches (preference weights and their
+/// products).
+Matrix random_sparse(std::size_t n, double fill, Rng& rng) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(fill)) {
+        m(i, j) = rng.uniform();
+      }
+    }
+  }
+  return m;
+}
+
+TEST_F(SparseMatrixTest, DenseRoundTripIsExact) {
+  Rng rng(7);
+  const Matrix dense = random_sparse(23, 0.2, rng);
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(sparse.rows(), dense.rows());
+  EXPECT_EQ(sparse.cols(), dense.cols());
+  EXPECT_EQ(sparse.to_dense(), dense);
+}
+
+TEST_F(SparseMatrixTest, NnzAndFillRatioCountStoredEntries) {
+  Matrix dense(4, 5, 0.0);
+  dense(0, 1) = 0.5;
+  dense(2, 0) = 1.0;
+  dense(3, 4) = 0.25;
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(sparse.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(sparse.fill_ratio(), 3.0 / 20.0);
+  EXPECT_DOUBLE_EQ(SparseMatrix().fill_ratio(), 0.0);
+}
+
+TEST_F(SparseMatrixTest, FromCsrMatchesFromDense) {
+  // Row 0: (1, 0.5) (3, 0.2); row 1: empty; row 2: (0, 1.0).
+  const std::vector<std::size_t> row_ptr{0, 2, 2, 3};
+  const std::vector<std::size_t> col_idx{1, 3, 0};
+  const std::vector<double> values{0.5, 0.2, 1.0};
+  const SparseMatrix sparse =
+      SparseMatrix::from_csr(3, 4, row_ptr, col_idx, values);
+  Matrix dense(3, 4, 0.0);
+  dense(0, 1) = 0.5;
+  dense(0, 3) = 0.2;
+  dense(2, 0) = 1.0;
+  EXPECT_EQ(sparse, SparseMatrix::from_dense(dense));
+}
+
+TEST_F(SparseMatrixTest, FromCsrRejectsMalformedShapes) {
+  const std::vector<std::size_t> row_ptr{0, 1};
+  const std::vector<std::size_t> col_idx{5};
+  const std::vector<double> values{1.0};
+  // Column index out of range.
+  EXPECT_THROW(SparseMatrix::from_csr(1, 3, row_ptr, col_idx, values),
+               Error);
+  // row_ptr sized for the wrong row count.
+  EXPECT_THROW(SparseMatrix::from_csr(2, 6, row_ptr, col_idx, values),
+               Error);
+}
+
+TEST_F(SparseMatrixTest, MultiplyMatchesDenseBitwise) {
+  Rng rng(21);
+  for (const double fill : {0.02, 0.1, 0.4}) {
+    const Matrix a = random_sparse(57, fill, rng);
+    const Matrix b = random_sparse(57, fill, rng);
+    const Matrix expected = Matrix::multiply(a, b);
+    const SparseMatrix product = SparseMatrix::multiply(
+        SparseMatrix::from_dense(a), SparseMatrix::from_dense(b));
+    // EXPECT_EQ, not near: the kernels accumulate in the same order and the
+    // operands are non-negative, so every bit must agree (see the header's
+    // determinism contract).
+    EXPECT_EQ(product.to_dense(), expected) << "fill = " << fill;
+  }
+}
+
+TEST_F(SparseMatrixTest, MultiplyIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(33);
+  const Matrix a = random_sparse(130, 0.15, rng);
+  const Matrix b = random_sparse(130, 0.15, rng);
+  const SparseMatrix sa = SparseMatrix::from_dense(a);
+  const SparseMatrix sb = SparseMatrix::from_dense(b);
+
+  set_thread_count(1);
+  const SparseMatrix serial = SparseMatrix::multiply(sa, sb);
+  const Matrix dense_serial = Matrix::multiply(a, b);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const SparseMatrix parallel = SparseMatrix::multiply(sa, sb);
+    EXPECT_EQ(serial, parallel) << "threads = " << threads;
+    EXPECT_EQ(parallel.to_dense(), dense_serial) << "threads = " << threads;
+  }
+}
+
+TEST_F(SparseMatrixTest, FusedMultiplyAddMatchesDenseBitwise) {
+  Rng rng(55);
+  const Matrix a = random_sparse(41, 0.1, rng);
+  const Matrix b = random_sparse(41, 0.1, rng);
+  const Matrix c = random_sparse(41, 0.3, rng);
+  const double scale = 0.37;
+  const Matrix expected = Matrix::multiply_add_scaled(a, b, scale, c);
+  const SparseMatrix fused = SparseMatrix::multiply_add_scaled(
+      SparseMatrix::from_dense(a), SparseMatrix::from_dense(b), scale,
+      SparseMatrix::from_dense(c));
+  EXPECT_EQ(fused.to_dense(), expected);
+}
+
+TEST_F(SparseMatrixTest, MultiplyReportsUpdateFlops) {
+  // One row times one column through a single shared k: exactly one
+  // multiply-add update per stored (a_ik, b_kj) pair.
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 0.5;
+  Matrix b(2, 2, 0.0);
+  b(0, 0) = 0.25;
+  b(0, 1) = 0.75;
+  std::uint64_t flops = 0;
+  const SparseMatrix product = SparseMatrix::multiply(
+      SparseMatrix::from_dense(a), SparseMatrix::from_dense(b), &flops);
+  EXPECT_EQ(flops, 4u);  // 2 updates * 2 flops each
+  EXPECT_EQ(product.nnz(), 2u);
+}
+
+TEST_F(SparseMatrixTest, ScaleAndMaxValueMatchDense) {
+  Rng rng(71);
+  Matrix dense = random_sparse(29, 0.2, rng);
+  SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(sparse.max_value(), dense.max_value());
+
+  sparse *= 0.125;  // power of two: scaling is exact
+  dense *= 0.125;
+  EXPECT_EQ(sparse.to_dense(), dense);
+  EXPECT_EQ(sparse.max_value(), dense.max_value());
+}
+
+TEST_F(SparseMatrixTest, EmptyAndEdgelessShapesBehave) {
+  const SparseMatrix empty(3, 3);
+  EXPECT_EQ(empty.nnz(), 0u);
+  EXPECT_EQ(empty.to_dense(), Matrix(3, 3, 0.0));
+  EXPECT_DOUBLE_EQ(empty.max_value(), 0.0);
+
+  const SparseMatrix product = SparseMatrix::multiply(empty, empty);
+  EXPECT_EQ(product.nnz(), 0u);
+  EXPECT_EQ(product.rows(), 3u);
+  EXPECT_EQ(product.cols(), 3u);
+}
+
+TEST_F(SparseMatrixTest, MultiplyRejectsMismatchedShapes) {
+  const SparseMatrix a(2, 3);
+  const SparseMatrix b(2, 2);
+  EXPECT_THROW(SparseMatrix::multiply(a, b), Error);
+  // Inner dimensions fine, but the addend is not shaped like the product.
+  EXPECT_THROW(
+      SparseMatrix::multiply_add_scaled(a, SparseMatrix(3, 2), 1.0,
+                                        SparseMatrix(2, 3)),
+      Error);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -19,6 +19,21 @@ quietly break that promise, so this script bans them in src/:
   raw-new           raw new/delete expressions — own memory with
                     containers or smart pointers ('= delete' is fine).
 
+One rule is scoped to a single file rather than all of src/:
+
+  dense-in-propagation   constructing a dense Matrix (or materializing one
+                         via .to_dense()) inside src/core/propagation.cpp.
+                         Propagation is sparse-first (DESIGN.md §7c): the
+                         spectral loop must run on SparseMatrix kernels and
+                         cross to dense only at the one sanctioned densify
+                         point, which carries lint:allow annotations. The
+                         rule flags `Matrix(...)`, `Matrix name(...)`,
+                         `Matrix::zero/identity`, and `.to_dense(` — but
+                         not bare `Matrix m;` declarations, `Matrix x =
+                         <kernel call>` assignments (no allocation beyond
+                         what the kernel returns), or a column-0 `Matrix`
+                         (a function signature's return type).
+
 Beyond src/, the script also enforces the public-API facade
 (src/crowdrank.hpp) over out-of-tree consumers:
 
@@ -75,6 +90,16 @@ RULES = {
         r"\bnew\s+[A-Za-z_:(]|\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]"
     ),
 }
+
+# Sparse-first guard for the propagation stage. Construction-with-args and
+# dense materialization only: `Matrix m;` declarations and assignments from
+# dense kernel returns stay unflagged (they alias or move a result, they do
+# not decide the representation).
+DENSE_IN_PROPAGATION_FILE = "src/core/propagation.cpp"
+DENSE_IN_PROPAGATION_RE = re.compile(
+    r"\bMatrix\s*\(|\bMatrix\s+\w+\s*\(|\bMatrix::(?:zero|identity)\b"
+    r"|\.to_dense\s*\("
+)
 
 # Facade enforcement over out-of-tree consumers. src/ and tests/ may touch
 # the engine directly (tests pin its exact contract); everything else goes
@@ -153,6 +178,15 @@ def lint_file(path: str) -> list[tuple[str, int, str, str]]:
             m = pattern.search(code)
             if m and rule not in allow:
                 findings.append((path, lineno, rule, raw.strip()))
+        if (path == DENSE_IN_PROPAGATION_FILE
+                and "dense-in-propagation" not in allow):
+            m = DENSE_IN_PROPAGATION_RE.search(code)
+            # A match at column 0 is a top-level function signature whose
+            # return type is Matrix, not a dense construction.
+            if m and m.start() > 0:
+                findings.append(
+                    (path, lineno, "dense-in-propagation", raw.strip())
+                )
         if "unordered-iter" not in allow:
             for pattern in iter_res:
                 if pattern.search(code):
