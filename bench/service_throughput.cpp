@@ -1,7 +1,8 @@
 // Throughput/latency bench for the batch ranking service: runs the same
 // n-job stream at increasing executor counts and writes
 // BENCH_service.json (shared trace::RunReport format) with jobs/sec and
-// p50/p99 job latency per worker count.
+// p50/p99 job latency per worker count, plus a telemetry-overhead row
+// that pins the cost of the observability plane.
 //
 // Job-level parallelism is the scaling story: each executor runs the
 // pipeline's kernels inline (util/parallel InlineRegion), so adding
@@ -10,7 +11,20 @@
 // single-core host every worker count serializes onto one core and the
 // ratios stay flat; read the numbers in that light rather than expecting
 // the k-core scaling a wider machine shows.
-#include <algorithm>
+//
+// Percentiles come from metrics::Histogram::Snapshot::quantile — the same
+// bucket-interpolation formula the telemetry snapshot exporter and
+// `crowdrank top` use — so the bench, the JSONL feed, and the live view
+// all report latency identically.
+//
+// Set CROWDRANK_BENCH_SMOKE=1 for the CI canary scale (fewer jobs,
+// fewer worker counts); the smoke report is ratcheted against
+// bench/baselines/BENCH_service_smoke.json by tools/check_bench.py,
+// which asserts the `telemetry_overhead_ok` boolean: the telemetry-on
+// stream must stay within 3% (plus an additive noise floor) of the
+// telemetry-off stream.
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -22,6 +36,11 @@
 namespace {
 
 using namespace crowdrank;
+
+bool smoke_mode() {
+  const char* env = std::getenv("CROWDRANK_BENCH_SMOKE");
+  return env != nullptr && std::string(env) == "1";
+}
 
 /// One simulated vote batch reused by every job (jobs differ by seed).
 VoteBatch make_batch(std::size_t n, std::size_t workers, Rng& rng) {
@@ -47,10 +66,12 @@ struct SweepPoint {
 };
 
 SweepPoint run_sweep(std::size_t workers, const VoteBatch& votes,
-                     std::size_t object_count, std::size_t job_count) {
+                     std::size_t object_count, std::size_t job_count,
+                     obs::Telemetry* telemetry = nullptr) {
   service::ServiceConfig config;
   config.worker_count = workers;
   config.queue_capacity = job_count;
+  config.telemetry = telemetry;
   service::RankingService svc(config);
 
   const Stopwatch wall;
@@ -68,38 +89,81 @@ SweepPoint run_sweep(std::size_t workers, const VoteBatch& votes,
   point.workers = workers;
   point.wall_ms = wall_ms;
   point.jobs_per_sec = 1e3 * static_cast<double>(job_count) / wall_ms;
-  std::vector<double> latencies;
-  latencies.reserve(results.size());
+  metrics::Histogram latency;
   for (const service::JobResult& r : results) {
-    latencies.push_back(r.queue_ms + r.run_ms);
+    latency.observe(r.queue_ms + r.run_ms);
     if (r.outcome == service::JobOutcome::Completed) {
       ++point.completed;
     }
   }
-  std::sort(latencies.begin(), latencies.end());
-  const auto percentile = [&](double p) {
-    const std::size_t idx = std::min(
-        latencies.size() - 1,
-        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
-    return latencies[idx];
-  };
-  point.p50_ms = percentile(0.50);
-  point.p99_ms = percentile(0.99);
+  const metrics::Histogram::Snapshot snap = latency.snapshot();
+  point.p50_ms = snap.quantile(0.50);
+  point.p99_ms = snap.quantile(0.99);
+  return point;
+}
+
+/// Telemetry-overhead probe: the same single-worker stream with the full
+/// observability plane on (flight recorder + snapshot exporter at a
+/// service-realistic period) vs off, best-of-`reps` each to shave
+/// scheduler noise. The additive floor keeps the 3% band meaningful on
+/// short smoke streams where two back-to-back runs jitter by more than
+/// the budget.
+struct OverheadPoint {
+  double wall_off_ms = 0.0;
+  double wall_on_ms = 0.0;
+  double overhead_pct = 0.0;
+  bool ok = false;
+};
+
+OverheadPoint measure_overhead(const VoteBatch& votes,
+                               std::size_t object_count,
+                               std::size_t job_count, int reps) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "crowdrank_bench_telemetry";
+  fs::remove_all(dir);
+
+  OverheadPoint point;
+  for (int rep = 0; rep < reps; ++rep) {
+    const SweepPoint off =
+        run_sweep(/*workers=*/1, votes, object_count, job_count);
+    if (rep == 0 || off.wall_ms < point.wall_off_ms) {
+      point.wall_off_ms = off.wall_ms;
+    }
+
+    obs::TelemetryConfig config;
+    config.directory = (dir / ("rep_" + std::to_string(rep))).string();
+    config.period = std::chrono::milliseconds(50);
+    obs::Telemetry telemetry(std::move(config), /*executor_count=*/1);
+    const SweepPoint on =
+        run_sweep(/*workers=*/1, votes, object_count, job_count, &telemetry);
+    if (rep == 0 || on.wall_ms < point.wall_on_ms) {
+      point.wall_on_ms = on.wall_ms;
+    }
+  }
+  fs::remove_all(dir);
+
+  point.overhead_pct =
+      100.0 * (point.wall_on_ms - point.wall_off_ms) / point.wall_off_ms;
+  // The gate: <3% relative, with an additive floor for short streams.
+  point.ok = point.wall_on_ms <= point.wall_off_ms * 1.03 + 50.0;
   return point;
 }
 
 }  // namespace
 
 int main() {
-  const std::size_t n = bench::full_scale() ? 40 : 24;
+  const bool smoke = smoke_mode();
+  const std::size_t n = bench::full_scale() ? 40 : (smoke ? 16 : 24);
   const std::size_t crowd = 8;
-  const std::size_t job_count = 100;
+  const std::size_t job_count = smoke ? 40 : 100;
   const unsigned cores = std::thread::hardware_concurrency();
 
   bench::banner("service throughput",
                 "batch ranking service: jobs/sec and p50/p99 latency of a " +
                     std::to_string(job_count) +
-                    "-job stream vs executor count");
+                    "-job stream vs executor count, plus the telemetry "
+                    "plane's overhead");
   std::cout << "hardware_concurrency: " << cores
             << " (worker counts beyond the core count serialize; scaling "
                "ratios are only meaningful up to it)\n\n";
@@ -115,9 +179,11 @@ int main() {
 
   TableWriter table({"service_workers", "wall_ms", "jobs_per_sec",
                      "p50_ms", "p99_ms", "completed"});
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
   double single_worker_rate = 0.0;
-  for (const std::size_t workers :
-       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+  for (const std::size_t workers : worker_counts) {
     const SweepPoint point = run_sweep(workers, votes, n, job_count);
     if (workers == 1) {
       single_worker_rate = point.jobs_per_sec;
@@ -141,10 +207,25 @@ int main() {
   }
   bench::emit(table);
 
+  const OverheadPoint overhead =
+      measure_overhead(votes, n, job_count, /*reps=*/smoke ? 2 : 3);
+  std::cout << "\ntelemetry overhead (1 worker, best of "
+            << (smoke ? 2 : 3) << "): off "
+            << TableWriter::fmt(overhead.wall_off_ms, 1) << " ms, on "
+            << TableWriter::fmt(overhead.wall_on_ms, 1) << " ms ("
+            << TableWriter::fmt(overhead.overhead_pct, 2) << "%), "
+            << (overhead.ok ? "within" : "EXCEEDS") << " the 3% budget\n";
+
+  trace::RunReport::Run& run = report.add_run("telemetry_overhead");
+  run.note("wall_off_ms", overhead.wall_off_ms);
+  run.note("wall_on_ms", overhead.wall_on_ms);
+  run.note("overhead_pct", overhead.overhead_pct);
+  run.note("telemetry_overhead_ok", overhead.ok);
+
   if (!report.write_file("BENCH_service.json")) {
     std::cerr << "ERROR: cannot write BENCH_service.json\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_service.json\n";
-  return 0;
+  return overhead.ok ? 0 : 1;
 }

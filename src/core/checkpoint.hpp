@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string_view>
 
 namespace crowdrank {
 
@@ -36,6 +38,10 @@ enum class PipelineStage {
 
 /// Stable machine-readable stage name ("truth_discovery", ...).
 const char* stage_name(PipelineStage stage);
+
+/// Inverse of `stage_name`: nullopt for an unknown name. Used by the
+/// serve CLI to accept stage names in jobs files (fault injection).
+std::optional<PipelineStage> stage_from_name(std::string_view name);
 
 /// What the pipeline has produced when a checkpoint fires. `next` is the
 /// stage about to start (Done once the ranking exists); the pointers fill

@@ -33,6 +33,19 @@ const char* stage_name(PipelineStage stage) {
   return "unknown";
 }
 
+std::optional<PipelineStage> stage_from_name(std::string_view name) {
+  for (const PipelineStage stage :
+       {PipelineStage::Validation, PipelineStage::Hardening,
+        PipelineStage::TruthDiscovery, PipelineStage::Smoothing,
+        PipelineStage::Propagation, PipelineStage::RankSearch,
+        PipelineStage::Done}) {
+    if (name == stage_name(stage)) {
+      return stage;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string format_config_errors(const std::vector<ConfigError>& errors) {
   std::string out;
   for (const ConfigError& e : errors) {

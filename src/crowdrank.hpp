@@ -33,6 +33,13 @@
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
+// obs: the live telemetry plane (flight recorder, snapshot exporter,
+// postmortems) consumed by `crowdrank serve --telemetry` / `crowdrank top`
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
 // graph: preference graphs, closures, Hamiltonian search
 #include "graph/hamiltonian.hpp"
 #include "graph/preference_graph.hpp"

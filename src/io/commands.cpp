@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/invariants.hpp"
 #include "core/confidence.hpp"
@@ -19,9 +22,12 @@
 #include "metrics/kendall.hpp"
 #include "metrics/spearman.hpp"
 #include "metrics/topk.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "service/service.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank::io {
@@ -392,7 +398,8 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       raw,
       merge({kObservabilityOptions,
              {"jobs", "results", "service-workers", "queue-capacity",
-              "queue-policy", "deadline-ms"}}),
+              "queue-policy", "deadline-ms", "telemetry",
+              "telemetry-period-ms"}}),
       {"check-invariants"});
   const std::vector<JobRecord> records =
       load_job_records(args.require_string("jobs"));
@@ -414,6 +421,20 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       std::chrono::milliseconds(args.get_size("deadline-ms", 0));
   config.check_invariants = args.flag("check-invariants");
   config.trace = &sink;
+
+  // The live telemetry plane (--telemetry DIR): periodic JSONL +
+  // Prometheus snapshots while the batch runs, plus per-job postmortems.
+  // Constructed before the service scope and reset right after it, so the
+  // final flush lands before the results are reported.
+  std::optional<obs::Telemetry> telemetry;
+  if (args.has("telemetry")) {
+    obs::TelemetryConfig telemetry_config;
+    telemetry_config.directory = args.value("telemetry");
+    telemetry_config.period = std::chrono::milliseconds(
+        args.get_size("telemetry-period-ms", 250));
+    telemetry.emplace(std::move(telemetry_config), config.worker_count);
+    config.telemetry = &*telemetry;
+  }
 
   // The service records its own per-job spans on `sink`; installing the
   // same sink as the process-global one here additionally captures the
@@ -448,6 +469,13 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       if (record.saps_iterations > 0) {
         job.inference.saps.iterations = record.saps_iterations;
       }
+      if (!record.fail_before.empty()) {
+        // Validated at parse time, so the lookup cannot miss here.
+        job.fault.fail_before = stage_from_name(record.fail_before);
+        if (!record.fail_reason.empty()) {
+          job.fault.fail_reason = record.fail_reason;
+        }
+      }
       svc.submit(std::move(job));
       submitted_slots.push_back(slot);
     }
@@ -456,6 +484,11 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       results[submitted_slots[k]] = drained[k];
       results[submitted_slots[k]].id = records[submitted_slots[k]].id;
     }
+  }
+  if (telemetry.has_value()) {
+    const std::string dir = telemetry->config().directory;
+    telemetry.reset();  // stops the exporter and flushes a final snapshot
+    out << "wrote telemetry to " << dir << "\n";
   }
 
   std::size_t ok_count = 0;
@@ -515,6 +548,153 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
   return ok_count == records.size() ? 0 : 2;
 }
 
+// -- crowdrank top: render the live telemetry stream ---------------------
+
+/// Accepts either the telemetry directory or the telemetry.jsonl file.
+std::string telemetry_file(const std::string& arg) {
+  const std::filesystem::path path(arg);
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return (path / "telemetry.jsonl").string();
+  }
+  return arg;
+}
+
+/// Parses every complete snapshot line. A malformed line is skipped, not
+/// fatal: the exporter may be mid-append while we read (tail semantics).
+std::vector<obs::JsonValue> load_snapshots(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw Error("cannot open telemetry file '" + path + "'");
+  }
+  std::vector<obs::JsonValue> snapshots;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      obs::JsonValue value = obs::parse_json(line);
+      if (value.kind == obs::JsonValue::Kind::Object) {
+        snapshots.push_back(std::move(value));
+      }
+    } catch (const Error&) {
+      // truncated trailing line during a live append
+    }
+  }
+  return snapshots;
+}
+
+void render_top(const std::vector<obs::JsonValue>& snapshots,
+                std::size_t rows, std::ostream& out) {
+  const auto as_count = [](double v) {
+    return std::to_string(static_cast<std::uint64_t>(v));
+  };
+
+  // History: one row per snapshot window, newest last.
+  TableWriter history({"seq", "uptime_s", "jobs/s", "p50_ms", "p99_ms",
+                       "queue", "finished"});
+  const std::size_t first =
+      snapshots.size() > rows ? snapshots.size() - rows : 0;
+  for (std::size_t i = first; i < snapshots.size(); ++i) {
+    const obs::JsonValue& s = snapshots[i];
+    const obs::JsonValue* window = s.find("window");
+    const obs::JsonValue* gauges = s.find("gauges");
+    double p50 = 0.0;
+    double p99 = 0.0;
+    if (const obs::JsonValue* histograms = s.find("histograms")) {
+      if (const obs::JsonValue* job = histograms->find("service.job_ms")) {
+        p50 = job->number_at("p50", 0.0);
+        p99 = job->number_at("p99", 0.0);
+      }
+    }
+    history.add_row(
+        {as_count(s.number_at("seq", 0.0)),
+         TableWriter::fmt(s.number_at("t_us", 0.0) / 1e6, 1),
+         TableWriter::fmt(
+             window != nullptr ? window->number_at("jobs_per_sec", 0.0)
+                               : 0.0,
+             2),
+         TableWriter::fmt(p50, 2), TableWriter::fmt(p99, 2),
+         as_count(gauges != nullptr
+                      ? gauges->number_at("service.queue_depth", 0.0)
+                      : 0.0),
+         as_count(window != nullptr ? window->number_at("finished", 0.0)
+                                    : 0.0)});
+  }
+  history.print_aligned(out);
+
+  const obs::JsonValue& latest = snapshots.back();
+
+  // Outcome counters of the latest snapshot, one summary line.
+  if (const obs::JsonValue* counters = latest.find("counters")) {
+    const std::string outcome_prefix = "service.outcome.";
+    bool any = false;
+    for (const auto& [name, value] : counters->members) {
+      if (name.rfind(outcome_prefix, 0) != 0 || !value.is_number()) {
+        continue;
+      }
+      out << (any ? ", " : "\noutcomes: ")
+          << name.substr(outcome_prefix.size()) << " "
+          << as_count(value.number);
+      any = true;
+    }
+    if (any) {
+      out << "\n";
+    }
+  }
+
+  // Per-stage latency ladder of the latest snapshot.
+  if (const obs::JsonValue* histograms = latest.find("histograms")) {
+    TableWriter stages({"stage", "count", "p50_ms", "p99_ms", "total_ms"});
+    const std::string stage_prefix = "service.stage_ms.";
+    for (const auto& [name, value] : histograms->members) {
+      if (name.rfind(stage_prefix, 0) != 0) {
+        continue;
+      }
+      stages.add_row({name.substr(stage_prefix.size()),
+                      as_count(value.number_at("count", 0.0)),
+                      TableWriter::fmt(value.number_at("p50", 0.0), 2),
+                      TableWriter::fmt(value.number_at("p99", 0.0), 2),
+                      TableWriter::fmt(value.number_at("sum", 0.0), 1)});
+    }
+    if (stages.row_count() > 0) {
+      out << "\n";
+      stages.print_aligned(out);
+    }
+  }
+}
+
+int cmd_top(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args = parse_args(raw, {"telemetry", "interval-ms", "rows"},
+                               {"follow"});
+  const std::string path = telemetry_file(args.require_string("telemetry"));
+  const std::size_t rows = std::max<std::size_t>(1, args.get_size("rows", 10));
+  const bool follow = args.flag("follow");
+  const auto interval =
+      std::chrono::milliseconds(args.get_size("interval-ms", 500));
+
+  bool rendered = false;
+  while (true) {
+    const std::vector<obs::JsonValue> snapshots = load_snapshots(path);
+    if (follow) {
+      out << "\x1b[2J\x1b[H";  // clear + home between refreshes
+    }
+    if (snapshots.empty()) {
+      out << "no telemetry snapshots yet in " << path << "\n";
+    } else {
+      rendered = true;
+      render_top(snapshots, rows, out);
+    }
+    if (!follow) {
+      break;
+    }
+    std::this_thread::sleep_for(interval);
+  }
+  return rendered ? 0 : 2;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -544,8 +724,14 @@ std::string cli_usage() {
       << "            [--service-workers N] [--queue-capacity C]\n"
       << "            [--queue-policy reject|shed-oldest] [--deadline-ms D]\n"
       << "            [--check-invariants] [--trace F.json]\n"
-      << "            [--metrics F.json]\n"
-      << "            (exit 0 all jobs ranked, 2 otherwise)\n"
+      << "            [--metrics F.json] [--telemetry DIR]\n"
+      << "            [--telemetry-period-ms P]\n"
+      << "            (exit 0 all jobs ranked, 2 otherwise; --telemetry\n"
+      << "             writes telemetry.jsonl, metrics.prom, postmortems/)\n"
+      << "  top       --telemetry DIR|F.jsonl [--follow] [--interval-ms I]\n"
+      << "            [--rows N]\n"
+      << "            (renders the serve telemetry stream as a live table;\n"
+      << "             one-shot by default, exit 2 when no snapshots yet)\n"
       << "  eval      --reference F --ranking F [--k K]\n"
       << "  diagnose  --votes F [--object-count N] [--worker-count M]\n"
       << "            (exit 0 rankable, 2 not cleanly rankable)\n"
@@ -569,6 +755,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "simulate") return cmd_simulate(argv, out);
     if (command == "infer") return cmd_infer(argv, out);
     if (command == "serve") return cmd_serve(argv, out);
+    if (command == "top") return cmd_top(argv, out);
     if (command == "eval") return cmd_eval(argv, out);
     if (command == "plan") return cmd_plan(argv, out);
     if (command == "diagnose") return cmd_diagnose(argv, out);

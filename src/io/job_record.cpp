@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "util/error.hpp"
 
 namespace crowdrank::io {
@@ -197,6 +198,20 @@ std::vector<JobRecord> parse_job_records(const std::string& text) {
         record.saps_iterations = to_uint(value, key, line_number);
       } else if (key == "deadline_ms") {
         record.deadline_ms = to_uint(value, key, line_number);
+      } else if (key == "fail_before") {
+        if (!value.is_string) {
+          fail(line_number, "key \"fail_before\" must be a stage name");
+        }
+        if (!stage_from_name(value.text).has_value()) {
+          fail(line_number,
+               "key \"fail_before\": unknown stage '" + value.text + "'");
+        }
+        record.fail_before = value.text;
+      } else if (key == "fail_reason") {
+        if (!value.is_string) {
+          fail(line_number, "key \"fail_reason\" must be a string");
+        }
+        record.fail_reason = value.text;
       } else {
         fail(line_number, "unknown key \"" + key + "\"");
       }
@@ -226,6 +241,14 @@ std::string format_job_record(const JobRecord& record) {
   }
   if (record.deadline_ms > 0) {
     os << ", \"deadline_ms\": " << record.deadline_ms;
+  }
+  if (!record.fail_before.empty()) {
+    os << ", \"fail_before\": ";
+    append_json_string(os, record.fail_before);
+    if (!record.fail_reason.empty()) {
+      os << ", \"fail_reason\": ";
+      append_json_string(os, record.fail_reason);
+    }
   }
   os << "}";
   return os.str();

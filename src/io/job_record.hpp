@@ -36,6 +36,12 @@ struct JobRecord {
   std::string search = "saps";  ///< saps | taps | heldkarp
   std::size_t saps_iterations = 0;  ///< 0 = pipeline default
   std::size_t deadline_ms = 0;      ///< 0 = service default
+  /// Deterministic fault injection: abort the job with an injected
+  /// failure when this stage is about to start (a `stage_name` string,
+  /// e.g. "rank_search"; empty = no fault). Drives postmortem and
+  /// degraded-path testing from plain jobs files.
+  std::string fail_before;
+  std::string fail_reason;  ///< reason echoed by the injected failure
 };
 
 /// Parses a whole jobs file (JSONL). Throws crowdrank::Error naming the

@@ -1,0 +1,91 @@
+// Serialization formats of the telemetry plane.
+//
+// Two machine-readable views of the same live state, written periodically
+// by obs::Telemetry and consumed by different tooling:
+//
+//  * Prometheus text exposition (`write_prometheus`) — the de-facto
+//    scrape format: counters and gauges as plain samples, histograms as
+//    cumulative `_bucket{le="..."}` series with explicit upper bounds
+//    plus `_sum`/`_count`. Metric names are sanitized (dots and other
+//    non-identifier bytes become underscores) and prefixed `crowdrank_`.
+//
+//  * Snapshot JSON (`write_snapshot_json`) — one self-contained JSON
+//    object per period, appended as a line of `telemetry.jsonl`. Carries
+//    a schema version, a monotonic sequence number, the full metrics
+//    registry (counters, gauges, histograms with sparse buckets and the
+//    shared p50/p99 quantile estimates), windowed rates, and the flight-
+//    recorder tail. tools/check_telemetry.py validates the schema;
+//    `crowdrank top` renders the stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace crowdrank::obs {
+
+/// Schema version stamped into every snapshot line ("v" key) and echoed
+/// by the validators; bump on any breaking change to the JSONL layout.
+inline constexpr int kSnapshotSchemaVersion = 1;
+
+/// Rates derived over the window since the previous snapshot.
+struct SnapshotWindow {
+  double jobs_per_sec = 0.0;    ///< finished jobs over the window
+  double window_ms = 0.0;       ///< wall length of the window
+  std::uint64_t finished = 0;   ///< total finished jobs so far
+};
+
+/// Everything one snapshot serializes; built by obs::Telemetry.
+struct TelemetrySnapshot {
+  std::uint64_t seq = 0;
+  double t_us = 0.0;  ///< offset from the telemetry plane's epoch
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, metrics::Histogram::Snapshot>>
+      histograms;
+  SnapshotWindow window;
+  std::vector<Event> events;  ///< flight-recorder tail, oldest first
+  std::uint64_t events_recorded = 0;  ///< total ever recorded
+};
+
+/// Prometheus text exposition of the counters/gauges/histograms. The
+/// snapshot's window rates surface as synthetic gauges
+/// (`crowdrank_jobs_per_sec`).
+void write_prometheus(std::ostream& os, const TelemetrySnapshot& snapshot);
+
+/// One JSON object (single line, no trailing newline) for telemetry.jsonl.
+void write_snapshot_json(std::ostream& os,
+                         const TelemetrySnapshot& snapshot);
+
+/// `name` with every byte outside [a-zA-Z0-9_:] replaced by '_' and the
+/// `crowdrank_` family prefix applied — the Prometheus identifier rule.
+std::string prometheus_name(const std::string& name);
+
+/// Everything a per-job postmortem dump carries. The service fills this
+/// for every job ending Failed / TimedOut / Degraded: identity and
+/// terminal state, a config echo (seed, search, shape), the hardening
+/// accounting, the job's span subtree (parents remapped so the job span
+/// is the root, -1), and the flight-recorder window around the job.
+struct Postmortem {
+  std::uint64_t job_id = 0;
+  std::size_t executor = 0;  ///< executor index that ran the job
+  std::string outcome;       ///< terminal outcome name
+  std::string stage;         ///< stage the job ended in
+  std::string reason;        ///< human-readable failure detail
+  double t_us = 0.0;         ///< plane-epoch offset of the outcome
+  std::vector<std::pair<std::string, trace::AttrValue>> config_echo;
+  std::vector<std::pair<std::string, std::int64_t>> hardening;
+  std::vector<trace::SpanRecord> spans;
+  std::vector<Event> events;
+};
+
+/// Pretty-printed JSON postmortem document (multi-line; one per file).
+void write_postmortem_json(std::ostream& os, const Postmortem& postmortem);
+
+}  // namespace crowdrank::obs

@@ -1,0 +1,128 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace crowdrank::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::JobAccepted:
+      return "job_accepted";
+    case EventKind::JobShed:
+      return "job_shed";
+    case EventKind::JobStarted:
+      return "job_started";
+    case EventKind::StageCheckpoint:
+      return "stage_checkpoint";
+    case EventKind::JobFinished:
+      return "job_finished";
+    case EventKind::QueueDepth:
+      return "queue_depth";
+    case EventKind::Hardening:
+      return "hardening";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t ring_count, std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity) {
+  CR_EXPECTS(ring_count >= 1, "FlightRecorder needs at least one ring");
+  CR_EXPECTS(capacity >= 1, "FlightRecorder ring capacity must be >= 1");
+  rings_.reserve(ring_count);
+  for (std::size_t r = 0; r < ring_count; ++r) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots = std::make_unique<Slot[]>(capacity);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+double FlightRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::record(std::size_t ring_index, Event e) {
+  Ring& ring = *rings_[std::min(ring_index, rings_.size() - 1)];
+  if (e.t_us == 0.0) {
+    e.t_us = now_us();
+  }
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[head % capacity_];
+
+  // Seqlock writer: odd version marks the write window. The release fence
+  // orders the version bump before the payload stores for any reader that
+  // acquires the version; the closing store publishes the payload.
+  const std::uint64_t v = ring.version.load(std::memory_order_relaxed);
+  ring.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.t_us.store(e.t_us, std::memory_order_relaxed);
+  slot.job_id.store(e.job_id, std::memory_order_relaxed);
+  slot.kind_code.store(
+      (static_cast<std::uint32_t>(e.kind) << 8) | e.code,
+      std::memory_order_relaxed);
+  slot.value.store(e.value, std::memory_order_relaxed);
+  ring.head.store(head + 1, std::memory_order_relaxed);
+  ring.version.store(v + 2, std::memory_order_release);
+}
+
+RingSnapshot FlightRecorder::snapshot(std::size_t ring_index) const {
+  const Ring& ring = *rings_[std::min(ring_index, rings_.size() - 1)];
+  std::uint64_t head = 0;
+  std::vector<Event> raw(capacity_);
+  // Seqlock reader: retry until the copy is bracketed by one even version.
+  // Writes are rare relative to the copy (one event per job transition),
+  // so the loop settles almost immediately; yield keeps a pathological
+  // writer storm from spinning the exporter hot.
+  while (true) {
+    const std::uint64_t v1 = ring.version.load(std::memory_order_acquire);
+    if ((v1 & 1) == 0) {
+      head = ring.head.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        const Slot& slot = ring.slots[i];
+        const std::uint32_t kc =
+            slot.kind_code.load(std::memory_order_relaxed);
+        raw[i].t_us = slot.t_us.load(std::memory_order_relaxed);
+        raw[i].job_id = slot.job_id.load(std::memory_order_relaxed);
+        raw[i].kind = static_cast<EventKind>(kc >> 8);
+        raw[i].code = static_cast<std::uint8_t>(kc & 0xff);
+        raw[i].value = slot.value.load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (ring.version.load(std::memory_order_relaxed) == v1) {
+        break;
+      }
+    }
+    std::this_thread::yield();
+  }
+
+  RingSnapshot out;
+  out.total_recorded = head;
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(head, capacity_);
+  out.events.reserve(retained);
+  for (std::uint64_t k = head - retained; k < head; ++k) {
+    out.events.push_back(raw[k % capacity_]);
+  }
+  return out;
+}
+
+RingSnapshot FlightRecorder::snapshot_all() const {
+  RingSnapshot out;
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    RingSnapshot ring = snapshot(r);
+    out.total_recorded += ring.total_recorded;
+    out.events.insert(out.events.end(), ring.events.begin(),
+                      ring.events.end());
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.t_us < b.t_us;
+                   });
+  return out;
+}
+
+}  // namespace crowdrank::obs

@@ -1,0 +1,111 @@
+// Flight recorder: fixed-capacity per-executor rings of recent events.
+//
+// The serving layer needs an always-on record of "what just happened" —
+// job lifecycle transitions, stage checkpoints, queue-depth samples —
+// cheap enough to leave enabled under full traffic, and readable at any
+// moment by the telemetry exporter without stopping the executors. Each
+// ring belongs to exactly one writer thread (executor i writes ring i+1;
+// ring 0 is the control ring for submit-side events, serialized by the
+// service mutex), so a write is a handful of relaxed atomic stores plus a
+// per-ring seqlock version bump — no locks, no allocation, O(1) always.
+//
+// Snapshots are lossless: the reader copies a ring under the seqlock
+// protocol (Boehm, "Can seqlocks get along with programming language
+// memory models?") and retries if a write landed mid-copy, so it never
+// observes a torn event. Old events are overwritten in FIFO order once a
+// ring is full; `Ring::head` counts every event ever recorded, so a
+// snapshot also reports how many were dropped by wraparound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace crowdrank::obs {
+
+/// What one recorder entry describes.
+enum class EventKind : std::uint8_t {
+  JobAccepted,      ///< submit admitted a job (value = queue depth after)
+  JobShed,          ///< backpressure evicted a job (value = queue depth)
+  JobStarted,       ///< an executor picked the job up (value = queue ms)
+  StageCheckpoint,  ///< a stage boundary passed (value = stage ms)
+  JobFinished,      ///< terminal outcome reached (value = run ms)
+  QueueDepth,       ///< depth sample outside job transitions
+  Hardening,        ///< input hardening repaired the batch (value = drops)
+};
+
+/// Stable machine-readable kind name ("job_accepted", ...).
+const char* event_kind_name(EventKind kind);
+
+/// One recorded event. `code` is a kind-specific small enum: the stage id
+/// for StageCheckpoint, the outcome id for JobFinished, 0 otherwise; the
+/// recorder stores codes, not names, so it stays independent of the
+/// service vocabulary above it.
+struct Event {
+  double t_us = 0.0;  ///< offset from the recorder's steady-clock epoch
+  std::uint64_t job_id = 0;  ///< 0 when the event is not job-scoped
+  EventKind kind = EventKind::QueueDepth;
+  std::uint8_t code = 0;
+  double value = 0.0;
+};
+
+/// What `snapshot` returns for one ring: the retained events oldest to
+/// newest plus the total ever recorded (total - events.size() = number
+/// lost to wraparound).
+struct RingSnapshot {
+  std::vector<Event> events;
+  std::uint64_t total_recorded = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `ring_count` rings of `capacity` events each. One writer per ring.
+  FlightRecorder(std::size_t ring_count, std::size_t capacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  std::size_t ring_count() const { return rings_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Microseconds since construction (the timestamp base for `Event`).
+  double now_us() const;
+
+  /// Records `e` on `ring` (clamped into range), stamping `e.t_us` with
+  /// `now_us()` when it is zero. Caller contract: at most one thread
+  /// writes a given ring at a time.
+  void record(std::size_t ring, Event e);
+
+  /// Lossless copy of one ring, oldest event first. Safe concurrently
+  /// with the ring's writer (retries while a write is in flight).
+  RingSnapshot snapshot(std::size_t ring) const;
+
+  /// Every ring's retained events merged into one timeline (ascending
+  /// t_us; ties keep ring order). `total_recorded` sums all rings.
+  RingSnapshot snapshot_all() const;
+
+ private:
+  // Seqlock-protected ring. The payload slots are relaxed atomics rather
+  // than plain fields so a concurrent snapshot is a data-race-free stale
+  // read, never undefined behavior; `version` is odd while a write is in
+  // flight and the reader retries until it brackets a quiet copy.
+  struct Slot {
+    std::atomic<double> t_us{0.0};
+    std::atomic<std::uint64_t> job_id{0};
+    std::atomic<std::uint32_t> kind_code{0};  ///< kind << 8 | code
+    std::atomic<double> value{0.0};
+  };
+  struct Ring {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> head{0};  ///< total events ever recorded
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace crowdrank::obs

@@ -1,0 +1,253 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.hpp"
+
+namespace crowdrank::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path dir_of(const TelemetryConfig& config) {
+  return fs::path(config.directory);
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config, std::size_t executor_count)
+    : config_(std::move(config)),
+      recorder_(executor_count + 1, config_.recorder_capacity) {
+  std::error_code ec;
+  fs::create_directories(dir_of(config_) / "postmortems", ec);
+  if (ec) {
+    log_warn() << "telemetry: cannot create " << config_.directory << ": "
+               << ec.message();
+  }
+  jsonl_.open(dir_of(config_) / "telemetry.jsonl",
+              std::ios::out | std::ios::trunc);
+  if (!jsonl_) {
+    log_warn() << "telemetry: cannot open telemetry.jsonl under "
+               << config_.directory;
+  }
+  if (config_.period.count() > 0) {
+    exporter_ = std::thread([this] { exporter_loop(); });
+  }
+}
+
+Telemetry::~Telemetry() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (exporter_.joinable()) {
+    exporter_.join();
+  }
+  // Final snapshot so even a run shorter than one period leaves a
+  // complete record behind.
+  flush_snapshot();
+}
+
+void Telemetry::exporter_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, config_.period, [this] { return stopping_; })) {
+      return;  // destructor flushes the final snapshot
+    }
+    lock.unlock();
+    flush_snapshot();
+    lock.lock();
+  }
+}
+
+void Telemetry::on_job_accepted(std::uint64_t job_id,
+                                std::size_t queue_depth) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::JobAccepted;
+  e.value = static_cast<double>(queue_depth);
+  recorder_.record(0, e);
+  registry_.gauge("service.queue_depth").set(static_cast<double>(queue_depth));
+}
+
+void Telemetry::on_job_shed(std::uint64_t job_id, std::size_t queue_depth) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::JobShed;
+  e.value = static_cast<double>(queue_depth);
+  recorder_.record(0, e);
+  registry_.counter("service.shed").increment();
+}
+
+void Telemetry::on_queue_depth(std::size_t queue_depth) {
+  Event e;
+  e.kind = EventKind::QueueDepth;
+  e.value = static_cast<double>(queue_depth);
+  recorder_.record(0, e);
+  registry_.gauge("service.queue_depth").set(static_cast<double>(queue_depth));
+}
+
+void Telemetry::on_job_started(std::size_t executor, std::uint64_t job_id,
+                               double queue_ms) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::JobStarted;
+  e.value = queue_ms;
+  recorder_.record(executor + 1, e);
+}
+
+void Telemetry::on_stage_checkpoint(std::size_t executor,
+                                    std::uint64_t job_id, const char* stage,
+                                    std::uint8_t stage_code,
+                                    double stage_ms) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::StageCheckpoint;
+  e.code = stage_code;
+  e.value = stage_ms;
+  recorder_.record(executor + 1, e);
+  registry_.histogram(std::string("service.stage_ms.") + stage)
+      .observe(stage_ms);
+}
+
+void Telemetry::on_hardening(std::size_t executor, std::uint64_t job_id,
+                             std::uint64_t dropped) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::Hardening;
+  e.value = static_cast<double>(dropped);
+  recorder_.record(executor + 1, e);
+  registry_.counter("service.hardening.jobs_repaired").increment();
+  registry_.counter("service.hardening.votes_dropped").add(dropped);
+}
+
+void Telemetry::on_job_finished(std::size_t executor, std::uint64_t job_id,
+                                const char* /*outcome*/,
+                                std::uint8_t outcome_code, double queue_ms,
+                                double run_ms) {
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::JobFinished;
+  e.code = outcome_code;
+  e.value = run_ms;
+  recorder_.record(executor + 1, e);
+  registry_.histogram("service.job_ms").observe(run_ms);
+  registry_.histogram("service.queue_ms").observe(queue_ms);
+}
+
+void Telemetry::on_job_settled(std::uint64_t job_id, const char* outcome,
+                               std::uint8_t outcome_code) {
+  (void)outcome;
+  Event e;
+  e.job_id = job_id;
+  e.kind = EventKind::JobFinished;
+  e.code = outcome_code;
+  recorder_.record(0, e);
+}
+
+void Telemetry::on_outcome(const char* outcome) {
+  registry_.counter(std::string("service.outcome.") + outcome).increment();
+}
+
+void Telemetry::write_postmortem(const Postmortem& postmortem) {
+  std::lock_guard<std::mutex> lock(postmortem_mutex_);
+  if (postmortems_written_ >= config_.max_postmortems) {
+    registry_.counter("service.postmortem.skipped").increment();
+    return;
+  }
+  const fs::path path =
+      dir_of(config_) / "postmortems" /
+      ("job_" + std::to_string(postmortem.job_id) + "_" + postmortem.outcome +
+       ".json");
+  std::ofstream os(path);
+  if (!os) {
+    registry_.counter("service.postmortem.skipped").increment();
+    log_warn() << "telemetry: cannot write postmortem " << path.string();
+    return;
+  }
+  write_postmortem_json(os, postmortem);
+  ++postmortems_written_;
+  registry_.counter("service.postmortem.written").increment();
+}
+
+TelemetrySnapshot Telemetry::build_snapshot() {
+  TelemetrySnapshot snapshot;
+  snapshot.seq = seq_++;
+  snapshot.t_us = now_us();
+  snapshot.counters = registry_.counters();
+  snapshot.gauges = registry_.gauges();
+  snapshot.histograms = registry_.histograms();
+
+  std::uint64_t finished = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("service.outcome.", 0) == 0) {
+      finished += value;
+    }
+  }
+  snapshot.window.finished = finished;
+  snapshot.window.window_ms = (snapshot.t_us - last_snapshot_us_) / 1000.0;
+  if (snapshot.window.window_ms > 0.0) {
+    snapshot.window.jobs_per_sec =
+        static_cast<double>(finished - last_finished_) /
+        (snapshot.window.window_ms / 1000.0);
+  }
+  last_snapshot_us_ = snapshot.t_us;
+  last_finished_ = finished;
+
+  RingSnapshot merged = recorder_.snapshot_all();
+  snapshot.events_recorded = merged.total_recorded;
+  if (merged.events.size() > config_.snapshot_tail) {
+    merged.events.erase(
+        merged.events.begin(),
+        merged.events.end() -
+            static_cast<std::ptrdiff_t>(config_.snapshot_tail));
+  }
+  snapshot.events = std::move(merged.events);
+  return snapshot;
+}
+
+void Telemetry::write_outputs(const TelemetrySnapshot& snapshot) {
+  if (jsonl_) {
+    write_snapshot_json(jsonl_, snapshot);
+    jsonl_ << '\n';
+    jsonl_.flush();
+  }
+  // Replace metrics.prom atomically so a concurrent scrape never reads a
+  // half-written exposition.
+  const fs::path prom = dir_of(config_) / "metrics.prom";
+  const fs::path tmp = dir_of(config_) / "metrics.prom.tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) {
+      return;
+    }
+    write_prometheus(os, snapshot);
+  }
+  std::error_code ec;
+  fs::rename(tmp, prom, ec);
+  if (ec) {
+    log_warn() << "telemetry: cannot publish metrics.prom: "
+               << ec.message();
+  }
+}
+
+void Telemetry::flush_snapshot() {
+  std::lock_guard<std::mutex> lock(export_mutex_);
+  write_outputs(build_snapshot());
+}
+
+std::uint64_t Telemetry::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(export_mutex_);
+  return seq_;
+}
+
+std::size_t Telemetry::postmortems_written() const {
+  std::lock_guard<std::mutex> lock(postmortem_mutex_);
+  return postmortems_written_;
+}
+
+}  // namespace crowdrank::obs

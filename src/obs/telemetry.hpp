@@ -1,0 +1,150 @@
+// The live telemetry plane: one object owning everything the service
+// needs to be observable while it runs.
+//
+//  * A private metrics::Registry fed by the hook methods below — separate
+//    from any TraceSink registry so telemetry can stay on for the life of
+//    the service while per-run sinks come and go.
+//  * A FlightRecorder with one ring per executor plus a control ring
+//    (ring 0) for submit-side events; hooks translate service activity
+//    into structured events.
+//  * An exporter thread that wakes every `period` and serializes the
+//    current state to `<dir>/telemetry.jsonl` (append, one snapshot per
+//    line) and `<dir>/metrics.prom` (atomically replaced Prometheus text
+//    exposition). A final snapshot is flushed on destruction so short
+//    runs always leave at least one line behind.
+//  * Bounded per-job postmortems under `<dir>/postmortems/`, written
+//    synchronously by the executor that finished the job.
+//
+// Layering: obs sits on util only. The service passes stage / outcome
+// *names* (static strings) and small numeric codes into the hooks; obs
+// never includes service or core headers, so service can link obs.
+//
+// Determinism: every hook observes and never influences — no RNG, no
+// shared state the pipeline reads — so rankings are bitwise-identical
+// with telemetry on or off (pinned by tests/core/test_determinism.cpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "util/metrics.hpp"
+
+namespace crowdrank::obs {
+
+/// Knobs for the telemetry plane. Defaults suit an interactive serve run;
+/// tests shrink the period and capacities.
+struct TelemetryConfig {
+  /// Output directory; created (one level) if missing. telemetry.jsonl,
+  /// metrics.prom, and postmortems/ live under it.
+  std::string directory;
+  /// Snapshot cadence of the exporter thread.
+  std::chrono::milliseconds period{250};
+  /// Flight-recorder slots per ring (per executor).
+  std::size_t recorder_capacity = 256;
+  /// Max events included in each periodic snapshot line (tail across all
+  /// rings, oldest dropped first).
+  std::size_t snapshot_tail = 32;
+  /// Cap on postmortem files; once reached further failures only bump the
+  /// `service.postmortem.skipped` counter (bounded disk, no surprises).
+  std::size_t max_postmortems = 16;
+};
+
+/// See the file comment. Construct before the service, pass its address
+/// via ServiceConfig::telemetry, destroy after the service drains.
+class Telemetry {
+ public:
+  /// `executor_count` sizes the flight recorder: ring 0 is the control
+  /// ring (submit path, serialized by the caller), executors use their
+  /// index + 1.
+  Telemetry(TelemetryConfig config, std::size_t executor_count);
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+  /// Stops the exporter and flushes one final snapshot.
+  ~Telemetry();
+
+  const TelemetryConfig& config() const { return config_; }
+  metrics::Registry& registry() { return registry_; }
+  FlightRecorder& recorder() { return recorder_; }
+  /// Microseconds since this plane was constructed (its epoch; all event
+  /// and snapshot timestamps are offsets from it).
+  double now_us() const { return recorder_.now_us(); }
+
+  // -- service hooks ----------------------------------------------------
+  // The submit-path hooks (accepted / shed / queue depth) write the
+  // control ring and must be externally serialized — the service calls
+  // them under its queue mutex. The executor hooks take the executor's
+  // index and are single-writer per ring by construction.
+
+  void on_job_accepted(std::uint64_t job_id, std::size_t queue_depth);
+  void on_job_shed(std::uint64_t job_id, std::size_t queue_depth);
+  void on_queue_depth(std::size_t queue_depth);
+
+  void on_job_started(std::size_t executor, std::uint64_t job_id,
+                      double queue_ms);
+  /// One pipeline stage finished inside a job. `stage` is a static stage
+  /// name; `stage_code` its numeric enum value (stored in the event).
+  void on_stage_checkpoint(std::size_t executor, std::uint64_t job_id,
+                           const char* stage, std::uint8_t stage_code,
+                           double stage_ms);
+  /// Hardening repaired the job's batch, dropping `dropped` votes.
+  void on_hardening(std::size_t executor, std::uint64_t job_id,
+                    std::uint64_t dropped);
+  /// Executor-side terminal hook: JobFinished event plus the latency
+  /// histograms. The outcome *counter* goes through `on_outcome`, which
+  /// the service calls for every terminal job (including ones that never
+  /// reached an executor), so the two never double-count.
+  void on_job_finished(std::size_t executor, std::uint64_t job_id,
+                       const char* outcome, std::uint8_t outcome_code,
+                       double queue_ms, double run_ms);
+  /// A job settled on the submit path (rejected, shed, cancelled while
+  /// queued): control-ring JobFinished event. Caller-serialized.
+  void on_job_settled(std::uint64_t job_id, const char* outcome,
+                      std::uint8_t outcome_code);
+  /// Bumps `service.outcome.<outcome>` — once per terminal job, any path.
+  void on_outcome(const char* outcome);
+
+  /// Writes `<dir>/postmortems/job_<id>_<outcome>.json` unless the cap
+  /// has been reached. Thread-safe; called by executors.
+  void write_postmortem(const Postmortem& postmortem);
+
+  /// Builds and writes one snapshot immediately (same path the periodic
+  /// exporter takes). Used by the destructor and by tests that cannot
+  /// wait out a period.
+  void flush_snapshot();
+
+  std::uint64_t snapshots_written() const;
+  std::size_t postmortems_written() const;
+
+ private:
+  void exporter_loop();
+  TelemetrySnapshot build_snapshot();
+  /// Appends the JSONL line and atomically replaces metrics.prom.
+  void write_outputs(const TelemetrySnapshot& snapshot);
+
+  TelemetryConfig config_;
+  metrics::Registry registry_;
+  FlightRecorder recorder_;
+
+  mutable std::mutex export_mutex_;  ///< snapshot building + file I/O
+  std::ofstream jsonl_;
+  std::uint64_t seq_ = 0;
+  double last_snapshot_us_ = 0.0;
+  std::uint64_t last_finished_ = 0;
+
+  mutable std::mutex postmortem_mutex_;
+  std::size_t postmortems_written_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread exporter_;
+};
+
+}  // namespace crowdrank::obs

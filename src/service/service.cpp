@@ -11,6 +11,7 @@
 
 #include "analysis/invariants.hpp"
 #include "core/pipeline.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -81,10 +82,15 @@ class JobControl final : public StageControl {
  public:
   JobControl(const std::atomic<bool>& cancel_requested,
              Clock::time_point deadline,
-             std::vector<const FaultPlan*> faults)
+             std::vector<const FaultPlan*> faults,
+             obs::Telemetry* telemetry, std::size_t executor,
+             std::uint64_t job_id)
       : cancel_requested_(cancel_requested),
         deadline_(deadline),
-        faults_(std::move(faults)) {}
+        faults_(std::move(faults)),
+        telemetry_(telemetry),
+        executor_(executor),
+        job_id_(job_id) {}
 
   void checkpoint(const StageSnapshot& snapshot) override {
     poll(snapshot.next);
@@ -92,6 +98,16 @@ class JobControl final : public StageControl {
 
   /// Service-level stages (Hardening) poll directly with the stage id.
   void poll(PipelineStage next) {
+    // Each checkpoint fires when the previous stage has just completed,
+    // so the watch spans exactly one stage. Telemetry is observe-only.
+    if (telemetry_ != nullptr && next != timed_stage_) {
+      telemetry_->on_stage_checkpoint(
+          executor_, job_id_, stage_name(timed_stage_),
+          static_cast<std::uint8_t>(timed_stage_),
+          stage_watch_.elapsed_millis());
+      stage_watch_.restart();
+      timed_stage_ = next;
+    }
     if (next != PipelineStage::Done) {
       last_stage_ = next;
     }
@@ -121,8 +137,54 @@ class JobControl final : public StageControl {
   const std::atomic<bool>& cancel_requested_;
   Clock::time_point deadline_;
   std::vector<const FaultPlan*> faults_;
+  obs::Telemetry* telemetry_;
+  std::size_t executor_;
+  std::uint64_t job_id_;
   PipelineStage last_stage_ = PipelineStage::Validation;
+  /// Stage currently being timed; the first poll (Hardening) matches it,
+  /// so the first emission covers Hardening, not construction overhead.
+  PipelineStage timed_stage_ = PipelineStage::Hardening;
+  Stopwatch stage_watch_;
 };
+
+/// Names for the config echo of a postmortem.
+const char* search_method_name(RankSearchMethod method) {
+  switch (method) {
+    case RankSearchMethod::Saps:
+      return "saps";
+    case RankSearchMethod::Taps:
+      return "taps";
+    case RankSearchMethod::HeldKarp:
+      return "held_karp";
+  }
+  return "unknown";
+}
+
+/// The spans recorded under `root` (inclusive), re-parented so `root`
+/// becomes the subtree's own root. Works on a snapshot: a span belongs to
+/// the subtree iff its parent does, and parents always precede children.
+std::vector<trace::SpanRecord> span_subtree(
+    std::vector<trace::SpanRecord> spans, std::size_t root) {
+  std::vector<trace::SpanRecord> out;
+  if (root >= spans.size()) {
+    return out;
+  }
+  constexpr std::size_t kUnmapped = trace::SpanRecord::kNoParent;
+  std::vector<std::size_t> remap(spans.size(), kUnmapped);
+  remap[root] = 0;
+  out.push_back(std::move(spans[root]));
+  out.front().parent = trace::SpanRecord::kNoParent;
+  for (std::size_t i = root + 1; i < spans.size(); ++i) {
+    const std::size_t p = spans[i].parent;
+    if (p == trace::SpanRecord::kNoParent || remap[p] == kUnmapped) {
+      continue;
+    }
+    spans[i].parent = remap[p];
+    remap[i] = out.size();
+    out.push_back(std::move(spans[i]));
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -180,6 +242,9 @@ struct RankingService::Impl {
           .counter(std::string("service.outcome.") + outcome_name(outcome))
           .add(1);
     }
+    if (config.telemetry != nullptr) {
+      config.telemetry->on_outcome(outcome_name(outcome));
+    }
   }
 
   void gauge_queue_depth() {
@@ -188,6 +253,9 @@ struct RankingService::Impl {
     if (config.trace != nullptr) {
       config.trace->metrics().gauge("service.queue_depth").set(
           static_cast<double>(queue.size()));
+    }
+    if (config.telemetry != nullptr) {
+      config.telemetry->on_queue_depth(queue.size());
     }
   }
 
@@ -203,10 +271,14 @@ struct RankingService::Impl {
     ticket.result.reason = std::move(reason);
     ticket.state = Ticket::State::Done;
     count_outcome(outcome);
+    if (config.telemetry != nullptr) {
+      config.telemetry->on_job_settled(ticket.id, outcome_name(outcome),
+                                       static_cast<std::uint8_t>(outcome));
+    }
     job_done.notify_all();
   }
 
-  void executor_loop() {
+  void executor_loop(std::size_t executor) {
     // Kernel-level parallel regions of this job run inline on this
     // thread: jobs are the unit of parallelism, so N executors never
     // serialize on the global pool's region lock.
@@ -228,7 +300,7 @@ struct RankingService::Impl {
       }
       ticket->state = Ticket::State::Running;
       lock.unlock();
-      run_job(*ticket);
+      run_job(*ticket, executor);
       lock.lock();
       ticket->state = Ticket::State::Done;
       count_outcome(ticket->result.outcome);
@@ -236,13 +308,18 @@ struct RankingService::Impl {
     }
   }
 
-  void run_job(Ticket& ticket) {
+  void run_job(Ticket& ticket, std::size_t executor) {
     JobResult& r = ticket.result;
     r.id = ticket.id;
     const Stopwatch run_watch;
     r.queue_ms = std::chrono::duration<double, std::milli>(
                      Clock::now() - ticket.submit_time)
                      .count();
+
+    obs::Telemetry* telemetry = config.telemetry;
+    if (telemetry != nullptr) {
+      telemetry->on_job_started(executor, ticket.id, r.queue_ms);
+    }
 
     trace::TraceSink* sink = config.trace;
     const std::size_t span =
@@ -266,7 +343,7 @@ struct RankingService::Impl {
     }
 
     JobControl control(ticket.cancel_requested, ticket.deadline_point,
-                       faults);
+                       faults, telemetry, executor, ticket.id);
     try {
       // Service stage: input hardening (plus injected vote mutations).
       control.poll(PipelineStage::Hardening);
@@ -277,6 +354,12 @@ struct RankingService::Impl {
       const HardenedBatch batch = harden_votes(
           votes, ticket.job.object_count, config.hardening, &r.hardening);
       r.ranking.excluded = r.hardening.excluded_objects;
+      if (telemetry != nullptr && r.hardening.repaired()) {
+        telemetry->on_hardening(
+            executor, ticket.id,
+            static_cast<std::uint64_t>(r.hardening.input_votes -
+                                       r.hardening.retained_votes));
+      }
       if (!batch.usable()) {
         throw JobInterrupt{
             JobOutcome::Failed, PipelineStage::Hardening,
@@ -341,10 +424,83 @@ struct RankingService::Impl {
     if (sink != nullptr) {
       sink->span_attr(span, "outcome", std::string(outcome_name(r.outcome)));
       sink->span_attr(span, "stage", std::string(stage_name(r.stage)));
+      // Stamp the whole subtree (engine spans included) with the job
+      // identity so interleaved executor timelines stay attributable.
+      sink->annotate_descendants(span, "job",
+                                 static_cast<std::int64_t>(ticket.id));
+      sink->annotate_descendants(span, "outcome",
+                                 std::string(outcome_name(r.outcome)));
       sink->metrics().histogram("service.job_ms").observe(r.run_ms);
       sink->metrics().histogram("service.queue_ms").observe(r.queue_ms);
       sink->close_span(span);
     }
+    if (telemetry != nullptr) {
+      telemetry->on_job_finished(executor, ticket.id,
+                                 outcome_name(r.outcome),
+                                 static_cast<std::uint8_t>(r.outcome),
+                                 r.queue_ms, r.run_ms);
+      if (r.outcome == JobOutcome::Failed ||
+          r.outcome == JobOutcome::TimedOut ||
+          r.outcome == JobOutcome::Degraded) {
+        telemetry->write_postmortem(
+            build_postmortem(ticket, executor, sink, span));
+      }
+    }
+  }
+
+  /// Everything known about a just-finished bad job, gathered for the
+  /// postmortem file: terminal state, config echo, hardening accounting,
+  /// the job's span subtree, and the executor's flight-recorder window.
+  obs::Postmortem build_postmortem(const Ticket& ticket,
+                                   std::size_t executor,
+                                   const trace::TraceSink* sink,
+                                   std::size_t span) const {
+    const JobResult& r = ticket.result;
+    obs::Postmortem postmortem;
+    postmortem.job_id = ticket.id;
+    postmortem.executor = executor;
+    postmortem.outcome = outcome_name(r.outcome);
+    postmortem.stage = stage_name(r.stage);
+    postmortem.reason = r.reason;
+    postmortem.t_us = config.telemetry->now_us();
+
+    const RankingJob& job = ticket.job;
+    postmortem.config_echo = {
+        {"seed", static_cast<std::int64_t>(job.seed)},
+        {"object_count", static_cast<std::int64_t>(job.object_count)},
+        {"worker_count", static_cast<std::int64_t>(job.worker_count)},
+        {"votes", static_cast<std::int64_t>(job.votes.size())},
+        {"search", std::string(search_method_name(job.inference.search))},
+        {"check_invariants",
+         job.inference.check_invariants || config.check_invariants},
+        {"deadline_ms", static_cast<std::int64_t>(job.deadline.count())},
+    };
+
+    const HardeningReport& h = r.hardening;
+    postmortem.hardening = {
+        {"input_votes", static_cast<std::int64_t>(h.input_votes)},
+        {"retained_votes", static_cast<std::int64_t>(h.retained_votes)},
+        {"dropped_out_of_range",
+         static_cast<std::int64_t>(h.dropped_out_of_range)},
+        {"dropped_self", static_cast<std::int64_t>(h.dropped_self)},
+        {"dropped_duplicate",
+         static_cast<std::int64_t>(h.dropped_duplicate)},
+        {"dropped_conflicting",
+         static_cast<std::int64_t>(h.dropped_conflicting)},
+        {"dropped_disconnected",
+         static_cast<std::int64_t>(h.dropped_disconnected)},
+        {"component_count", static_cast<std::int64_t>(h.component_count)},
+        {"excluded_objects",
+         static_cast<std::int64_t>(h.excluded_objects.size())},
+    };
+
+    if (sink != nullptr) {
+      postmortem.spans = span_subtree(sink->spans(), span);
+    }
+    obs::RingSnapshot window =
+        config.telemetry->recorder().snapshot(executor + 1);
+    postmortem.events = std::move(window.events);
+    return postmortem;
   }
 };
 
@@ -357,8 +513,8 @@ RankingService::RankingService(ServiceConfig config)
   impl_->config = std::move(config);
   impl_->executors.reserve(impl_->config.worker_count);
   for (std::size_t i = 0; i < impl_->config.worker_count; ++i) {
-    impl_->executors.emplace_back([impl = impl_.get()] {
-      impl->executor_loop();
+    impl_->executors.emplace_back([impl = impl_.get(), i] {
+      impl->executor_loop(i);
     });
   }
 }
@@ -436,11 +592,19 @@ std::uint64_t RankingService::submit(RankingJob job) {
     if (impl_->config.trace != nullptr) {
       impl_->config.trace->metrics().counter("service.shed").add(1);
     }
+    if (impl_->config.telemetry != nullptr) {
+      impl_->config.telemetry->on_job_shed(oldest->id,
+                                           impl_->queue.size());
+    }
     impl_->settle(*oldest, JobOutcome::Rejected, PipelineStage::Validation,
                   "shed: queue full and policy is ShedOldest");
   }
   impl_->queue.push_back(ticket);
   impl_->gauge_queue_depth();
+  if (impl_->config.telemetry != nullptr) {
+    impl_->config.telemetry->on_job_accepted(ticket->id,
+                                             impl_->queue.size());
+  }
   impl_->work_ready.notify_one();
   return ticket->id;
 }

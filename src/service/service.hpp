@@ -43,6 +43,10 @@ namespace crowdrank::trace {
 class TraceSink;
 }  // namespace crowdrank::trace
 
+namespace crowdrank::obs {
+class Telemetry;
+}  // namespace crowdrank::obs
+
 namespace crowdrank::service {
 
 /// What to do with a submission that finds the queue full.
@@ -69,6 +73,12 @@ struct ServiceConfig {
   /// never installs it as the process-global sink — callers wanting the
   /// engine's internal spans too wrap the run in a trace::ScopedSink.
   trace::TraceSink* trace = nullptr;
+  /// Optional live telemetry plane (src/obs): flight-recorder events,
+  /// stage/latency metrics, periodic snapshots, and per-job postmortems
+  /// for every Failed / TimedOut / Degraded job. Purely observational —
+  /// rankings are bitwise-identical with telemetry on or off. Must
+  /// outlive the service; construct with `executor_count == worker_count`.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Aggregate counters, readable at any time.

@@ -31,9 +31,12 @@ void Logger::write(LogLevel level, const std::string& message) {
       return;
   }
   // One lock per line: concurrent lanes may log freely without tearing a
-  // line apart or interleaving partial messages.
+  // line apart or interleaving partial messages. This is the single
+  // sanctioned raw-stderr write in src/ — everything else routes through
+  // the logger so log level and formatting stay centralized.
   std::lock_guard<std::mutex> lock(write_mutex_);
-  std::cerr << '[' << prefix << "] " << message << '\n';
+  std::cerr << '[' << prefix  // lint:allow(stderr-outside-logger)
+            << "] " << message << '\n';
 }
 
 namespace detail {

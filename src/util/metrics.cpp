@@ -84,6 +84,35 @@ double Histogram::bucket_upper_bound(std::size_t b) {
   return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
 }
 
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then the bucket holding it.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    const std::uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside bucket b, whose nominal range is
+      // (upper/2, upper] for b >= 1 and [0, 1] for b = 0.
+      const double upper = bucket_upper_bound(b);
+      const double lower = b == 0 ? 0.0 : upper * 0.5;
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      const double estimate = lower + within * (upper - lower);
+      return std::min(max, std::max(min, estimate));
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 void Series::push(double t_us, double x, double y) {
   std::lock_guard<std::mutex> lock(mutex_);
   points_.push_back(Point{t_us, x, y});

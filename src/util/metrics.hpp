@@ -99,7 +99,17 @@ class Histogram {
     double min = 0.0;  ///< 0 when count == 0
     double max = 0.0;
     std::array<std::uint64_t, kBucketCount> buckets{};
+
+    /// Quantile estimate from the bucket counts (q in [0, 1]): locates
+    /// the bucket holding the q-th observation and interpolates linearly
+    /// inside it, clamped to the observed [min, max]. This is the one
+    /// percentile formula shared by the benches, the telemetry snapshot
+    /// exporter, and `crowdrank top`, so every surface reports latency
+    /// identically. Returns 0 when the histogram is empty.
+    double quantile(double q) const noexcept;
   };
+  /// Readable at any time without resetting: observation continues
+  /// concurrently and later snapshots only grow.
   Snapshot snapshot() const noexcept;
 
   /// Upper bound of bucket b (inclusive): 2^b for b >= 1, 1.0 for b = 0.

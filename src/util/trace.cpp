@@ -81,6 +81,23 @@ void TraceSink::span_attr(std::size_t index, const char* key,
   }
 }
 
+void TraceSink::annotate_descendants(std::size_t root, const char* key,
+                                     AttrValue value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A parent always has a smaller index than its children (it opened
+  // first), so only spans after `root` can descend from it, and a parent
+  // chain can be walked downward until it passes `root`.
+  for (std::size_t i = root + 1; i < spans_.size(); ++i) {
+    std::size_t p = spans_[i].parent;
+    while (p != SpanRecord::kNoParent && p > root) {
+      p = spans_[p].parent;
+    }
+    if (p == root) {
+      spans_[i].attrs.emplace_back(key, value);
+    }
+  }
+}
+
 Span::Span(const char* name) : sink_(trace::sink()) {
   if (sink_ != nullptr) {
     index_ = sink_->open_span(name);

@@ -83,6 +83,14 @@ class TraceSink {
   /// Chrome trace-event JSON (complete events + counter tracks).
   void write_chrome_trace(std::ostream& os) const;
 
+  /// Appends `key = value` to every span recorded under `root` (walking
+  /// parent chains; `root` itself is not annotated). Lets a scheduler
+  /// stamp a whole subtree with its work-item identity after the fact —
+  /// the service tags each job's spans with the job id and outcome so
+  /// Chrome traces stay per-job attributable when executors interleave.
+  void annotate_descendants(std::size_t root, const char* key,
+                            AttrValue value);
+
   // -- span bookkeeping (used by Span; not for direct calls) --
   std::size_t open_span(const char* name);
   void close_span(std::size_t index);

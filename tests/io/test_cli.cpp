@@ -403,5 +403,65 @@ TEST(Cli, ServeIsDeterministicAcrossServiceWorkerCounts) {
   EXPECT_EQ(results_text("1"), results_text("3"));
 }
 
+TEST(Cli, ServeTelemetryWritesArtifactsAndTopRendersThem) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "15", "--selection-ratio",
+                 "0.5", "--seed", "5", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+  {
+    std::ofstream jobs(dir.file("jobs.jsonl"));
+    jobs << "{\"id\": 1, \"votes\": \"" << dir.file("votes.csv")
+         << "\", \"seed\": 2}\n";
+    jobs << "{\"id\": 2, \"votes\": \"" << dir.file("votes.csv")
+         << "\", \"seed\": 3, \"fail_before\": \"rank_search\", "
+            "\"fail_reason\": \"drill\"}\n";
+  }
+  // One injected failure: serve exits 2, and the telemetry plane must
+  // leave all three artifact kinds behind.
+  EXPECT_EQ(run({"serve", "--jobs", dir.file("jobs.jsonl"),
+                 "--service-workers", "2", "--telemetry",
+                 dir.file("telemetry"), "--telemetry-period-ms", "50"},
+                &out),
+            2);
+  EXPECT_NE(out.find("wrote telemetry to"), std::string::npos);
+  const fs::path telemetry = dir.path / "telemetry";
+  EXPECT_TRUE(fs::exists(telemetry / "telemetry.jsonl"));
+  EXPECT_TRUE(fs::exists(telemetry / "metrics.prom"));
+  EXPECT_TRUE(
+      fs::exists(telemetry / "postmortems" / "job_2_failed.json"));
+
+  // `top` renders the stream one-shot from the directory or the file.
+  std::string top_out;
+  EXPECT_EQ(run({"top", "--telemetry", dir.file("telemetry")}, &top_out),
+            0);
+  EXPECT_NE(top_out.find("jobs/s"), std::string::npos);
+  EXPECT_NE(top_out.find("outcomes:"), std::string::npos);
+  EXPECT_NE(top_out.find("failed 1"), std::string::npos);
+  EXPECT_NE(top_out.find("hardening"), std::string::npos);
+  std::string from_file;
+  EXPECT_EQ(run({"top", "--telemetry",
+                 (telemetry / "telemetry.jsonl").string()},
+                &from_file),
+            0);
+  EXPECT_EQ(from_file, top_out);
+}
+
+TEST(Cli, TopReportsMissingAndEmptyTelemetry) {
+  const TempDir dir;
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"top", "--telemetry", dir.file("nope")}, &out, &err), 1);
+  EXPECT_NE(err.find("cannot open telemetry file"), std::string::npos);
+  {
+    std::ofstream empty(dir.file("empty.jsonl"));
+  }
+  EXPECT_EQ(run({"top", "--telemetry", dir.file("empty.jsonl")}, &out,
+                &err),
+            2);
+}
+
 }  // namespace
 }  // namespace crowdrank::io

@@ -72,6 +72,34 @@ TEST(JobRecord, FormatParseRoundTrip) {
   EXPECT_EQ(parsed[0].deadline_ms, record.deadline_ms);
 }
 
+TEST(JobRecord, FaultInjectionFieldsParseValidateAndRoundTrip) {
+  const auto records = parse_job_records(
+      "{\"votes\": \"a.csv\", \"fail_before\": \"rank_search\", "
+      "\"fail_reason\": \"drill\"}\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].fail_before, "rank_search");
+  EXPECT_EQ(records[0].fail_reason, "drill");
+
+  // Unknown stage names fail loudly with the line number.
+  try {
+    parse_job_records("{\"votes\": \"a.csv\", \"fail_before\": \"bogus\"}\n");
+    FAIL() << "expected Error for unknown stage";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown stage"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+
+  JobRecord record;
+  record.votes_path = "a.csv";
+  record.fail_before = "smoothing";
+  record.fail_reason = "game day";
+  const auto parsed = parse_job_records(format_job_record(record) + "\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].fail_before, record.fail_before);
+  EXPECT_EQ(parsed[0].fail_reason, record.fail_reason);
+}
+
 TEST(JobRecord, FormatsStructuredResults) {
   service::JobResult result;
   result.id = 4;

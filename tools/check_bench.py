@@ -10,8 +10,9 @@ that report into a CI gate:
     may not regress past `--tolerance` (default 3.0x — wide enough to
     absorb runner-to-runner variance, tight enough to catch a kernel
     silently falling off its fast path);
-  * correctness booleans (`identical`, `rankings_match`) must be true,
-    exactly as the baseline recorded them;
+  * correctness booleans (`identical`, `rankings_match`,
+    `telemetry_overhead_ok`) must be true, exactly as the baseline
+    recorded them;
   * deterministic integers (`densify_step`, `horizon`, `n`) must match
     exactly — a changed densify step means the sparse-first propagation
     switched representation at a different point than the baseline pinned;
@@ -45,7 +46,7 @@ import sys
 # current > baseline * tolerance + NOISE_FLOOR_MS.
 NOISE_FLOOR_MS = 0.5
 
-BOOLEAN_KEYS = {"identical", "rankings_match"}
+BOOLEAN_KEYS = {"identical", "rankings_match", "telemetry_overhead_ok"}
 EXACT_INT_KEYS = {"densify_step", "horizon", "n"}
 ACCURACY_TOLERANCE = 0.05
 

@@ -18,6 +18,12 @@ quietly break that promise, so this script bans them in src/:
                     util/trace.*) are allowlisted; results must not be.
   raw-new           raw new/delete expressions — own memory with
                     containers or smart pointers ('= delete' is fine).
+  stderr-outside-logger
+                    writing std::cerr / fprintf(stderr, ...) directly —
+                    diagnostics in src/ go through util/logging.hpp so
+                    level filtering and line-atomic output hold
+                    everywhere; the logger's own sink
+                    (src/util/logging.cpp) carries the one lint:allow.
 
 One rule is scoped to a single file rather than all of src/:
 
@@ -88,6 +94,9 @@ RULES = {
     ),
     "raw-new": re.compile(
         r"\bnew\s+[A-Za-z_:(]|\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]"
+    ),
+    "stderr-outside-logger": re.compile(
+        r"\bstd::cerr\b|\bfprintf\s*\(\s*stderr\b"
     ),
 }
 
