@@ -1,0 +1,65 @@
+# Clang Thread Safety Analysis wiring for the `thread-safety` preset.
+#
+# When CROWDRANK_THREAD_SAFETY is ON this module
+#  1. verifies the compiler is clang (the analysis is a clang frontend
+#     feature; the CR_ macros are no-ops everywhere else, so a GCC "build
+#     with analysis" would silently check nothing — fail loudly instead),
+#  2. adds -Wthread-safety -Werror=thread-safety-analysis to every target,
+#  3. runs a two-sided try_compile self-check at configure time: a
+#     correctly locked access must compile (positive control) and an
+#     unguarded access to a CR_GUARDED_BY field must NOT (negative
+#     control). A gate that cannot fail is no gate; this proves the flags
+#     reach the compiler and the annotations are live.
+
+if(NOT CROWDRANK_THREAD_SAFETY)
+  return()
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+    "CROWDRANK_THREAD_SAFETY=ON requires clang (got "
+    "'${CMAKE_CXX_COMPILER_ID}'): thread safety analysis is a clang "
+    "frontend feature and the CR_ annotation macros expand to nothing on "
+    "other compilers. Configure with CXX=clang++ or use the "
+    "'thread-safety' preset.")
+endif()
+
+set(CROWDRANK_TSA_FLAGS -Wthread-safety -Werror=thread-safety-analysis)
+add_compile_options(${CROWDRANK_TSA_FLAGS})
+
+function(_crowdrank_tsa_try_compile out_var source)
+  try_compile(${out_var}
+    ${CMAKE_BINARY_DIR}/tsa_check
+    ${source}
+    COMPILE_DEFINITIONS "-I${CMAKE_SOURCE_DIR}/src"
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _tsa_output
+    CMAKE_FLAGS "-DCMAKE_CXX_FLAGS=-Wthread-safety -Werror=thread-safety-analysis")
+  set(${out_var} ${${out_var}} PARENT_SCOPE)
+  set(_crowdrank_tsa_output "${_tsa_output}" PARENT_SCOPE)
+endfunction()
+
+_crowdrank_tsa_try_compile(CROWDRANK_TSA_POSITIVE
+  ${CMAKE_SOURCE_DIR}/cmake/tsa_check_positive.cpp)
+if(NOT CROWDRANK_TSA_POSITIVE)
+  message(FATAL_ERROR
+    "thread-safety gate self-check: the positive control (a correctly "
+    "locked access to a guarded field) failed to compile, so the gate "
+    "cannot distinguish real violations from toolchain breakage:\n"
+    "${_crowdrank_tsa_output}")
+endif()
+
+_crowdrank_tsa_try_compile(CROWDRANK_TSA_NEGATIVE
+  ${CMAKE_SOURCE_DIR}/cmake/tsa_check_negative.cpp)
+if(CROWDRANK_TSA_NEGATIVE)
+  message(FATAL_ERROR
+    "thread-safety gate self-check: an unguarded access to a "
+    "CR_GUARDED_BY field compiled cleanly under "
+    "-Werror=thread-safety-analysis. The analysis flags are not reaching "
+    "the compiler; refusing to configure a gate that cannot fail.")
+endif()
+
+message(STATUS
+  "Thread safety analysis enabled (-Wthread-safety, violations are "
+  "errors); negative-compile self-check passed")

@@ -1,0 +1,29 @@
+// Negative control for the thread-safety gate (cmake/ThreadSafety.cmake):
+// an unguarded write to a CR_GUARDED_BY field. Under clang with
+// -Werror=thread-safety-analysis this TU MUST fail to compile; the
+// configure step verifies the failure and aborts if the write is accepted,
+// proving the preset actually enforces the annotations rather than
+// silently no-op'ing them.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void bump_unlocked() {
+    ++value_;  // BAD: guarded field touched without holding mu_
+  }
+
+ private:
+  crowdrank::Mutex mu_;
+  int value_ CR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.bump_unlocked();
+  return 0;
+}

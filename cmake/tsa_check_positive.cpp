@@ -1,0 +1,29 @@
+// Positive control for the thread-safety gate (cmake/ThreadSafety.cmake):
+// a correctly locked access to a CR_GUARDED_BY field. This TU must compile
+// under -Werror=thread-safety-analysis; if it does not, the toolchain (not
+// the annotations) is broken and the configure step says so instead of
+// reporting a bogus negative-check success.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void bump() {
+    crowdrank::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  crowdrank::Mutex mu_;
+  int value_ CR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.bump();
+  return 0;
+}

@@ -53,18 +53,21 @@ void FlightRecorder::record(std::size_t ring_index, Event e) {
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
   Slot& slot = ring.slots[head % capacity_];
 
-  // Seqlock writer: odd version marks the write window. The release fence
-  // orders the version bump before the payload stores for any reader that
-  // acquires the version; the closing store publishes the payload.
+  // Seqlock writer: odd version marks the write window. Fence-free
+  // variant (Boehm §4): each payload store is a release, which orders the
+  // version bump before it for any reader that acquires that slot word —
+  // same x86 codegen as the relaxed-stores-behind-a-fence form, but TSan
+  // can model it (GCC rejects atomic_thread_fence outright under
+  // -fsanitize=thread, -Werror=tsan). The closing release store publishes
+  // the whole window.
   const std::uint64_t v = ring.version.load(std::memory_order_relaxed);
   ring.version.store(v + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-  slot.t_us.store(e.t_us, std::memory_order_relaxed);
-  slot.job_id.store(e.job_id, std::memory_order_relaxed);
+  slot.t_us.store(e.t_us, std::memory_order_release);
+  slot.job_id.store(e.job_id, std::memory_order_release);
   slot.kind_code.store(
       (static_cast<std::uint32_t>(e.kind) << 8) | e.code,
-      std::memory_order_relaxed);
-  slot.value.store(e.value, std::memory_order_relaxed);
+      std::memory_order_release);
+  slot.value.store(e.value, std::memory_order_release);
   ring.head.store(head + 1, std::memory_order_relaxed);
   ring.version.store(v + 2, std::memory_order_release);
 }
@@ -83,15 +86,17 @@ RingSnapshot FlightRecorder::snapshot(std::size_t ring_index) const {
       head = ring.head.load(std::memory_order_relaxed);
       for (std::size_t i = 0; i < capacity_; ++i) {
         const Slot& slot = ring.slots[i];
+        // Acquire loads mirror the writer's release stores: they keep the
+        // version re-check below ordered after every payload read (the
+        // fence-free dual of the acquire fence the fence form would use).
         const std::uint32_t kc =
-            slot.kind_code.load(std::memory_order_relaxed);
-        raw[i].t_us = slot.t_us.load(std::memory_order_relaxed);
-        raw[i].job_id = slot.job_id.load(std::memory_order_relaxed);
+            slot.kind_code.load(std::memory_order_acquire);
+        raw[i].t_us = slot.t_us.load(std::memory_order_acquire);
+        raw[i].job_id = slot.job_id.load(std::memory_order_acquire);
         raw[i].kind = static_cast<EventKind>(kc >> 8);
         raw[i].code = static_cast<std::uint8_t>(kc & 0xff);
-        raw[i].value = slot.value.load(std::memory_order_relaxed);
+        raw[i].value = slot.value.load(std::memory_order_acquire);
       }
-      std::atomic_thread_fence(std::memory_order_acquire);
       if (ring.version.load(std::memory_order_relaxed) == v1) {
         break;
       }

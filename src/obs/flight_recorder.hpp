@@ -6,8 +6,9 @@
 // moment by the telemetry exporter without stopping the executors. Each
 // ring belongs to exactly one writer thread (executor i writes ring i+1;
 // ring 0 is the control ring for submit-side events, serialized by the
-// service mutex), so a write is a handful of relaxed atomic stores plus a
-// per-ring seqlock version bump — no locks, no allocation, O(1) always.
+// service mutex), so a write is a handful of plain-codegen atomic stores
+// plus a per-ring seqlock version bump — no locks, no allocation, O(1)
+// always.
 //
 // Snapshots are lossless: the reader copies a ring under the seqlock
 // protocol (Boehm, "Can seqlocks get along with programming language
@@ -91,6 +92,21 @@ class FlightRecorder {
   // than plain fields so a concurrent snapshot is a data-race-free stale
   // read, never undefined behavior; `version` is odd while a write is in
   // flight and the reader retries until it brackets a quiet copy.
+  //
+  // TSA escape (sanctioned): this is the one lock-free protocol in src/
+  // that the thread-safety preset cannot model — there is no capability to
+  // acquire, so the slots carry no CR_GUARDED_BY / CR_PT_GUARDED_BY. The
+  // correctness argument lives in the memory_order arguments in the .cpp,
+  // using the fence-free form from Boehm's seqlock paper: the writer does
+  // a relaxed version bump, then *release* payload stores, then a release
+  // version close; the reader does an acquire version read, *acquire*
+  // payload loads, then a relaxed version re-check. The acquire/release
+  // pairs on the payload words stand in for the fences the classic form
+  // uses (identical codegen on x86) — fences were rejected here because
+  // GCC's -fsanitize=thread cannot instrument atomic_thread_fence
+  // (-Werror=tsan) and would leave the protocol invisible to the race
+  // detector. The runtime witness is the torn-read stress in
+  // tests/obs/test_flight_recorder.cpp, which runs under the tsan preset.
   struct Slot {
     std::atomic<double> t_us{0.0};
     std::atomic<std::uint64_t> job_id{0};

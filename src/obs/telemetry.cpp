@@ -40,7 +40,7 @@ Telemetry::Telemetry(TelemetryConfig config, std::size_t executor_count)
 
 Telemetry::~Telemetry() {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     stopping_ = true;
   }
   stop_cv_.notify_all();
@@ -53,9 +53,20 @@ Telemetry::~Telemetry() {
 }
 
 void Telemetry::exporter_loop() {
-  std::unique_lock<std::mutex> lock(stop_mutex_);
+  MutexLock lock(stop_mutex_);
   while (!stopping_) {
-    if (stop_cv_.wait_for(lock, config_.period, [this] { return stopping_; })) {
+    // One deadline per snapshot period; the explicit re-check loop keeps
+    // the guarded stopping_ read inside the analyzed locked region (a wait
+    // predicate lambda would hide it from TSA) while still absorbing
+    // spurious wakeups without shortening the period.
+    const auto deadline = std::chrono::steady_clock::now() + config_.period;
+    while (!stopping_) {
+      if (stop_cv_.wait_until(stop_mutex_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (stopping_) {
       return;  // destructor flushes the final snapshot
     }
     lock.unlock();
@@ -154,7 +165,7 @@ void Telemetry::on_outcome(const char* outcome) {
 }
 
 void Telemetry::write_postmortem(const Postmortem& postmortem) {
-  std::lock_guard<std::mutex> lock(postmortem_mutex_);
+  MutexLock lock(postmortem_mutex_);
   if (postmortems_written_ >= config_.max_postmortems) {
     registry_.counter("service.postmortem.skipped").increment();
     return;
@@ -236,17 +247,17 @@ void Telemetry::write_outputs(const TelemetrySnapshot& snapshot) {
 }
 
 void Telemetry::flush_snapshot() {
-  std::lock_guard<std::mutex> lock(export_mutex_);
+  MutexLock lock(export_mutex_);
   write_outputs(build_snapshot());
 }
 
 std::uint64_t Telemetry::snapshots_written() const {
-  std::lock_guard<std::mutex> lock(export_mutex_);
+  MutexLock lock(export_mutex_);
   return seq_;
 }
 
 std::size_t Telemetry::postmortems_written() const {
-  std::lock_guard<std::mutex> lock(postmortem_mutex_);
+  MutexLock lock(postmortem_mutex_);
   return postmortems_written_;
 }
 

@@ -25,16 +25,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crowdrank::obs {
 
@@ -112,38 +112,43 @@ class Telemetry {
 
   /// Writes `<dir>/postmortems/job_<id>_<outcome>.json` unless the cap
   /// has been reached. Thread-safe; called by executors.
-  void write_postmortem(const Postmortem& postmortem);
+  void write_postmortem(const Postmortem& postmortem)
+      CR_EXCLUDES(postmortem_mutex_);
 
   /// Builds and writes one snapshot immediately (same path the periodic
   /// exporter takes). Used by the destructor and by tests that cannot
   /// wait out a period.
-  void flush_snapshot();
+  void flush_snapshot() CR_EXCLUDES(export_mutex_);
 
-  std::uint64_t snapshots_written() const;
-  std::size_t postmortems_written() const;
+  std::uint64_t snapshots_written() const CR_EXCLUDES(export_mutex_);
+  std::size_t postmortems_written() const CR_EXCLUDES(postmortem_mutex_);
 
  private:
-  void exporter_loop();
-  TelemetrySnapshot build_snapshot();
+  void exporter_loop() CR_EXCLUDES(stop_mutex_, export_mutex_);
+  TelemetrySnapshot build_snapshot() CR_REQUIRES(export_mutex_);
   /// Appends the JSONL line and atomically replaces metrics.prom.
-  void write_outputs(const TelemetrySnapshot& snapshot);
+  void write_outputs(const TelemetrySnapshot& snapshot)
+      CR_REQUIRES(export_mutex_);
 
   TelemetryConfig config_;
   metrics::Registry registry_;
   FlightRecorder recorder_;
 
-  mutable std::mutex export_mutex_;  ///< snapshot building + file I/O
-  std::ofstream jsonl_;
-  std::uint64_t seq_ = 0;
-  double last_snapshot_us_ = 0.0;
-  std::uint64_t last_finished_ = 0;
+  /// Snapshot building + file I/O: one exporter pass (build + write) is
+  /// a single critical section so snapshots stay sequenced and the output
+  /// streams are never interleaved.
+  mutable Mutex export_mutex_;
+  std::ofstream jsonl_ CR_GUARDED_BY(export_mutex_);
+  std::uint64_t seq_ CR_GUARDED_BY(export_mutex_) = 0;
+  double last_snapshot_us_ CR_GUARDED_BY(export_mutex_) = 0.0;
+  std::uint64_t last_finished_ CR_GUARDED_BY(export_mutex_) = 0;
 
-  mutable std::mutex postmortem_mutex_;
-  std::size_t postmortems_written_ = 0;
+  mutable Mutex postmortem_mutex_;
+  std::size_t postmortems_written_ CR_GUARDED_BY(postmortem_mutex_) = 0;
 
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  Mutex stop_mutex_;
+  CondVar stop_cv_;
+  bool stopping_ CR_GUARDED_BY(stop_mutex_) = false;
   std::thread exporter_;
 };
 

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -13,8 +11,10 @@
 #include "core/pipeline.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -190,6 +190,14 @@ std::vector<trace::SpanRecord> span_subtree(
 
 struct RankingService::Impl {
   struct Ticket {
+    // Ownership protocol (why these fields carry no CR_GUARDED_BY): a
+    // ticket's mutable fields (job, result, submit_time, deadline_point)
+    // are written by the submit path under Impl::mutex while Queued, then
+    // owned exclusively by one executor while Running (the state
+    // transitions themselves happen under the mutex, which publishes the
+    // handoff), and read-only once Done. `state` is only ever touched
+    // under the mutex; `cancel_requested` is the one field both sides
+    // touch concurrently and is atomic for exactly that reason.
     std::uint64_t id = 0;
     std::size_t index = 0;  ///< submission index (FaultPlan::only_job)
     RankingJob job;
@@ -202,21 +210,23 @@ struct RankingService::Impl {
 
   ServiceConfig config;
 
-  mutable std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable job_done;
-  std::deque<std::shared_ptr<Ticket>> queue;
-  std::map<std::uint64_t, std::shared_ptr<Ticket>> by_id;
-  std::vector<std::shared_ptr<Ticket>> all;
+  mutable Mutex mutex;
+  CondVar work_ready;
+  CondVar job_done;
+  std::deque<std::shared_ptr<Ticket>> queue CR_GUARDED_BY(mutex);
+  std::map<std::uint64_t, std::shared_ptr<Ticket>> by_id CR_GUARDED_BY(mutex);
+  std::vector<std::shared_ptr<Ticket>> all CR_GUARDED_BY(mutex);
+  // Written only by the constructor (before any executor exists) and
+  // joined by the destructor after the stop handshake; never touched in
+  // between, so it needs no guard (TSA does not analyze ctors/dtors).
   std::vector<std::thread> executors;
-  ServiceStats counters;
-  std::uint64_t next_id = 1;
-  bool stopping = false;
+  ServiceStats counters CR_GUARDED_BY(mutex);
+  std::uint64_t next_id CR_GUARDED_BY(mutex) = 1;
+  bool stopping CR_GUARDED_BY(mutex) = false;
 
   // -- metrics plumbing (no-ops when config.trace is null) ------------
 
-  void count_outcome(JobOutcome outcome) {
-    // Callers hold `mutex`.
+  void count_outcome(JobOutcome outcome) CR_REQUIRES(mutex) {
     switch (outcome) {
       case JobOutcome::Completed:
         ++counters.completed;
@@ -247,8 +257,7 @@ struct RankingService::Impl {
     }
   }
 
-  void gauge_queue_depth() {
-    // Callers hold `mutex`.
+  void gauge_queue_depth() CR_REQUIRES(mutex) {
     counters.queue_depth = queue.size();
     if (config.trace != nullptr) {
       config.trace->metrics().gauge("service.queue_depth").set(
@@ -261,10 +270,9 @@ struct RankingService::Impl {
 
   // -- lifecycle ------------------------------------------------------
 
+  // Used for jobs that never run (rejected, shed, cancelled while queued).
   void settle(Ticket& ticket, JobOutcome outcome, PipelineStage stage,
-              std::string reason) {
-    // Callers hold `mutex`. Used for jobs that never run (rejected,
-    // shed, cancelled while queued).
+              std::string reason) CR_REQUIRES(mutex) {
     ticket.result.id = ticket.id;
     ticket.result.outcome = outcome;
     ticket.result.stage = stage;
@@ -283,9 +291,11 @@ struct RankingService::Impl {
     // thread: jobs are the unit of parallelism, so N executors never
     // serialize on the global pool's region lock.
     InlineRegion inline_region;
-    std::unique_lock<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     while (true) {
-      work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+      while (!stopping && queue.empty()) {
+        work_ready.wait(mutex);
+      }
       if (queue.empty()) {
         if (stopping) {
           return;
@@ -521,7 +531,7 @@ RankingService::RankingService(ServiceConfig config)
 
 RankingService::~RankingService() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stopping = true;
     // Queued jobs settle as Cancelled; running jobs are asked to stop at
     // their next checkpoint.
@@ -554,7 +564,7 @@ std::uint64_t RankingService::submit(RankingJob job) {
   // a bad config is a Rejected outcome, not a mid-pipeline throw.
   const std::vector<ConfigError> errors = job.inference.validate();
 
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   auto ticket = std::make_shared<Impl::Ticket>();
   ticket->id = impl_->next_id++;
   ticket->index = impl_->counters.submitted++;
@@ -610,7 +620,7 @@ std::uint64_t RankingService::submit(RankingJob job) {
 }
 
 bool RankingService::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const auto it = impl_->by_id.find(id);
   if (it == impl_->by_id.end()) {
     return false;
@@ -632,33 +642,33 @@ bool RankingService::cancel(std::uint64_t id) {
 }
 
 JobResult RankingService::wait(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const auto it = impl_->by_id.find(id);
   CR_EXPECTS(it != impl_->by_id.end(), "unknown job id");
   const std::shared_ptr<Impl::Ticket> ticket = it->second;
-  impl_->job_done.wait(lock, [&] {
-    return ticket->state == Impl::Ticket::State::Done;
-  });
+  while (ticket->state != Impl::Ticket::State::Done) {
+    impl_->job_done.wait(impl_->mutex);
+  }
   return ticket->result;
 }
 
 std::vector<JobResult> RankingService::drain() {
-  std::unique_lock<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   // Snapshot now: jobs submitted while draining are not waited on.
   const std::vector<std::shared_ptr<Impl::Ticket>> tickets = impl_->all;
   std::vector<JobResult> results;
   results.reserve(tickets.size());
   for (const auto& ticket : tickets) {
-    impl_->job_done.wait(lock, [&] {
-      return ticket->state == Impl::Ticket::State::Done;
-    });
+    while (ticket->state != Impl::Ticket::State::Done) {
+      impl_->job_done.wait(impl_->mutex);
+    }
     results.push_back(ticket->result);
   }
   return results;
 }
 
 ServiceStats RankingService::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->counters;
 }
 

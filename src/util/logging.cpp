@@ -34,7 +34,7 @@ void Logger::write(LogLevel level, const std::string& message) {
   // line apart or interleaving partial messages. This is the single
   // sanctioned raw-stderr write in src/ — everything else routes through
   // the logger so log level and formatting stay centralized.
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(write_mutex_);
   std::cerr << '[' << prefix  // lint:allow(stderr-outside-logger)
             << "] " << message << '\n';
 }

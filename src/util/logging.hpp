@@ -9,9 +9,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crowdrank {
 
@@ -33,11 +35,16 @@ class Logger {
 
   /// Writes one line with a level prefix to stderr. Mutex-guarded: the
   /// whole line is emitted atomically with respect to other write() calls.
-  void write(LogLevel level, const std::string& message);
+  /// Must not be called with the write mutex already held (re-entrant
+  /// logging from inside the sink would self-deadlock).
+  void write(LogLevel level, const std::string& message)
+      CR_EXCLUDES(write_mutex_);
 
  private:
   Logger() = default;
-  std::mutex write_mutex_;
+  /// Serializes the stderr sink; no data member is guarded (the stream is
+  /// process-global), the capability only scopes the line-atomic write.
+  Mutex write_mutex_;
   std::atomic<LogLevel> level_{LogLevel::Warn};
 };
 

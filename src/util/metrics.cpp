@@ -114,26 +114,28 @@ double Histogram::Snapshot::quantile(double q) const noexcept {
 }
 
 void Series::push(double t_us, double x, double y) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   points_.push_back(Point{t_us, x, y});
 }
 
 std::vector<Series::Point> Series::points() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return points_;
 }
 
 std::size_t Series::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return points_.size();
 }
 
 namespace {
 
-/// Shared lookup-or-create over the name-keyed maps.
+/// Shared lookup-or-create over the name-keyed maps. The caller locks the
+/// registry mutex and passes the map with the lock held (passing the
+/// guarded member by reference into an unannotated helper would otherwise
+/// trip -Wthread-safety-reference).
 template <typename Map>
-auto& lookup(std::mutex& mutex, Map& map, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex);
+auto& lookup(Map& map, const std::string& name) {
   auto& slot = map[name];
   if (!slot) {
     slot = std::make_unique<typename Map::mapped_type::element_type>();
@@ -144,24 +146,28 @@ auto& lookup(std::mutex& mutex, Map& map, const std::string& name) {
 }  // namespace
 
 Counter& Registry::counter(const std::string& name) {
-  return lookup(mutex_, counters_, name);
+  MutexLock lock(mutex_);
+  return lookup(counters_, name);
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  return lookup(mutex_, gauges_, name);
+  MutexLock lock(mutex_);
+  return lookup(gauges_, name);
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  return lookup(mutex_, histograms_, name);
+  MutexLock lock(mutex_);
+  return lookup(histograms_, name);
 }
 
 Series& Registry::series(const std::string& name) {
-  return lookup(mutex_, series_, name);
+  MutexLock lock(mutex_);
+  return lookup(series_, name);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -171,7 +177,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters()
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
@@ -182,7 +188,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 
 std::vector<std::pair<std::string, Histogram::Snapshot>>
 Registry::histograms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, Histogram::Snapshot>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -193,7 +199,7 @@ Registry::histograms() const {
 
 std::vector<std::pair<std::string, std::vector<Series::Point>>>
 Registry::all_series() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::vector<Series::Point>>> out;
   out.reserve(series_.size());
   for (const auto& [name, s] : series_) {

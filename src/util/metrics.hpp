@@ -22,9 +22,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crowdrank::metrics {
 
@@ -145,8 +147,8 @@ class Series {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Point> points_;
+  mutable Mutex mutex_;
+  std::vector<Point> points_ CR_GUARDED_BY(mutex_);
 };
 
 /// Name -> metric registry with stable addresses: handles returned by the
@@ -167,11 +169,18 @@ class Registry {
       const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Series>> series_;
+  mutable Mutex mutex_;
+  // The maps (name -> slot) are guarded; the metric objects the slots own
+  // are not — they are internally synchronized (sharded atomics / their
+  // own mutex) and hot paths hold resolved references across calls, which
+  // is exactly why the unique_ptrs pin their addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Series>> series_
+      CR_GUARDED_BY(mutex_);
 };
 
 }  // namespace crowdrank::metrics

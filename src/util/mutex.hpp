@@ -1,0 +1,147 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry Clang Thread Safety Analysis
+// capabilities (util/thread_annotations.hpp).
+//
+// Every lock in src/ goes through these types — tools/crowdrank_lint.py's
+// `raw-mutex` rule bans the std types everywhere else — so the locking
+// discipline is provable by the `thread-safety` preset:
+//
+//   Mutex mu;
+//   int value CR_GUARDED_BY(mu);
+//
+//   void bump() {
+//     MutexLock lock(mu);   // scoped acquire, released on scope exit
+//     ++value;              // OK: capability statically held
+//   }
+//   // `value` without the lock, or forgetting MutexLock entirely, is a
+//   // compile error under -Werror=thread-safety-analysis.
+//
+// Waiting uses CondVar against the Mutex directly (not against the scoped
+// lock), so the wait can be annotated with the capability it requires:
+//
+//   while (!ready) cv.wait(mu);            // CR_REQUIRES(mu)
+//
+// The wrappers add no state and no indirection beyond the std types: lock
+// and unlock are inline forwards, and CondVar::wait adopts the already-held
+// std::mutex for the duration of the std wait (zero extra synchronization).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace crowdrank {
+
+class CondVar;
+
+/// std::mutex carrying the TSA "mutex" capability.
+class CR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CR_ACQUIRE() { m_.lock(); }
+  void unlock() CR_RELEASE() { m_.unlock(); }
+  bool try_lock() CR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  // adopts m_ for the duration of a wait
+  std::mutex m_;  // lint:allow(raw-mutex) — the one sanctioned wrap site
+};
+
+/// Scoped lock over Mutex (the std::lock_guard replacement). Relockable:
+/// `unlock()` / `lock()` open a gap in the critical section — the pattern
+/// the pool workers and service executors use to run a task without
+/// holding the queue lock — and the destructor releases only if currently
+/// held.
+class CR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CR_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() CR_RELEASE() {
+    if (held_) {
+      mu_.unlock();
+    }
+  }
+
+  /// Temporarily leaves the critical section.
+  void unlock() CR_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Re-enters the critical section after unlock().
+  void lock() CR_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable waiting on a Mutex. The wait methods require the
+/// capability, so a caller that forgot to lock — or that waits on the
+/// wrong mutex — fails to compile under the thread-safety preset.
+///
+/// Waiters re-check their condition in an explicit loop rather than
+/// passing a predicate: TSA analyzes lambda bodies as separate functions,
+/// so a predicate reading guarded state could not be proven safe, while
+/// the loop body sits inside the locked region the analysis already sees.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu` and blocks; `mu` is held again on return.
+  /// Spurious wakeups happen — always re-check the condition in a loop.
+  // Body escape: the adopt/release dance hands the already-held std::mutex
+  // to the std wait and takes it back, which TSA cannot follow; the
+  // REQUIRES contract at the call site is the real check.
+  void wait(Mutex& mu) CR_REQUIRES(mu) CR_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> adopted(  // lint:allow(raw-mutex)
+        mu.m_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  /// wait() with a deadline; std::cv_status::timeout when it passed.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      CR_REQUIRES(mu) CR_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> adopted(  // lint:allow(raw-mutex)
+        mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status;
+  }
+
+  /// wait() with a timeout relative to now.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      CR_REQUIRES(mu) CR_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> adopted(  // lint:allow(raw-mutex)
+        mu.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(adopted, timeout);
+    adopted.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(raw-mutex)
+};
+
+}  // namespace crowdrank

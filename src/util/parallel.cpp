@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -38,27 +39,29 @@ std::size_t configured_thread_count() {
 /// is the task cursor, which workers hammer while a region is active.
 struct ThreadPool::State {
   /// Serializes whole regions: only one external thread may have a job
-  /// posted at a time; concurrent callers queue up here.
-  std::mutex region_mutex;
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable work_done;
-  std::vector<std::thread> workers;
+  /// posted at a time; concurrent callers queue up here. Always taken
+  /// before `mutex`, never while holding it.
+  Mutex region_mutex CR_ACQUIRED_BEFORE(mutex);
+  Mutex mutex;
+  CondVar work_ready;
+  CondVar work_done;
+  std::vector<std::thread> workers CR_GUARDED_BY(mutex);
 
   // Current region, valid while generation is odd-stepped by run().
-  std::uint64_t generation = 0;
-  std::size_t task_count = 0;
-  const std::function<void(std::size_t)>* task = nullptr;
+  std::uint64_t generation CR_GUARDED_BY(mutex) = 0;
+  std::size_t task_count CR_GUARDED_BY(mutex) = 0;
+  const std::function<void(std::size_t)>* task CR_GUARDED_BY(mutex) =
+      nullptr;
   std::atomic<std::size_t> cursor{0};
-  std::size_t active_workers = 0;
-  bool stopping = false;
+  std::size_t active_workers CR_GUARDED_BY(mutex) = 0;
+  bool stopping CR_GUARDED_BY(mutex) = false;
 
   // Nanoseconds every lane spent draining the current region; only
   // maintained while a trace sink is active (see drain_timed).
   std::atomic<std::uint64_t> region_busy_ns{0};
 
   // First exception thrown by any task of the current region.
-  std::exception_ptr error;
+  std::exception_ptr error CR_GUARDED_BY(mutex);
 };
 
 ThreadPool& ThreadPool::instance() {
@@ -74,13 +77,14 @@ ThreadPool::ThreadPool(std::size_t count)
 ThreadPool::~ThreadPool() { stop_workers(); }
 
 std::size_t ThreadPool::thread_count() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->workers.size() + 1;
 }
 
 bool ThreadPool::in_parallel_region() { return t_in_region; }
 
 void ThreadPool::spawn_workers(std::size_t worker_count) {
+  MutexLock lock(state_->mutex);
   state_->workers.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
     state_->workers.emplace_back([this] { worker_loop(); });
@@ -88,15 +92,21 @@ void ThreadPool::spawn_workers(std::size_t worker_count) {
 }
 
 void ThreadPool::stop_workers() {
+  // Move the handles out under the lock so thread_count() (which reads
+  // workers.size() under the same lock) never races the join/clear below;
+  // join outside the lock so exiting workers can take it on their way out.
+  std::vector<std::thread> joined;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->stopping = true;
+    joined = std::move(state_->workers);
+    state_->workers.clear();
   }
   state_->work_ready.notify_all();
-  for (std::thread& w : state_->workers) {
+  for (std::thread& w : joined) {
     w.join();
   }
-  state_->workers.clear();
+  MutexLock lock(state_->mutex);
   state_->stopping = false;
 }
 
@@ -105,7 +115,7 @@ void ThreadPool::resize(std::size_t count) {
   CR_EXPECTS(!t_in_region,
              "cannot resize the pool from inside a parallel region");
   // Wait out any region another thread has in flight before re-spawning.
-  std::lock_guard<std::mutex> region(state_->region_mutex);
+  MutexLock region(state_->region_mutex);
   stop_workers();
   spawn_workers(count - 1);
 }
@@ -136,7 +146,7 @@ void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
     try {
       task(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(s.mutex);
+      MutexLock lock(s.mutex);
       if (!s.error) {
         s.error = std::current_exception();
       }
@@ -149,11 +159,13 @@ void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
 void ThreadPool::worker_loop() {
   State& s = *state_;
   std::uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   while (true) {
-    s.work_ready.wait(lock, [&] {
-      return s.stopping || s.generation != seen_generation;
-    });
+    // Explicit re-check loop (not a wait predicate): the guarded reads sit
+    // inside the locked region TSA analyzes, where a lambda would not be.
+    while (!s.stopping && s.generation == seen_generation) {
+      s.work_ready.wait(s.mutex);
+    }
     if (s.stopping) {
       return;
     }
@@ -190,7 +202,7 @@ void ThreadPool::run(std::size_t count,
   // propagate directly.
   bool inline_run = t_in_region || count == 1;
   if (!inline_run) {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     inline_run = s.workers.empty();
   }
   if (inline_run) {
@@ -200,13 +212,13 @@ void ThreadPool::run(std::size_t count,
     return;
   }
 
-  std::lock_guard<std::mutex> region(s.region_mutex);
+  MutexLock region(s.region_mutex);
   // Capture the sink once per region: lane busy times and the region
   // summary must land in the same sink even if it is swapped mid-region.
   trace::TraceSink* ts = trace::sink();
   const auto region_start = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     s.task = &task;
     s.task_count = count;
     s.cursor.store(0, std::memory_order_relaxed);
@@ -221,8 +233,10 @@ void ThreadPool::run(std::size_t count,
   drain_timed(task, count);
   t_in_region = false;
 
-  std::unique_lock<std::mutex> lock(s.mutex);
-  s.work_done.wait(lock, [&] { return s.active_workers == 0; });
+  MutexLock lock(s.mutex);
+  while (s.active_workers != 0) {
+    s.work_done.wait(s.mutex);
+  }
   s.task = nullptr;
   const std::size_t lanes = s.workers.size() + 1;
   if (ts != nullptr) {

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crowdrank {
 
@@ -58,9 +60,9 @@ class PhaseTimer {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, double> totals_;
-  std::vector<std::string> order_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, double> totals_ CR_GUARDED_BY(mutex_);
+  std::vector<std::string> order_ CR_GUARDED_BY(mutex_);
 };
 
 /// RAII guard: adds the scope's duration to `timer[phase]` on destruction.

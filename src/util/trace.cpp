@@ -43,7 +43,7 @@ double TraceSink::now_us() const {
 }
 
 std::vector<SpanRecord> TraceSink::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_;
 }
 
@@ -55,7 +55,7 @@ std::size_t TraceSink::open_span(const char* name) {
   if (!t_span_stack.empty()) {
     record.parent = t_span_stack.back();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::size_t index = spans_.size();
   spans_.push_back(std::move(record));
   t_span_stack.push_back(index);
@@ -64,7 +64,7 @@ std::size_t TraceSink::open_span(const char* name) {
 
 void TraceSink::close_span(std::size_t index) {
   const double end_us = now_us();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (index < spans_.size()) {
     spans_[index].dur_us = end_us - spans_[index].start_us;
   }
@@ -75,7 +75,7 @@ void TraceSink::close_span(std::size_t index) {
 
 void TraceSink::span_attr(std::size_t index, const char* key,
                           AttrValue value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (index < spans_.size()) {
     spans_[index].attrs.emplace_back(key, std::move(value));
   }
@@ -83,7 +83,7 @@ void TraceSink::span_attr(std::size_t index, const char* key,
 
 void TraceSink::annotate_descendants(std::size_t root, const char* key,
                                      AttrValue value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // A parent always has a smaller index than its children (it opened
   // first), so only spans after `root` can descend from it, and a parent
   // chain can be walked downward until it passes `root`.
@@ -238,7 +238,7 @@ void json_span_attrs(
 void TraceSink::write_chrome_trace(std::ostream& os) const {
   std::vector<SpanRecord> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans = spans_;
   }
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

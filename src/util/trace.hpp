@@ -33,13 +33,14 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "util/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace crowdrank::trace {
@@ -98,8 +99,9 @@ class TraceSink {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> spans_ CR_GUARDED_BY(mutex_);
+  // Internally synchronized (its own mutex + sharded atomics); no guard.
   metrics::Registry metrics_;
 };
 

@@ -1,0 +1,165 @@
+// Tests for the annotated synchronization wrappers (util/mutex.hpp).
+//
+// The wrappers forward to std::mutex / std::condition_variable, so these
+// tests pin the wrapper-specific behavior: MutexLock's relock gap, the
+// conditional destructor release, CondVar wakeups against a Mutex, and the
+// timed waits' status mapping. The TSan preset runs this suite to witness
+// the adopt/release dance inside CondVar::wait at runtime, complementing
+// the compile-time checks of the thread-safety preset.
+#include "util/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace crowdrank {
+namespace {
+
+TEST(MutexTest, LockUnlockTryLock) {
+  Mutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());  // non-recursive: self-retry must fail
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexTest, MutexLockExcludesOtherThreads) {
+  Mutex mu;
+  int value = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(value, kThreads * kIters);
+}
+
+TEST(MutexTest, MutexLockRelockGap) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.unlock();
+    // The gap is real: another owner can take the mutex now.
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+    lock.lock();
+    EXPECT_FALSE(mu.try_lock());  // held again
+  }
+  // Destructor released it even though the lock went through a gap.
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexTest, MutexLockDestructorAfterManualUnlock) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.unlock();
+  }  // destructor must not release again (held_ is false)
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVarTest, NotifyWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.wait(mu);
+    }
+    observed = true;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, WaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto status = cv.wait_for(mu, std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilPastDeadlineReturnsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto status =
+      cv.wait_until(mu, std::chrono::steady_clock::now() -
+                            std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) {
+        cv.wait(mu);
+      }
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(woke, kWaiters);
+}
+
+TEST(CondVarTest, MutexHeldAgainAfterWaitReturns) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.wait(mu);
+    }
+    // If wait() failed to re-acquire, this try_lock would succeed and the
+    // protocol would be broken.
+    EXPECT_FALSE(mu.try_lock());
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -1,0 +1,439 @@
+#!/usr/bin/env python3
+"""Architecture layering gate: validate src/'s include graph against the
+layer DAG checked in as tools/layers.toml.
+
+What it enforces, in one pass over the quoted #include lines of src/:
+  * every module -> module edge is listed in [modules] (or sanctioned by a
+    [[exceptions]] entry / the [umbrella] section),
+  * the observed module graph minus sanctioned edges is acyclic,
+  * the declared DAG itself is acyclic and in sync with the directory tree
+    (no missing modules, no stale entries),
+  * exceptions and umbrella entries refer to files that still exist and
+    edges that still occur (a sanctioned edge nobody uses is stale intent).
+
+Modes:
+  check_layers.py                    # gate the real tree (default)
+  check_layers.py --check-headers    # + compile every public header as a
+                                     #   standalone TU (self-containment)
+  check_layers.py --self-test        # prove the gate catches an injected
+                                     #   upward include and an injected
+                                     #   cycle, and passes a clean tree
+
+Exit status: 0 clean, 1 violations found, 2 configuration/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import tomllib
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class ConfigError(Exception):
+    """layers.toml is malformed or out of sync with the tree."""
+
+
+def load_config(path):
+    with open(path, "rb") as fh:
+        raw = tomllib.load(fh)
+    if "modules" not in raw:
+        raise ConfigError(f"{path}: missing [modules] table")
+    config = {
+        "modules": {m: set(deps) for m, deps in raw["modules"].items()},
+        "external": set(raw.get("external", {}).get("prefixes", [])),
+        "umbrella_files": set(raw.get("umbrella", {}).get("files", [])),
+        "umbrella_implementors": set(
+            raw.get("umbrella", {}).get("implementors", [])),
+        "exceptions": {},
+    }
+    for entry in raw.get("exceptions", []):
+        if "file" not in entry or "allow" not in entry:
+            raise ConfigError(
+                f"{path}: every [[exceptions]] entry needs 'file' and 'allow'")
+        if not entry.get("reason"):
+            raise ConfigError(
+                f"{path}: exception for {entry['file']} has no 'reason' — "
+                "sanctioned edges must say why they exist")
+        config["exceptions"].setdefault(entry["file"], set()).update(
+            entry["allow"])
+    for module, deps in config["modules"].items():
+        unknown = deps - set(config["modules"])
+        if unknown:
+            raise ConfigError(
+                f"{path}: module '{module}' allows unknown modules "
+                f"{sorted(unknown)}")
+    return config
+
+
+def scan_includes(src_root):
+    """-> {relative file path: [(line number, include target), ...]}"""
+    includes = {}
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+            entries = []
+            with open(path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    match = INCLUDE_RE.match(line)
+                    if match:
+                        entries.append((lineno, match.group(1)))
+            includes[rel] = entries
+    return includes
+
+
+def module_of(rel_path):
+    """First path component, or None for top-level files like the umbrella."""
+    if "/" not in rel_path:
+        return None
+    return rel_path.split("/", 1)[0]
+
+
+def find_cycle(graph):
+    """Returns one cycle as a list of nodes, or None. Deterministic order."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for neighbor in sorted(graph.get(node, ())):
+            if neighbor not in color:
+                continue
+            if color[neighbor] == GRAY:
+                return stack[stack.index(neighbor):] + [neighbor]
+            if color[neighbor] == WHITE:
+                cycle = visit(neighbor)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def check_tree(src_root, config):
+    """-> (violations, notes): lists of printable strings."""
+    includes = scan_includes(src_root)
+    violations = []
+    notes = []
+
+    tree_modules = {
+        name for name in os.listdir(src_root)
+        if os.path.isdir(os.path.join(src_root, name))
+    }
+    declared = set(config["modules"])
+    for missing in sorted(tree_modules - declared):
+        violations.append(
+            f"src/{missing}/: directory exists but is not declared in "
+            "layers.toml [modules]")
+    for stale in sorted(declared - tree_modules):
+        violations.append(
+            f"layers.toml: module '{stale}' declared but src/{stale}/ does "
+            "not exist")
+
+    declared_cycle = find_cycle(
+        {m: deps for m, deps in config["modules"].items()})
+    if declared_cycle:
+        violations.append(
+            "layers.toml: the declared DAG contains a cycle: "
+            + " -> ".join(declared_cycle))
+
+    for path in sorted(
+            set(config["exceptions"]) | config["umbrella_implementors"]):
+        if path not in includes:
+            violations.append(
+                f"layers.toml: sanctioned file '{path}' does not exist "
+                "under src/")
+
+    # Observed module graph, sanctioned edges kept separate.
+    observed = {m: set() for m in declared & tree_modules}
+    used_exceptions = set()
+    for rel, entries in sorted(includes.items()):
+        source_module = module_of(rel)
+        is_umbrella = rel in config["umbrella_files"]
+        sanctioned = config["exceptions"].get(rel, set())
+        for lineno, target in entries:
+            target_module = module_of(target)
+            if target_module is None:
+                # Slashless include: only umbrella headers are includable,
+                # and only by their sanctioned implementors.
+                if target in config["umbrella_files"]:
+                    if rel not in config["umbrella_implementors"]:
+                        violations.append(
+                            f"src/{rel}:{lineno}: includes umbrella header "
+                            f'"{target}" but is not listed under '
+                            "[umbrella] implementors in layers.toml")
+                else:
+                    violations.append(
+                        f"src/{rel}:{lineno}: unrecognized slashless "
+                        f'include "{target}" (same-directory includes must '
+                        "be written module-qualified)")
+                continue
+            if target_module in config["external"]:
+                continue
+            if target_module not in declared:
+                violations.append(
+                    f"src/{rel}:{lineno}: includes \"{target}\" from "
+                    f"unknown module '{target_module}'")
+                continue
+            if target_module == source_module or is_umbrella:
+                continue
+            if target_module in sanctioned:
+                used_exceptions.add((rel, target_module))
+                continue
+            if source_module is None:
+                violations.append(
+                    f"src/{rel}:{lineno}: top-level file includes "
+                    f'"{target}" but is not listed under [umbrella] files')
+                continue
+            if source_module not in config["modules"]:
+                continue  # undeclared directory: already flagged above
+            if target_module not in config["modules"][source_module]:
+                violations.append(
+                    f"src/{rel}:{lineno}: illegal include \"{target}\" — "
+                    f"layer '{source_module}' may not depend on "
+                    f"'{target_module}' (allowed: "
+                    f"{sorted(config['modules'][source_module]) or 'nothing'}"
+                    "); see tools/layers.toml")
+                continue
+            observed[source_module].add(target_module)
+
+    for path, allowed in sorted(config["exceptions"].items()):
+        for target_module in sorted(allowed):
+            if (path, target_module) not in used_exceptions:
+                violations.append(
+                    f"layers.toml: exception '{path}' -> '{target_module}' "
+                    "is no longer exercised by any include — delete it")
+
+    observed_cycle = find_cycle(observed)
+    if observed_cycle:
+        violations.append(
+            "include cycle between modules (excluding sanctioned edges): "
+            + " -> ".join(observed_cycle))
+
+    edge_count = sum(len(deps) for deps in observed.values())
+    notes.append(
+        f"checked {len(includes)} files, {len(observed)} modules, "
+        f"{edge_count} module edges, "
+        f"{len(used_exceptions)} sanctioned edges")
+    return violations, notes
+
+
+def check_headers(src_root, build_dir, compiler):
+    """Compile every header under src/ as a standalone TU (-fsyntax-only)."""
+    generated = os.path.join(build_dir, "generated")
+    failures = []
+    headers = []
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames.sort()
+        headers.extend(
+            os.path.join(dirpath, name)
+            for name in sorted(filenames) if name.endswith(".hpp"))
+    for header in headers:
+        cmd = [
+            compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+            f"-I{src_root}", f"-I{generated}", header,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            rel = os.path.relpath(header, os.path.dirname(src_root))
+            failures.append(
+                f"{rel}: not self-contained:\n{proc.stderr.strip()}")
+    return failures, len(headers)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: build throwaway trees and prove the gate fails on each kind of
+# injected violation (a gate that cannot fail is no gate).
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CONFIG = """\
+[modules]
+util = []
+core = ["util"]
+service = ["core", "util"]
+
+[external]
+prefixes = ["generated"]
+
+[umbrella]
+files = ["everything.hpp"]
+implementors = ["service/facade.cpp"]
+
+[[exceptions]]
+file = "core/contract.hpp"
+allow = ["service"]
+reason = "self-test sanctioned edge"
+"""
+
+SELF_TEST_TREE = {
+    "util/a.hpp": '#include "generated/version.hpp"\n',
+    "core/b.hpp": '#include "util/a.hpp"\n',
+    "core/contract.hpp": '#include "service/s.hpp"\n',
+    "service/s.hpp": '#include "core/b.hpp"\n#include "util/a.hpp"\n',
+    "service/facade.cpp": '#include "everything.hpp"\n',
+    "everything.hpp": '#include "service/s.hpp"\n#include "core/b.hpp"\n',
+}
+
+
+def run_self_test():
+    def build_tree(extra=None, config_text=SELF_TEST_CONFIG):
+        tmp = tempfile.TemporaryDirectory(prefix="check_layers_selftest_")
+        src = os.path.join(tmp.name, "src")
+        tree = dict(SELF_TEST_TREE)
+        tree.update(extra or {})
+        for rel, content in tree.items():
+            path = os.path.join(src, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(content)
+        config_path = os.path.join(tmp.name, "layers.toml")
+        with open(config_path, "w", encoding="utf-8") as fh:
+            fh.write(config_text)
+        return tmp, src, config_path
+
+    cases = []
+
+    def expect(name, extra, must_fail, needle):
+        tmp, src, config_path = build_tree(extra)
+        violations, _ = check_tree(src, load_config(config_path))
+        matched = any(needle in v for v in violations)
+        if must_fail:
+            ok = bool(violations) and matched
+            detail = "flagged" if ok else (
+                f"NOT flagged (got: {violations or 'nothing'})")
+        else:
+            ok = not violations
+            detail = "clean" if ok else f"unexpected: {violations}"
+        cases.append((name, ok, detail))
+        tmp.cleanup()
+
+    expect("clean tree passes", None, must_fail=False, needle="")
+    expect(
+        "upward include (util -> service) is flagged",
+        {"util/bad.hpp": '#include "service/s.hpp"\n'},
+        must_fail=True, needle="illegal include")
+    expect(
+        "undeclared sideways edge (core -> service) is flagged",
+        {"core/climber.cpp": '#include "service/s.hpp"\n'},
+        must_fail=True, needle="illegal include")
+    expect(
+        "umbrella include from a non-implementor is flagged",
+        {"core/sneaky.cpp": '#include "everything.hpp"\n'},
+        must_fail=True, needle="umbrella")
+    expect(
+        "unknown module directory is flagged",
+        {"rogue/x.hpp": '#include "util/a.hpp"\n'},
+        must_fail=True, needle="not declared")
+
+    # Injected cycle: service -> core is declared, add core -> service to
+    # the declared DAG and matching includes — the declared-DAG cycle check
+    # must fire.
+    tmp, src, config_path = build_tree(
+        extra={"core/loop.hpp": '#include "service/s.hpp"\n'},
+        config_text=SELF_TEST_CONFIG.replace(
+            'core = ["util"]', 'core = ["service", "util"]'))
+    violations, _ = check_tree(src, load_config(config_path))
+    ok = any("cycle" in v for v in violations)
+    cases.append(("injected declared-DAG cycle is flagged", ok,
+                  "flagged" if ok else f"NOT flagged (got {violations})"))
+    tmp.cleanup()
+
+    # Stale exception: sanctioned edge with no matching include.
+    tmp, src, config_path = build_tree(
+        extra={"core/contract.hpp": '#include "util/a.hpp"\n'})
+    violations, _ = check_tree(src, load_config(config_path))
+    ok = any("no longer exercised" in v for v in violations)
+    cases.append(("stale sanctioned exception is flagged", ok,
+                  "flagged" if ok else f"NOT flagged (got {violations})"))
+    tmp.cleanup()
+
+    failed = [c for c in cases if not c[1]]
+    for name, ok, detail in cases:
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}: {detail}")
+    if failed:
+        print(f"check_layers --self-test: {len(failed)}/{len(cases)} "
+              "cases FAILED", file=sys.stderr)
+        return 1
+    print(f"check_layers --self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate src/'s include graph against tools/layers.toml")
+    parser.add_argument(
+        "--root", default=REPO_ROOT,
+        help="repository root (default: the checkout containing this script)")
+    parser.add_argument(
+        "--config", default=None,
+        help="layer DAG file (default: <root>/tools/layers.toml)")
+    parser.add_argument(
+        "--check-headers", action="store_true",
+        help="also compile every src/ header as a standalone TU")
+    parser.add_argument(
+        "--build-dir", default=None,
+        help="build dir holding generated/ headers for --check-headers "
+             "(default: <root>/build)")
+    parser.add_argument(
+        "--compiler", default=os.environ.get("CXX", "g++"),
+        help="compiler for --check-headers (default: $CXX or g++)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="prove the gate catches injected violations, then exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    src_root = os.path.join(args.root, "src")
+    config_path = args.config or os.path.join(args.root, "tools",
+                                              "layers.toml")
+    try:
+        config = load_config(config_path)
+    except (ConfigError, OSError, tomllib.TOMLDecodeError) as err:
+        print(f"check_layers: {err}", file=sys.stderr)
+        return 2
+
+    violations, notes = check_tree(src_root, config)
+    for note in notes:
+        print(f"check_layers: {note}")
+    if args.check_headers:
+        build_dir = args.build_dir or os.path.join(args.root, "build")
+        failures, header_count = check_headers(src_root, build_dir,
+                                               args.compiler)
+        print(f"check_layers: compiled {header_count} headers standalone "
+              f"({args.compiler})")
+        violations.extend(failures)
+
+    if violations:
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        print(f"check_layers: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_layers: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

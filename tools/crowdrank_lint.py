@@ -24,6 +24,13 @@ quietly break that promise, so this script bans them in src/:
                     level filtering and line-atomic output hold
                     everywhere; the logger's own sink
                     (src/util/logging.cpp) carries the one lint:allow.
+  raw-mutex         naming std::mutex / std::condition_variable /
+                    std::lock_guard / std::unique_lock / std::scoped_lock
+                    in src/. Locking goes through the annotated
+                    crowdrank::Mutex / CondVar / MutexLock wrappers
+                    (util/mutex.hpp) so the thread-safety preset can prove
+                    the discipline; the wrapper's own internals carry the
+                    sanctioned lint:allow escapes.
 
 One rule is scoped to a single file rather than all of src/:
 
@@ -98,6 +105,10 @@ RULES = {
     "stderr-outside-logger": re.compile(
         r"\bstd::cerr\b|\bfprintf\s*\(\s*stderr\b"
     ),
+    "raw-mutex": re.compile(
+        r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+        r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
+    ),
 }
 
 # Sparse-first guard for the propagation stage. Construction-with-args and
@@ -152,10 +163,13 @@ def allowed_rules(line: str) -> set[str]:
 
 
 def lint_file(path: str) -> list[tuple[str, int, str, str]]:
-    findings = []
     with open(os.path.join(ROOT, path), encoding="utf-8") as f:
         lines = f.read().splitlines()
+    return lint_lines(path, lines)
 
+
+def lint_lines(path: str, lines: list[str]) -> list[tuple[str, int, str, str]]:
+    findings = []
     stripped = [strip_noise(l) for l in lines]
 
     # Pass 1: names declared as unordered containers anywhere in this file
@@ -218,9 +232,14 @@ def facade_files() -> list[str]:
 
 
 def lint_facade_file(path: str) -> list[tuple[str, int, str, str]]:
-    findings = []
     with open(os.path.join(ROOT, path), encoding="utf-8") as f:
         lines = f.read().splitlines()
+    return lint_facade_lines(path, lines)
+
+
+def lint_facade_lines(
+        path: str, lines: list[str]) -> list[tuple[str, int, str, str]]:
+    findings = []
     in_examples = path.startswith("examples/")
     for lineno, raw in enumerate(lines, start=1):
         allow = allowed_rules(raw)
@@ -277,9 +296,133 @@ def check_format() -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Self-test: every rule must fire on an embedded bad snippet, stay quiet on
+# a good one, and honor its lint:allow escape. Run with --self-test.
+# Each case: (rule, path the snippet pretends to live at, snippet lines).
+# ---------------------------------------------------------------------------
+
+SELF_TEST_BAD = [
+    ("rand", "src/core/x.cpp", ["int r = rand();"]),
+    ("rand", "src/core/x.cpp", ["std::srand(42);"]),
+    ("unordered-iter", "src/core/x.cpp", [
+        "std::unordered_map<int, int> table;",
+        "for (auto& kv : table) {",
+    ]),
+    ("unordered-iter", "src/core/x.cpp", [
+        "std::unordered_set<int> seen;",
+        "auto it = seen.begin();",
+    ]),
+    ("wall-clock", "src/core/x.cpp",
+     ["auto t = std::chrono::system_clock::now();"]),
+    ("raw-new", "src/core/x.cpp", ["int* p = new int[8];"]),
+    ("stderr-outside-logger", "src/core/x.cpp",
+     ['std::cerr << "oops";']),
+    ("stderr-outside-logger", "src/core/x.cpp",
+     ['fprintf(stderr, "oops");']),
+    ("raw-mutex", "src/core/x.cpp", ["std::mutex mu;"]),
+    ("raw-mutex", "src/core/x.cpp",
+     ["std::lock_guard<std::mutex> lock(mu);"]),
+    ("raw-mutex", "src/core/x.cpp", ["std::condition_variable cv;"]),
+    ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
+     ["  Matrix dense = Matrix::zero(n, n);"]),
+    ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
+     ["  auto d = sparse.to_dense();"]),
+]
+
+SELF_TEST_GOOD = [
+    ("rand", "src/core/x.cpp", ["Rng rng(seed); rng.uniform();"]),
+    ("unordered-iter", "src/core/x.cpp", [
+        "std::unordered_map<int, int> table;",
+        "auto it = table.find(k);",
+        "if (it != table.end()) {",
+    ]),
+    ("wall-clock", "src/core/x.cpp",
+     ["auto t = std::chrono::steady_clock::now();"]),
+    ("raw-new", "src/core/x.cpp",
+     ["auto p = std::make_unique<int[]>(8);"]),
+    ("raw-new", "src/core/x.cpp",
+     ["Widget(const Widget&) = delete;"]),
+    ("stderr-outside-logger", "src/core/x.cpp",
+     ['log_warn() << "oops";']),
+    ("raw-mutex", "src/core/x.cpp",
+     ["MutexLock lock(mutex_);", "CondVar cv;"]),
+    ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
+     ["Matrix propagate(const SparseMatrix& m) {"]),
+]
+
+SELF_TEST_FACADE_BAD = [
+    ("engine-outside-facade", "bench/b.cpp",
+     ["InferenceEngine engine(config);"]),
+    ("submodule-include", "examples/e.cpp",
+     ['#include "core/pipeline.hpp"']),
+]
+
+SELF_TEST_FACADE_GOOD = [
+    ("engine-outside-facade", "bench/b.cpp",
+     ["auto result = crowdrank::api::rank(votes, config);"]),
+    ("submodule-include", "examples/e.cpp",
+     ['#include "crowdrank.hpp"']),
+]
+
+
+def run_self_test() -> int:
+    cases = []
+
+    def check(kind, rule, path, lines, lint_fn, expect_fire):
+        findings = lint_fn(path, lines)
+        fired = {f[2] for f in findings}
+        if expect_fire:
+            ok = rule in fired
+            detail = "fired" if ok else "did NOT fire (got %s)" % sorted(fired)
+        else:
+            ok = rule not in fired
+            detail = ("quiet" if ok
+                      else "false positive: %s" % sorted(fired))
+        cases.append(("%s %s [%s]" % (kind, rule, path), ok, detail))
+
+    for rule, path, lines in SELF_TEST_BAD:
+        check("bad-snippet", rule, path, lines, lint_lines, True)
+        # The same snippet with lint:allow on every line must be quiet.
+        allowed = ["%s  // lint:allow(%s)" % (l, rule) for l in lines]
+        check("lint:allow", rule, path, allowed, lint_lines, False)
+    for rule, path, lines in SELF_TEST_GOOD:
+        check("good-snippet", rule, path, lines, lint_lines, False)
+    for rule, path, lines in SELF_TEST_FACADE_BAD:
+        check("bad-snippet", rule, path, lines, lint_facade_lines, True)
+        allowed = ["%s  // lint:allow(%s)" % (l, rule) for l in lines]
+        check("lint:allow", rule, path, allowed, lint_facade_lines, False)
+    for rule, path, lines in SELF_TEST_FACADE_GOOD:
+        check("good-snippet", rule, path, lines, lint_facade_lines, False)
+
+    # Every rule the linter knows must appear in at least one bad snippet,
+    # so adding a rule without self-test coverage fails here.
+    covered = {rule for rule, _, _ in SELF_TEST_BAD}
+    covered |= {rule for rule, _, _ in SELF_TEST_FACADE_BAD}
+    all_rules = set(RULES) | {
+        "unordered-iter", "dense-in-propagation",
+        "engine-outside-facade", "submodule-include",
+    }
+    for rule in sorted(all_rules - covered):
+        cases.append(("coverage %s" % rule, False,
+                      "no bad snippet exercises this rule"))
+
+    failed = [c for c in cases if not c[1]]
+    for name, ok, detail in cases:
+        print("  %s  %s: %s" % ("PASS" if ok else "FAIL", name, detail))
+    if failed:
+        print("lint --self-test: %d/%d cases FAILED"
+              % (len(failed), len(cases)), file=sys.stderr)
+        return 1
+    print("lint --self-test: all %d cases passed" % len(cases))
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return run_self_test()
     if len(sys.argv) > 1:
-        print("usage: tools/crowdrank_lint.py", file=sys.stderr)
+        print("usage: tools/crowdrank_lint.py [--self-test]", file=sys.stderr)
         return 2
 
     files = source_files()
