@@ -150,6 +150,69 @@ OverheadPoint measure_overhead(const VoteBatch& votes,
   return point;
 }
 
+/// Warm-vs-cold probe: the same single-worker job stream served twice
+/// against one ResultCache. The cold pass computes and stores every
+/// result; the warm pass must settle each job from the cache without
+/// entering the pipeline. `cache_correct` pins that every warm result is
+/// a cache hit bitwise-identical to its cold counterpart — the ratchet
+/// (tools/check_bench.py) asserts it, so a silently-broken cache fails
+/// CI even if it happens to be fast.
+struct WarmPoint {
+  double wall_cold_ms = 0.0;
+  double wall_warm_ms = 0.0;
+  double warm_speedup = 0.0;
+  double cache_hit_us = 0.0;  ///< mean per-job settle time when warm
+  bool cache_correct = false;
+};
+
+WarmPoint measure_warm(const VoteBatch& votes, std::size_t object_count,
+                       std::size_t job_count) {
+  // Distinct seeds give every job its own content key; capacity above
+  // job_count keeps the cold pass resident for the warm pass.
+  service::ResultCacheConfig cache_config;
+  cache_config.capacity = job_count + 1;
+  service::ResultCache cache(cache_config);
+
+  const auto run_pass = [&] {
+    service::ServiceConfig config;
+    config.worker_count = 1;
+    config.queue_capacity = job_count;
+    config.cache = &cache;
+    service::RankingService svc(config);
+    const Stopwatch wall;
+    for (std::size_t k = 0; k < job_count; ++k) {
+      service::RankingJob job;
+      job.votes = votes;
+      job.object_count = object_count;
+      job.seed = k + 1;
+      svc.submit(std::move(job));
+    }
+    std::vector<service::JobResult> results = svc.drain();
+    return std::make_pair(wall.elapsed_millis(), std::move(results));
+  };
+
+  const auto [cold_ms, cold] = run_pass();
+  const auto [warm_ms, warm] = run_pass();
+
+  WarmPoint point;
+  point.wall_cold_ms = cold_ms;
+  point.wall_warm_ms = warm_ms;
+  point.warm_speedup = cold_ms / warm_ms;
+  point.cache_hit_us =
+      1e3 * warm_ms / static_cast<double>(job_count);
+  bool correct = cold.size() == warm.size();
+  for (std::size_t k = 0; correct && k < cold.size(); ++k) {
+    correct = warm[k].served_from_cache &&
+              warm[k].outcome == cold[k].outcome &&
+              warm[k].ranking == cold[k].ranking &&
+              warm[k].hardening == cold[k].hardening &&
+              warm[k].log_probability == cold[k].log_probability &&
+              warm[k].artifact_key == cold[k].artifact_key;
+  }
+  point.cache_correct = correct;
+  return point;
+}
+
 }  // namespace
 
 int main() {
@@ -222,10 +285,28 @@ int main() {
   run.note("overhead_pct", overhead.overhead_pct);
   run.note("telemetry_overhead_ok", overhead.ok);
 
+  const WarmPoint warm = measure_warm(votes, n, job_count);
+  std::cout << "warm serving (result cache, 1 worker): cold "
+            << TableWriter::fmt(warm.wall_cold_ms, 1) << " ms, warm "
+            << TableWriter::fmt(warm.wall_warm_ms, 1) << " ms ("
+            << TableWriter::fmt(warm.warm_speedup, 1) << "x, "
+            << TableWriter::fmt(warm.cache_hit_us, 1)
+            << " us/hit), results "
+            << (warm.cache_correct ? "bitwise-identical"
+                                   : "DIVERGED FROM COLD RUN")
+            << "\n";
+
+  trace::RunReport::Run& warm_run = report.add_run("warm_cache");
+  warm_run.note("wall_cold_ms", warm.wall_cold_ms);
+  warm_run.note("wall_warm_ms", warm.wall_warm_ms);
+  warm_run.note("warm_speedup", warm.warm_speedup);
+  warm_run.note("cache_hit_us", warm.cache_hit_us);
+  warm_run.note("cache_correct", warm.cache_correct);
+
   if (!report.write_file("BENCH_service.json")) {
     std::cerr << "ERROR: cannot write BENCH_service.json\n";
     return 1;
   }
   std::cout << "\nwrote BENCH_service.json\n";
-  return overhead.ok ? 0 : 1;
+  return (overhead.ok && warm.cache_correct) ? 0 : 1;
 }

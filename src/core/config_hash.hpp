@@ -1,0 +1,44 @@
+// Stable content hashing of inference configuration.
+//
+// The service result cache (service/result_cache.hpp) keys a job by
+// everything that can change its output: the votes, the counts, the seed,
+// and the configuration. This module owns the configuration half of that
+// key — it lives in core, next to the config structs themselves, so a new
+// output-affecting field fails loudest here (the hash and the struct are
+// reviewed together) instead of silently serving stale cache entries.
+//
+// Two rules decide what is hashed:
+//  * Output-affecting tunables are hashed, always. That includes fields
+//    like `propagation.spectral_horizon` (changes which pairs receive
+//    evidence) and every Step-4 move toggle.
+//  * Observe-only and representation-only fields are excluded:
+//    `trace`, `control`, and `check_invariants` never change a ranking
+//    (DESIGN.md pins this), and `propagation.fill_threshold` only picks
+//    between bitwise-identical sparse/dense kernels (§7c). Excluding them
+//    lets a traced run share cache entries with an untraced one.
+//
+// `kInferenceConfigHashSchema` versions the *derivation*: bump it whenever
+// a field is added to (or removed from) the hashed set, so every key
+// derived under the old rules misses instead of colliding.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "util/hash.hpp"
+
+namespace crowdrank {
+
+/// Bump on any change to the set or order of hashed fields.
+inline constexpr std::uint64_t kInferenceConfigHashSchema = 1;
+
+void hash_append(StableHash& hash, const TruthDiscoveryConfig& config);
+void hash_append(StableHash& hash, const SmoothingConfig& config);
+void hash_append(StableHash& hash, const PropagationConfig& config);
+void hash_append(StableHash& hash, const SapsConfig& config);
+void hash_append(StableHash& hash, const TapsConfig& config);
+
+/// The output-affecting subset of a full InferenceConfig (prefixed with
+/// kInferenceConfigHashSchema). Excludes trace/control/check_invariants
+/// and propagation.fill_threshold per the rules above.
+void hash_append(StableHash& hash, const InferenceConfig& config);
+
+}  // namespace crowdrank

@@ -83,72 +83,14 @@
 #include "baselines/quicksort_rank.hpp"
 #include "baselines/repeat_choice.hpp"
 
-// service: the fault-tolerant batch ranking service
+// service: the fault-tolerant batch ranking service, the persistent
+// artifact format + content-addressed result cache, and the crowdrank::api
+// facade (declared in service/api.hpp, implemented on the same shared
+// entry point the service's executors run)
+#include "service/api.hpp"
+#include "service/artifact.hpp"
 #include "service/hardening.hpp"
 #include "service/job.hpp"
+#include "service/rank_entry.hpp"
+#include "service/result_cache.hpp"
 #include "service/service.hpp"
-
-namespace crowdrank::api {
-
-/// Structured validation/configuration error: the facade's error currency
-/// is core's ConfigError (field + message), never an exception.
-using Error = ConfigError;
-
-/// One ranking request. Defaults give the paper's pipeline configuration;
-/// `repair` controls whether the input-hardening pass may drop/restrict
-/// votes (turn it off to demand the batch be used exactly as given, which
-/// restores the engine's strict-contract behavior).
-struct Request {
-  VoteBatch votes;
-  /// Number of objects (0 = derive from the highest vote id).
-  std::size_t object_count = 0;
-  /// Number of workers (0 = derive from the batch).
-  std::size_t worker_count = 0;
-  std::uint64_t seed = 1;
-  InferenceConfig inference;
-  /// Apply the input-hardening pass (validate/repair/restrict) first.
-  bool repair = true;
-  service::HardeningPolicy hardening;
-  /// Optional per-task worker assignment for smoothing. When null, the
-  /// workers consulted per task are exactly those who voted on it.
-  const HitAssignment* assignment = nullptr;
-};
-
-/// The structured answer: a (possibly partial) ranking plus the full
-/// degradation accounting. No exception escapes `rank`.
-struct Response {
-  service::JobOutcome outcome = service::JobOutcome::Failed;
-  /// Stage the request ended in (Done on success).
-  PipelineStage stage = PipelineStage::Validation;
-  /// Detail for Rejected/Failed outcomes.
-  std::string reason;
-  /// Ranking over original object ids; `excluded` lists objects the
-  /// evidence could not rank (empty on Completed).
-  service::PartialRanking ranking;
-  service::HardeningReport hardening;
-  double log_probability = 0.0;
-  /// Full engine output (step diagnostics, timings) for the compact
-  /// repaired batch; engaged only when `ok()`.
-  std::optional<InferenceResult> inference;
-  /// Validation errors (outcome Rejected when non-empty).
-  std::vector<Error> errors;
-
-  bool ok() const {
-    return outcome == service::JobOutcome::Completed ||
-           outcome == service::JobOutcome::Degraded;
-  }
-};
-
-/// Validates a request without running it: config range checks plus basic
-/// batch shape checks. Empty result = admissible.
-std::vector<Error> validate(const Request& request);
-
-/// Runs the facade sequence (validate -> harden -> infer) with a fresh
-/// Rng seeded from `request.seed`.
-Response rank(const Request& request);
-
-/// As above but threading the caller's Rng — for harnesses that share one
-/// generator across many calls (benches, simulations).
-Response rank(const Request& request, Rng& rng);
-
-}  // namespace crowdrank::api

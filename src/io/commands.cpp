@@ -16,6 +16,7 @@
 #include "core/diagnostics.hpp"
 #include "core/pipeline.hpp"
 #include "core/planning.hpp"
+#include "graph/task_graph.hpp"
 #include "io/args.hpp"
 #include "io/job_record.hpp"
 #include "io/records.hpp"
@@ -24,6 +25,9 @@
 #include "metrics/topk.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "service/api.hpp"
+#include "service/artifact.hpp"
+#include "service/result_cache.hpp"
 #include "service/service.hpp"
 #include "util/build_info.hpp"
 #include "util/error.hpp"
@@ -128,6 +132,48 @@ RankSearchMethod parse_search(const Args& args) {
   return search_from_name(args.get_string("search", "saps"));
 }
 
+/// Batch shape shared by infer / diagnose / index / query: n and m come
+/// from the flags when given, otherwise from the data. index and query
+/// must agree on this derivation — the derived counts enter the content
+/// key, so a disagreement would be a guaranteed cache miss.
+struct BatchShape {
+  std::size_t object_count = 0;
+  std::size_t worker_count = 0;
+};
+
+BatchShape derive_shape(const VoteBatch& votes, const Args& args) {
+  std::size_t max_object = 0;
+  WorkerId max_worker = 0;
+  for (const Vote& v : votes) {
+    max_object = std::max({max_object, v.i, v.j});
+    max_worker = std::max(max_worker, v.worker);
+  }
+  return {args.get_size("object-count", max_object + 1),
+          args.get_size("worker-count", max_worker + 1)};
+}
+
+/// The kInferenceOptions knobs applied onto the default config, validated.
+/// infer, index, and query all build their configs through this one
+/// function, so the same flags always describe the same work (and index /
+/// query derive identical cache keys).
+InferenceConfig inference_from_args(const Args& args) {
+  InferenceConfig config;
+  config.search = parse_search(args);
+  config.saps.iterations =
+      args.get_size("saps-iterations", config.saps.iterations);
+  // Sparse-first propagation knobs (SpectralLimit mode; see DESIGN.md §7c):
+  // the fill ratio past which the doubling densifies, and an optional
+  // truncated walk-length horizon for very large n.
+  config.propagation.fill_threshold = args.get_double(
+      "propagation-fill-threshold", config.propagation.fill_threshold);
+  config.propagation.spectral_horizon = args.get_size(
+      "propagation-horizon", config.propagation.spectral_horizon);
+  if (const auto errors = config.validate(); !errors.empty()) {
+    throw Error("invalid inference config: " + format_config_errors(errors));
+  }
+  return config;
+}
+
 int cmd_assign(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
   const Args args = parse_args(
@@ -215,16 +261,7 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
       {"check-invariants"});
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
-
-  // Derive n and m from the data when not given.
-  std::size_t max_object = 0;
-  WorkerId max_worker = 0;
-  for (const Vote& v : votes) {
-    max_object = std::max({max_object, v.i, v.j});
-    max_worker = std::max(max_worker, v.worker);
-  }
-  const std::size_t n = args.get_size("object-count", max_object + 1);
-  const std::size_t m = args.get_size("worker-count", max_worker + 1);
+  const auto [n, m] = derive_shape(votes, args);
 
   // Observability outputs: --trace (Chrome trace-event JSON) and --metrics
   // (RunReport JSON). CROWDRANK_TRACE=path stands in for --trace when the
@@ -241,24 +278,11 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
     sink = std::make_unique<trace::TraceSink>();
   }
 
-  InferenceConfig config;
-  config.search = parse_search(args);
-  config.saps.iterations =
-      args.get_size("saps-iterations", config.saps.iterations);
-  // Sparse-first propagation knobs (SpectralLimit mode; see DESIGN.md §7c):
-  // the fill ratio past which the doubling densifies, and an optional
-  // truncated walk-length horizon for very large n.
-  config.propagation.fill_threshold = args.get_double(
-      "propagation-fill-threshold", config.propagation.fill_threshold);
-  config.propagation.spectral_horizon = args.get_size(
-      "propagation-horizon", config.propagation.spectral_horizon);
+  InferenceConfig config = inference_from_args(args);
   config.trace = sink.get();
   // Stage invariant validation: --check-invariants, or the process-wide
   // CROWDRANK_CHECK_INVARIANTS env switch (analysis/invariants.hpp).
   config.check_invariants = args.flag("check-invariants");
-  if (const auto errors = config.validate(); !errors.empty()) {
-    throw Error("invalid inference config: " + format_config_errors(errors));
-  }
   const InferenceEngine engine(config);
   Rng rng(args.get_seed("seed", 1));
   const InferenceResult result = engine.infer(votes, n, m, rng);
@@ -320,6 +344,142 @@ int cmd_infer(const std::vector<std::string>& argv, std::ostream& out) {
   return 0;
 }
 
+// -- crowdrank index / query: persistent artifacts + warm serving --------
+
+/// Writes one framed artifact into the bundle directory; filesystem
+/// refusals surface as CLI errors (artifact encoding itself cannot fail).
+void write_bundle_artifact(const std::string& dir, const std::string& name,
+                           const std::string& bytes, std::ostream& out) {
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  if (const auto err = service::artifact::write_file(path, bytes)) {
+    throw Error("cannot write artifact " + path + ": " + err->to_string());
+  }
+  out << "wrote " << path << "\n";
+}
+
+/// The request both commands build; everything here enters the content
+/// key, so index and query share one constructor for it.
+api::Request request_from_args(const Args& args, VoteBatch votes,
+                               service::ResultCache& cache) {
+  api::Request request;
+  const BatchShape shape = derive_shape(votes, args);
+  request.votes = std::move(votes);
+  request.object_count = shape.object_count;
+  request.worker_count = shape.worker_count;
+  request.seed = args.get_seed("seed", 1);
+  request.inference = inference_from_args(args);
+  request.cache = &cache;
+  return request;
+}
+
+int cmd_index(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args = parse_args(
+      raw, merge({kShapeOptions, kInferenceOptions,
+                  {"votes", "seed", "artifacts"}}));
+  VoteBatch votes = load_votes(args.require_string("votes"));
+  CR_EXPECTS(!votes.empty(), "votes file contains no votes");
+  const std::string dir = args.require_string("artifacts");
+
+  // The ranked result lands on the cache's disk tier (<dir>/<key>.crart).
+  // Refresh recomputes even when a stale artifact already sits under the
+  // same key, so `index` is always overwrite-with-fresh-truth.
+  service::ResultCacheConfig cache_config;
+  cache_config.capacity = 1;
+  cache_config.disk_dir = dir;
+  service::ResultCache cache(cache_config);
+
+  api::Request request = request_from_args(args, std::move(votes), cache);
+  request.cache_control = service::CacheControl::Refresh;
+  const api::Response response = api::rank(request);
+  if (!response.ok()) {
+    out << "indexing failed (" << service::outcome_name(response.outcome)
+        << " at stage " << stage_name(response.stage)
+        << "): " << response.reason << "\n";
+    return 2;
+  }
+
+  out << "indexed " << request.object_count << " objects from "
+      << request.votes.size() << " votes (seed " << request.seed << ")\n";
+  out << "artifact key " << response.artifact_key << " (result schema "
+      << response.artifact_schema_version << ")\n";
+
+  // Supporting artifacts alongside the result: the input batch, the
+  // comparison graph over original ids, and the engine's intermediate
+  // products (which live in the hardened batch's compact id space).
+  write_bundle_artifact(dir, "votes.crart",
+                        service::artifact::encode(request.votes), out);
+  TaskGraph tasks(request.object_count);
+  for (const Vote& v : request.votes) {
+    if (v.i == v.j || v.i >= request.object_count ||
+        v.j >= request.object_count) {
+      continue;  // hardening's problem, not the comparison graph's
+    }
+    tasks.add_edge(std::min(v.i, v.j), std::max(v.i, v.j));
+  }
+  write_bundle_artifact(dir, "task_graph.crart",
+                        service::artifact::encode(tasks), out);
+  if (response.inference.has_value()) {
+    const std::size_t compact_n = response.inference->closure.rows();
+    write_bundle_artifact(
+        dir, "preference_graph.crart",
+        service::artifact::encode(
+            response.inference->step1.to_preference_graph(compact_n)),
+        out);
+    write_bundle_artifact(dir, "closure.crart",
+                          service::artifact::encode(response.inference->closure),
+                          out);
+  }
+  return 0;
+}
+
+int cmd_query(const std::vector<std::string>& argv, std::ostream& out) {
+  const auto raw = to_argv(argv);
+  const Args args = parse_args(
+      raw, merge({kShapeOptions, kInferenceOptions,
+                  {"votes", "seed", "artifacts", "ranking-out"}}));
+  VoteBatch votes = load_votes(args.require_string("votes"));
+  CR_EXPECTS(!votes.empty(), "votes file contains no votes");
+
+  service::ResultCacheConfig cache_config;
+  cache_config.capacity = 1;
+  cache_config.disk_dir = args.require_string("artifacts");
+  service::ResultCache cache(cache_config);
+
+  api::Request request = request_from_args(args, std::move(votes), cache);
+  request.cache_control = service::CacheControl::RequireHit;
+  const api::Response response = api::rank(request);
+  if (!response.served_from_cache) {
+    // RequireHit turns a miss into a structured Rejected outcome; the
+    // reason names the missing key. Exit 2 = "not indexed", distinct from
+    // usage errors (1).
+    out << "query miss: " << response.reason << "\n";
+    return 2;
+  }
+
+  out << "served from artifact " << response.artifact_key
+      << " (result schema " << response.artifact_schema_version
+      << "), outcome " << service::outcome_name(response.outcome) << "\n";
+  out << "log preference probability: " << response.log_probability << "\n";
+  const std::vector<VertexId>& order = response.ranking.order;
+  out << "ranking:";
+  for (std::size_t p = 0; p < std::min<std::size_t>(order.size(), 20); ++p) {
+    out << ' ' << order[p];
+  }
+  if (order.size() > 20) out << " ...";
+  out << "\n";
+  if (!response.ranking.excluded.empty()) {
+    out << response.ranking.excluded.size()
+        << " objects excluded (degraded result)\n";
+  }
+  if (args.has("ranking-out")) {
+    save_ranking(args.value("ranking-out"),
+                 Ranking(std::vector<VertexId>(order)));
+    out << "wrote " << args.value("ranking-out") << "\n";
+  }
+  return 0;
+}
+
 int cmd_eval(const std::vector<std::string>& argv, std::ostream& out) {
   const auto raw = to_argv(argv);
   const Args args = parse_args(raw, {"reference", "ranking", "k"});
@@ -349,14 +509,7 @@ int cmd_diagnose(const std::vector<std::string>& argv, std::ostream& out) {
   const Args args = parse_args(raw, merge({kShapeOptions, {"votes"}}));
   const VoteBatch votes = load_votes(args.require_string("votes"));
   CR_EXPECTS(!votes.empty(), "votes file contains no votes");
-  std::size_t max_object = 0;
-  WorkerId max_worker = 0;
-  for (const Vote& v : votes) {
-    max_object = std::max({max_object, v.i, v.j});
-    max_worker = std::max(max_worker, v.worker);
-  }
-  const std::size_t n = args.get_size("object-count", max_object + 1);
-  const std::size_t m = args.get_size("worker-count", max_worker + 1);
+  const auto [n, m] = derive_shape(votes, args);
   const RankabilityReport report = diagnose_votes(votes, n, m);
   out << format_report(report);
   return report.rankable ? 0 : 2;
@@ -399,7 +552,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
       merge({kObservabilityOptions,
              {"jobs", "results", "service-workers", "queue-capacity",
               "queue-policy", "deadline-ms", "telemetry",
-              "telemetry-period-ms"}}),
+              "telemetry-period-ms", "cache-dir", "cache-capacity"}}),
       {"check-invariants"});
   const std::vector<JobRecord> records =
       load_job_records(args.require_string("jobs"));
@@ -434,6 +587,21 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
         args.get_size("telemetry-period-ms", 250));
     telemetry.emplace(std::move(telemetry_config), config.worker_count);
     config.telemetry = &*telemetry;
+  }
+
+  // Warm-path result cache (--cache-dir / --cache-capacity), shared by
+  // all executors; repeat jobs in the batch settle from it without the
+  // infer stage. With --cache-dir the disk tier is the same bundle format
+  // `crowdrank index` writes, so it persists across serve runs. The cache
+  // keeps its own stats; per-job hit/miss counters land on telemetry.
+  std::optional<service::ResultCache> cache;
+  if (args.has("cache-dir") || args.has("cache-capacity")) {
+    service::ResultCacheConfig cache_config;
+    cache_config.capacity =
+        std::max<std::size_t>(1, args.get_size("cache-capacity", 64));
+    cache_config.disk_dir = args.get_string("cache-dir", "");
+    cache.emplace(std::move(cache_config));
+    config.cache = &*cache;
   }
 
   // The service records its own per-job spans on `sink`; installing the
@@ -489,6 +657,13 @@ int cmd_serve(const std::vector<std::string>& argv, std::ostream& out) {
     const std::string dir = telemetry->config().directory;
     telemetry.reset();  // stops the exporter and flushes a final snapshot
     out << "wrote telemetry to " << dir << "\n";
+  }
+  if (cache.has_value()) {
+    const service::CacheStats cache_stats = cache->stats();
+    out << "cache: " << (cache_stats.hits + cache_stats.disk_hits)
+        << " hits (" << cache_stats.disk_hits << " disk), "
+        << cache_stats.misses << " misses, " << cache_stats.evictions
+        << " evictions\n";
   }
 
   std::size_t ok_count = 0;
@@ -720,14 +895,34 @@ std::string cli_usage() {
       << "            [--trace F.json] [--metrics F.json]\n"
       << "            (CROWDRANK_TRACE=F.json substitutes for --trace;\n"
       << "             CROWDRANK_CHECK_INVARIANTS=1 for --check-invariants)\n"
+      << "  index     --votes F --artifacts DIR [--object-count N]\n"
+      << "            [--worker-count M] [--search ...] "
+         "[--saps-iterations I]\n"
+      << "            [--propagation-fill-threshold T] "
+         "[--propagation-horizon H]\n"
+      << "            [--seed S]\n"
+      << "            (ranks and persists the artifact bundle: the framed\n"
+      << "             result under its content key plus votes / task graph\n"
+      << "             / preference graph / closure artifacts)\n"
+      << "  query     --votes F --artifacts DIR [--object-count N]\n"
+      << "            [--worker-count M] [--search ...] "
+         "[--saps-iterations I]\n"
+      << "            [--propagation-fill-threshold T] "
+         "[--propagation-horizon H]\n"
+      << "            [--seed S] [--ranking-out F]\n"
+      << "            (serves the stored result without running inference;\n"
+      << "             exit 2 when the bundle has no entry for this work)\n"
       << "  serve     --jobs F.jsonl [--results F.jsonl]\n"
       << "            [--service-workers N] [--queue-capacity C]\n"
       << "            [--queue-policy reject|shed-oldest] [--deadline-ms D]\n"
       << "            [--check-invariants] [--trace F.json]\n"
       << "            [--metrics F.json] [--telemetry DIR]\n"
-      << "            [--telemetry-period-ms P]\n"
+      << "            [--telemetry-period-ms P] [--cache-dir DIR]\n"
+      << "            [--cache-capacity C]\n"
       << "            (exit 0 all jobs ranked, 2 otherwise; --telemetry\n"
-      << "             writes telemetry.jsonl, metrics.prom, postmortems/)\n"
+      << "             writes telemetry.jsonl, metrics.prom, postmortems/;\n"
+      << "             --cache-dir/--cache-capacity serve repeat jobs from\n"
+      << "             the result cache)\n"
       << "  top       --telemetry DIR|F.jsonl [--follow] [--interval-ms I]\n"
       << "            [--rows N]\n"
       << "            (renders the serve telemetry stream as a live table;\n"
@@ -754,6 +949,8 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "assign") return cmd_assign(argv, out);
     if (command == "simulate") return cmd_simulate(argv, out);
     if (command == "infer") return cmd_infer(argv, out);
+    if (command == "index") return cmd_index(argv, out);
+    if (command == "query") return cmd_query(argv, out);
     if (command == "serve") return cmd_serve(argv, out);
     if (command == "top") return cmd_top(argv, out);
     if (command == "eval") return cmd_eval(argv, out);

@@ -164,6 +164,10 @@ void Telemetry::on_outcome(const char* outcome) {
   registry_.counter(std::string("service.outcome.") + outcome).increment();
 }
 
+void Telemetry::on_cache(const char* event) {
+  registry_.counter(std::string("service.cache.") + event).increment();
+}
+
 void Telemetry::write_postmortem(const Postmortem& postmortem) {
   MutexLock lock(postmortem_mutex_);
   if (postmortems_written_ >= config_.max_postmortems) {

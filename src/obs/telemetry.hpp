@@ -109,6 +109,10 @@ class Telemetry {
                       std::uint8_t outcome_code);
   /// Bumps `service.outcome.<outcome>` — once per terminal job, any path.
   void on_outcome(const char* outcome);
+  /// Bumps `service.cache.<event>` ("hit" / "miss" / "store"): the result
+  /// cache's warm-path accounting as seen per job by the executors.
+  /// Thread-safe (sharded counters).
+  void on_cache(const char* event);
 
   /// Writes `<dir>/postmortems/job_<id>_<outcome>.json` unless the cap
   /// has been reached. Thread-safe; called by executors.

@@ -1,49 +1,40 @@
-// Implementation of the crowdrank::api facade (src/crowdrank.hpp).
-#include "crowdrank.hpp"
+// Implementation of the crowdrank::api facade (service/api.hpp): request
+// validation plus translation onto the shared rank entry the service's
+// executors use too (service/rank_entry.hpp).
+#include "service/api.hpp"
 
-#include <algorithm>
 #include <utility>
+
+#include "core/pipeline.hpp"
+#include "service/rank_entry.hpp"
 
 namespace crowdrank::api {
 
 namespace {
 
-/// Records the last stage the engine entered (for Failed reporting) and
-/// forwards checkpoints to any caller-supplied controller.
-class StageTracker final : public StageControl {
- public:
-  explicit StageTracker(StageControl* inner) : inner_(inner) {}
-
-  void checkpoint(const StageSnapshot& snapshot) override {
-    if (snapshot.next != PipelineStage::Done) {
-      last_ = snapshot.next;
-    }
-    if (inner_ != nullptr) {
-      inner_->checkpoint(snapshot);
-    }
-  }
-
-  PipelineStage last() const { return last_; }
-
- private:
-  StageControl* inner_;
-  PipelineStage last_ = PipelineStage::TruthDiscovery;
-};
+service::RankParams params_from(const Request& request) {
+  service::RankParams params;
+  params.votes = &request.votes;
+  params.object_count = request.object_count;
+  params.worker_count = request.worker_count;
+  params.seed = request.seed;
+  params.inference = &request.inference;
+  params.repair = request.repair;
+  params.hardening = &request.hardening;
+  params.assignment = request.assignment;
+  // The facade forwards the caller's controller; the tracker inside the
+  // entry records stages for Failed reporting either way.
+  params.control = request.inference.control;
+  params.cache = request.cache;
+  params.cache_control = request.cache_control;
+  return params;
+}
 
 }  // namespace
 
 std::vector<Error> validate(const Request& request) {
-  std::vector<Error> errors = request.inference.validate();
-  if (request.votes.empty()) {
-    errors.push_back({"votes", "batch is empty"});
-  }
-  if (request.assignment != nullptr && request.repair) {
-    // Hardening remaps object/worker ids, which would silently desync the
-    // assignment's task keys; demand the strict path instead.
-    errors.push_back(
-        {"assignment", "requires repair = false (hardening remaps ids)"});
-  }
-  return errors;
+  return service::validate_rank_params(params_from(request),
+                                       /*require_votes=*/true);
 }
 
 Response rank(const Request& request) {
@@ -62,65 +53,18 @@ Response rank(const Request& request, Rng& rng) {
     return response;
   }
 
-  StageTracker tracker(request.inference.control);
-  try {
-    VoteBatch votes;
-    std::vector<VertexId> object_map;  // compact -> original (empty = id)
-    std::size_t object_count = request.object_count;
-    std::size_t worker_count = request.worker_count;
-
-    if (request.repair) {
-      service::HardenedBatch batch =
-          service::harden_votes(request.votes, request.object_count,
-                                request.hardening, &response.hardening);
-      response.ranking.excluded = response.hardening.excluded_objects;
-      if (!batch.usable()) {
-        response.outcome = service::JobOutcome::Failed;
-        response.stage = PipelineStage::Hardening;
-        response.reason =
-            "batch unusable after hardening: fewer than two connected "
-            "objects remain";
-        return response;
-      }
-      object_count = batch.objects.size();
-      worker_count = std::max(worker_count, batch.workers.size());
-      votes = std::move(batch.votes);
-      object_map = std::move(batch.objects);
-    } else {
-      votes = request.votes;
-      for (const Vote& v : votes) {
-        object_count = std::max({object_count, v.i + 1, v.j + 1});
-        worker_count = std::max(worker_count, v.worker + 1);
-      }
-    }
-
-    InferenceConfig inference = request.inference;
-    inference.control = &tracker;
-    const InferenceEngine engine(inference);
-    response.inference =
-        request.assignment != nullptr
-            ? engine.infer(votes, object_count, worker_count,
-                           *request.assignment, rng)
-            : engine.infer(votes, object_count, worker_count, rng);
-
-    response.ranking.order.assign(
-        response.inference->ranking.order().begin(),
-        response.inference->ranking.order().end());
-    if (!object_map.empty()) {
-      for (VertexId& v : response.ranking.order) {
-        v = object_map[v];
-      }
-    }
-    response.log_probability = response.inference->log_probability;
-    response.stage = PipelineStage::Done;
-    response.outcome = response.ranking.complete()
-                           ? service::JobOutcome::Completed
-                           : service::JobOutcome::Degraded;
-  } catch (const std::exception& e) {
-    response.outcome = service::JobOutcome::Failed;
-    response.stage = tracker.last();
-    response.reason = e.what();
-  }
+  service::RankOutcome out = service::run_ranking(params_from(request), rng);
+  response.outcome = out.outcome;
+  response.stage = out.stage;
+  response.reason = std::move(out.reason);
+  response.ranking = std::move(out.ranking);
+  response.hardening = std::move(out.hardening);
+  response.log_probability = out.log_probability;
+  response.inference = std::move(out.inference);
+  response.served_from_cache = out.cache.served_from_cache;
+  response.artifact_key = std::move(out.cache.key_hex);
+  response.artifact_schema_version =
+      out.cache.consulted ? service::artifact::kRankedResultSchema : 0;
   return response;
 }
 

@@ -54,6 +54,9 @@ struct HardeningReport {
   /// rank (never compared, or outside the largest component). Ascending.
   std::vector<VertexId> excluded_objects;
 
+  friend bool operator==(const HardeningReport&,
+                         const HardeningReport&) = default;
+
   bool repaired() const {
     return dropped_out_of_range + dropped_self + dropped_duplicate +
                dropped_conflicting + dropped_disconnected >

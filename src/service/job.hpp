@@ -41,6 +41,21 @@ enum class JobOutcome {
 /// Stable machine-readable outcome name ("completed", ...).
 const char* outcome_name(JobOutcome outcome);
 
+/// Per-request result-cache policy (service/result_cache.hpp owns the
+/// cache itself; the enum lives here with the rest of the job vocabulary
+/// so RankingJob and the artifact module need no cache dependency).
+/// Default on a cacheless service/facade is exactly the cold path, so
+/// the field is purely additive.
+enum class CacheControl {
+  Default,     ///< look up; on a miss compute and insert
+  Bypass,      ///< ignore the cache entirely (no lookup, no insert)
+  Refresh,     ///< skip the lookup; recompute and overwrite the entry
+  RequireHit,  ///< serve only from cache; a miss is a Rejected outcome
+};
+
+/// Stable machine-readable policy name ("default", "require_hit", ...).
+const char* cache_control_name(CacheControl control);
+
 /// Deterministic fault-injection plan. All knobs compose; `only_job`
 /// restricts a service-level plan to the Kth submission (0-based) so a
 /// test can fail exactly one job of a stream.
@@ -82,6 +97,11 @@ struct RankingJob {
   /// Per-job deadline measured from submission (0 = the service default;
   /// both 0 = no deadline). Checked cooperatively at stage checkpoints.
   std::chrono::milliseconds deadline{0};
+  /// Result-cache policy for this job. Only meaningful on a service
+  /// configured with a cache (ServiceConfig::cache); Default degrades to
+  /// the cold path otherwise, and RequireHit without a cache is Rejected
+  /// at submission.
+  CacheControl cache_control = CacheControl::Default;
   /// Per-job injected faults (tests only; inert by default).
   FaultPlan fault;
 };
@@ -92,6 +112,9 @@ struct RankingJob {
 struct PartialRanking {
   std::vector<VertexId> order;
   std::vector<VertexId> excluded;
+
+  friend bool operator==(const PartialRanking&,
+                         const PartialRanking&) = default;
 
   bool complete() const { return excluded.empty(); }
 };
@@ -110,6 +133,15 @@ struct JobResult {
   double log_probability = 0.0;
   double queue_ms = 0.0;  ///< submission -> execution start
   double run_ms = 0.0;    ///< execution start -> outcome
+
+  // Cache provenance (all-defaults on a cacheless service).
+  /// True when the result was served from the result cache (the infer
+  /// stage never ran for this job).
+  bool served_from_cache = false;
+  /// Hex content key of this job's work ("" when no key was derived).
+  std::string artifact_key;
+  /// Payload schema version of the cached-result artifact kind.
+  std::uint32_t artifact_schema_version = 0;
 };
 
 }  // namespace crowdrank::service

@@ -7,9 +7,9 @@
 #include <thread>
 #include <utility>
 
-#include "analysis/invariants.hpp"
 #include "core/pipeline.hpp"
 #include "obs/telemetry.hpp"
+#include "service/rank_entry.hpp"
 #include "util/error.hpp"
 #include "util/mutex.hpp"
 #include "util/parallel.hpp"
@@ -361,59 +361,65 @@ struct RankingService::Impl {
       for (const FaultPlan* plan : faults) {
         mutate_votes(votes, *plan, ticket.job.object_count);
       }
-      const HardenedBatch batch = harden_votes(
-          votes, ticket.job.object_count, config.hardening, &r.hardening);
-      r.ranking.excluded = r.hardening.excluded_objects;
-      if (telemetry != nullptr && r.hardening.repaired()) {
-        telemetry->on_hardening(
-            executor, ticket.id,
-            static_cast<std::uint64_t>(r.hardening.input_votes -
-                                       r.hardening.retained_votes));
-      }
-      if (!batch.usable()) {
-        throw JobInterrupt{
-            JobOutcome::Failed, PipelineStage::Hardening,
-            "batch unusable after hardening: fewer than two connected "
-            "objects remain"};
-      }
 
-      // Inference over the compacted batch. Worker-count hints below the
-      // compact worker universe are widened rather than trusted.
-      InferenceConfig inference = ticket.job.inference;
-      inference.control = &control;
-      inference.check_invariants |= config.check_invariants;
       // Per-job engine sinks would race on the process-global active-sink
       // pointer when jobs run concurrently; the service records per-job
       // spans on its own sink instead.
+      InferenceConfig inference = ticket.job.inference;
       inference.trace = nullptr;
-      const std::size_t workers =
-          std::max(ticket.job.worker_count, batch.workers.size());
+
+      // The shared entry (rank_entry.hpp) runs cache lookup -> harden ->
+      // infer -> id remap exactly as the api facade does; JobInterrupt
+      // thrown by `control` at a checkpoint passes through it untouched.
+      RankParams params;
+      params.votes = &votes;
+      params.object_count = ticket.job.object_count;
+      params.worker_count = ticket.job.worker_count;
+      params.seed = ticket.job.seed;
+      params.inference = &inference;
+      params.repair = true;
+      params.hardening = &config.hardening;
+      params.control = &control;
+      params.check_invariants = config.check_invariants;
+      params.cache = config.cache;
+      params.cache_control = ticket.job.cache_control;
+      params.on_hardened = [&](const HardeningReport& report) {
+        // Copy the accounting onto the result immediately: a fault or
+        // deadline interrupt unwinds run_ranking's local outcome, and the
+        // postmortem still needs the hardening numbers.
+        r.hardening = report;
+        if (telemetry != nullptr && report.repaired()) {
+          telemetry->on_hardening(
+              executor, ticket.id,
+              static_cast<std::uint64_t>(report.input_votes -
+                                         report.retained_votes));
+        }
+      };
+
       Rng rng(ticket.job.seed);
-      const InferenceEngine engine(inference);
-      const InferenceResult result =
-          engine.infer(batch.votes, batch.objects.size(), workers, rng);
-
-      // Map the compact ranking back onto original object ids.
-      r.ranking.order.clear();
-      r.ranking.order.reserve(result.ranking.size());
-      for (const VertexId compact : result.ranking.order()) {
-        r.ranking.order.push_back(batch.objects[compact]);
-      }
-      r.log_probability = result.log_probability;
-      r.stage = PipelineStage::Done;
-      r.outcome = r.ranking.complete() ? JobOutcome::Completed
-                                       : JobOutcome::Degraded;
-
-      // Per-job invariant hook: the mapped partial ranking must be a
-      // permutation of the retained objects (the engine has already
-      // validated the compact ranking when invariant checks are on).
-      if (inference.check_invariants ||
-          analysis::invariant_checks_enabled()) {
-        std::vector<VertexId> sorted = r.ranking.order;
-        std::sort(sorted.begin(), sorted.end());
-        if (sorted != batch.objects) {
-          throw Error("service invariant violated: partial ranking is "
-                      "not a permutation of the retained objects");
+      RankOutcome out = run_ranking(params, rng);
+      r.outcome = out.outcome;
+      r.stage = out.stage;
+      r.reason = std::move(out.reason);
+      r.ranking = std::move(out.ranking);
+      r.hardening = std::move(out.hardening);
+      r.log_probability = out.log_probability;
+      r.served_from_cache = out.cache.served_from_cache;
+      r.artifact_key = std::move(out.cache.key_hex);
+      r.artifact_schema_version =
+          out.cache.consulted ? artifact::kRankedResultSchema : 0;
+      if (out.cache.consulted) {
+        if (config.trace != nullptr) {
+          config.trace->metrics()
+              .counter(out.cache.served_from_cache ? "service.cache.job_hit"
+                                                   : "service.cache.job_miss")
+              .add(1);
+        }
+        if (telemetry != nullptr) {
+          telemetry->on_cache(out.cache.served_from_cache ? "hit" : "miss");
+          if (out.cache.stored) {
+            telemetry->on_cache("store");
+          }
         }
       }
     } catch (const JobInterrupt& interrupt) {
@@ -560,9 +566,18 @@ const ServiceConfig& RankingService::config() const {
 }
 
 std::uint64_t RankingService::submit(RankingJob job) {
-  // Structured config validation happens before the job is admitted, so
-  // a bad config is a Rejected outcome, not a mid-pipeline throw.
-  const std::vector<ConfigError> errors = job.inference.validate();
+  // Structured validation happens before the job is admitted, so a bad
+  // config is a Rejected outcome, not a mid-pipeline throw. Shared with
+  // api::validate (rank_entry.hpp) minus the facade's empty-batch check:
+  // an empty batch historically runs and fails hardening instead.
+  RankParams probe;
+  probe.votes = &job.votes;
+  probe.inference = &job.inference;
+  probe.hardening = &impl_->config.hardening;
+  probe.cache = impl_->config.cache;
+  probe.cache_control = job.cache_control;
+  const std::vector<ConfigError> errors =
+      validate_rank_params(probe, /*require_votes=*/false);
 
   MutexLock lock(impl_->mutex);
   auto ticket = std::make_shared<Impl::Ticket>();

@@ -38,6 +38,7 @@
 
 #include "service/hardening.hpp"
 #include "service/job.hpp"
+#include "service/result_cache.hpp"
 
 namespace crowdrank::trace {
 class TraceSink;
@@ -79,6 +80,12 @@ struct ServiceConfig {
   /// rankings are bitwise-identical with telemetry on or off. Must
   /// outlive the service; construct with `executor_count == worker_count`.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional shared result cache (must outlive the service). When set,
+  /// each job's cache_control decides whether its content key is looked
+  /// up before the pipeline runs — a hit settles the job without the
+  /// infer stage and is bitwise-identical to recomputation. Null keeps
+  /// every job on the historical cold path.
+  ResultCache* cache = nullptr;
 };
 
 /// Aggregate counters, readable at any time.

@@ -330,5 +330,135 @@ TEST_F(DeterminismTest, ServiceResultsAreIdenticalAcrossKernelThreadCounts) {
   }
 }
 
+TEST_F(DeterminismTest, CacheHitIsBitwiseIdenticalToColdRecomputation) {
+  // The result cache's whole premise: a warm hit returns exactly what a
+  // cold recomputation would produce — at any kernel thread count. Messy
+  // votes exercise the hardening path so the cached deliverable covers
+  // repair accounting too.
+  VoteBatch votes;
+  const std::size_t n = 9;
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, (i + j + w) % 3 != 0});
+      }
+    }
+  }
+  votes.push_back(Vote{0, 2, 2, true});   // self vote: hardening drops it
+  votes.push_back(Vote{1, 0, 50, true});  // out of range: dropped too
+
+  service::ResultCache cache;
+  api::Request request;
+  request.votes = votes;
+  request.object_count = n;
+  request.seed = 5;
+  request.cache = &cache;
+
+  set_thread_count(1);
+  const api::Response cold = api::rank(request);
+  ASSERT_TRUE(cold.ok()) << cold.reason;
+  ASSERT_FALSE(cold.served_from_cache);
+  ASSERT_FALSE(cold.artifact_key.empty());
+  ASSERT_TRUE(cold.hardening.repaired());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const api::Response warm = api::rank(request);
+    ASSERT_TRUE(warm.served_from_cache) << "threads = " << threads;
+    EXPECT_EQ(warm.outcome, cold.outcome);
+    EXPECT_EQ(warm.stage, cold.stage);
+    EXPECT_EQ(warm.ranking, cold.ranking);
+    EXPECT_EQ(warm.hardening, cold.hardening);
+    EXPECT_EQ(warm.log_probability, cold.log_probability);
+    EXPECT_EQ(warm.artifact_key, cold.artifact_key);
+    // The engine never ran: a hit carries the deliverable only.
+    EXPECT_FALSE(warm.inference.has_value());
+  }
+
+  // Bypass ignores the cache and recomputes — and lands on the same bits,
+  // which is the other direction of the identity.
+  request.cache_control = service::CacheControl::Bypass;
+  const api::Response bypass = api::rank(request);
+  ASSERT_TRUE(bypass.ok()) << bypass.reason;
+  EXPECT_FALSE(bypass.served_from_cache);
+  EXPECT_EQ(bypass.ranking, cold.ranking);
+  EXPECT_EQ(bypass.log_probability, cold.log_probability);
+}
+
+TEST_F(DeterminismTest, ServiceWarmResubmissionSkipsInferEntirely) {
+  // Warm replays poison the infer stage with an injected fault: if the
+  // pipeline were entered at all, every job would Fail at TruthDiscovery.
+  // Settling bitwise-identical to the cold batch proves a hit short-
+  // circuits validate→harden→infer, not just that it matches.
+  VoteBatch votes;
+  const std::size_t n = 10;
+  for (WorkerId w = 0; w < 3; ++w) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        votes.push_back(Vote{w, i, j, true});
+      }
+    }
+  }
+  service::ResultCache cache;
+  const auto run_batch = [&](std::size_t executors, bool poison_infer) {
+    service::ServiceConfig config;
+    config.worker_count = executors;
+    config.cache = &cache;
+    service::RankingService svc(config);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      service::RankingJob job;
+      job.votes = votes;
+      job.object_count = n;
+      job.seed = seed;
+      if (poison_infer) {
+        job.fault.fail_before = PipelineStage::TruthDiscovery;
+      }
+      svc.submit(std::move(job));
+    }
+    return svc.drain();
+  };
+
+  set_thread_count(1);
+  const auto cold = run_batch(1, /*poison_infer=*/false);
+  for (const auto& result : cold) {
+    ASSERT_EQ(result.outcome, service::JobOutcome::Completed)
+        << result.reason;
+    ASSERT_FALSE(result.served_from_cache);
+    ASSERT_FALSE(result.artifact_key.empty());
+  }
+
+  for (const std::size_t executors : {std::size_t{1}, std::size_t{4}}) {
+    const auto warm = run_batch(executors, /*poison_infer=*/true);
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t k = 0; k < cold.size(); ++k) {
+      EXPECT_TRUE(warm[k].served_from_cache)
+          << "executors = " << executors << ", job " << k;
+      EXPECT_EQ(warm[k].outcome, cold[k].outcome);
+      EXPECT_EQ(warm[k].ranking, cold[k].ranking);
+      EXPECT_EQ(warm[k].hardening, cold[k].hardening);
+      EXPECT_EQ(warm[k].log_probability, cold[k].log_probability);
+      EXPECT_EQ(warm[k].artifact_key, cold[k].artifact_key);
+    }
+  }
+
+  // Control: against an empty cache the same poisoned job really does
+  // fail — the warm passes above were cache hits, not fault-plan luck.
+  service::ResultCache empty_cache;
+  service::ServiceConfig config;
+  config.worker_count = 1;
+  config.cache = &empty_cache;
+  service::RankingService svc(config);
+  service::RankingJob poisoned;
+  poisoned.votes = votes;
+  poisoned.object_count = n;
+  poisoned.seed = 1;
+  poisoned.fault.fail_before = PipelineStage::TruthDiscovery;
+  svc.submit(std::move(poisoned));
+  const auto failed = svc.drain();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].outcome, service::JobOutcome::Failed);
+  EXPECT_FALSE(failed[0].served_from_cache);
+}
+
 }  // namespace
 }  // namespace crowdrank

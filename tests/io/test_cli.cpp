@@ -463,5 +463,107 @@ TEST(Cli, TopReportsMissingAndEmptyTelemetry) {
             2);
 }
 
+TEST(Cli, IndexThenQueryServesFromArtifacts) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "10", "--selection-ratio",
+                 "0.6", "--seed", "7", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+
+  // index ranks and persists the full artifact bundle.
+  ASSERT_EQ(run({"index", "--votes", dir.file("votes.csv"), "--artifacts",
+                 dir.file("bundle"), "--seed", "3"},
+                &out),
+            0);
+  EXPECT_NE(out.find("artifact key "), std::string::npos);
+  for (const char* name : {"votes.crart", "task_graph.crart",
+                           "preference_graph.crart", "closure.crart"}) {
+    EXPECT_TRUE(fs::exists(dir.path / "bundle" / name)) << name;
+  }
+
+  // query serves the stored result (a later invocation = fresh cache
+  // instance, so the answer can only come from the disk artifacts) and
+  // never runs inference.
+  std::string query_out;
+  ASSERT_EQ(run({"query", "--votes", dir.file("votes.csv"), "--artifacts",
+                 dir.file("bundle"), "--seed", "3", "--ranking-out",
+                 dir.file("query_ranking.csv")},
+                &query_out),
+            0);
+  EXPECT_NE(query_out.find("served from artifact "), std::string::npos);
+
+  // The served ranking matches what `infer` computes directly for the
+  // same work — the cached facade answer and the engine agree end to end.
+  ASSERT_EQ(run({"infer", "--votes", dir.file("votes.csv"), "--seed", "3",
+                 "--ranking-out", dir.file("infer_ranking.csv")},
+                &out),
+            0);
+  const Ranking from_query = load_ranking(dir.file("query_ranking.csv"));
+  const Ranking from_infer = load_ranking(dir.file("infer_ranking.csv"));
+  ASSERT_EQ(from_query.size(), from_infer.size());
+  for (std::size_t p = 0; p < from_query.size(); ++p) {
+    EXPECT_EQ(from_query.object_at(p), from_infer.object_at(p)) << p;
+  }
+}
+
+TEST(Cli, QueryExitsNonZeroOnForcedMiss) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "8", "--selection-ratio",
+                 "0.6", "--seed", "7", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+  ASSERT_EQ(run({"index", "--votes", dir.file("votes.csv"), "--artifacts",
+                 dir.file("bundle"), "--seed", "3"},
+                &out),
+            0);
+  // Different seed = different content key = no stored artifact: exit 2
+  // (distinct from usage errors, which exit 1), never a silent recompute.
+  EXPECT_EQ(run({"query", "--votes", dir.file("votes.csv"), "--artifacts",
+                 dir.file("bundle"), "--seed", "4"},
+                &out),
+            2);
+  EXPECT_NE(out.find("query miss"), std::string::npos);
+}
+
+TEST(Cli, ServeServesRepeatJobsFromTheCache) {
+  const TempDir dir;
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--object-count", "8", "--selection-ratio",
+                 "0.6", "--seed", "5", "--votes-out",
+                 dir.file("votes.csv")},
+                &out),
+            0);
+  {
+    std::ofstream jobs(dir.file("jobs.jsonl"));
+    for (int id = 1; id <= 3; ++id) {
+      jobs << "{\"id\": " << id << ", \"votes\": \""
+           << dir.file("votes.csv") << "\", \"seed\": 2}\n";
+    }
+  }
+  // Three identical jobs: one cold computation, two memory hits.
+  ASSERT_EQ(run({"serve", "--jobs", dir.file("jobs.jsonl"),
+                 "--cache-capacity", "8", "--cache-dir",
+                 dir.file("cache")},
+                &out),
+            0);
+  EXPECT_NE(out.find("cache: 2 hits (0 disk), 1 misses"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("3 completed"), std::string::npos);
+
+  // A second serve run starts with a cold memory tier but finds all three
+  // artifacts on disk — warm across restarts.
+  ASSERT_EQ(run({"serve", "--jobs", dir.file("jobs.jsonl"), "--cache-dir",
+                 dir.file("cache")},
+                &out),
+            0);
+  EXPECT_NE(out.find("0 misses"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 completed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace crowdrank::io

@@ -1,0 +1,152 @@
+// StableHash (util/hash.hpp): the content-addressing primitive under the
+// artifact checksums and the result-cache keys. The tests pin the actual
+// digest values — the hash is a persistence format, so any change to its
+// output is a breaking format change and must fail here first.
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crowdrank {
+namespace {
+
+TEST(StableHash, EmptyInputDigestIsPinned) {
+  // Murmur3 x64-128 of zero bytes with seed 0. Pinned forever: if this
+  // moves, every artifact checksum and cache key on disk is invalidated.
+  EXPECT_EQ(StableHash(0).digest().hex(), "00000000000000000000000000000000");
+}
+
+TEST(StableHash, KnownAnswerIsPinned) {
+  // Golden value pinned at the format's introduction; guards byte order,
+  // tail handling, and finalization across platforms and compilers.
+  StableHash hash(0);
+  hash.add_string("crowdrank");
+  EXPECT_EQ(hash.digest().hex(), "cdcc0ac1eb9a8ebd908390a3c8ae1870");
+}
+
+TEST(StableHash, HexIs32LowercaseDigits) {
+  StableHash hash(7);
+  hash.add_u64(1234);
+  const std::string hex = hash.digest().hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "unexpected hex character " << c;
+  }
+}
+
+TEST(StableHash, StreamingMatchesOneShot) {
+  // Chunking must not matter: the cache key is built field-by-field while
+  // the artifact checksum hashes one contiguous buffer.
+  const std::string bytes = "the quick brown fox jumps over the lazy dog";
+  StableHash one_shot(42);
+  one_shot.add_bytes(bytes.data(), bytes.size());
+  for (std::size_t split = 1; split < bytes.size(); split += 7) {
+    StableHash streamed(42);
+    streamed.add_bytes(bytes.data(), split);
+    streamed.add_bytes(bytes.data() + split, bytes.size() - split);
+    EXPECT_EQ(streamed.digest(), one_shot.digest()) << "split " << split;
+  }
+}
+
+TEST(StableHash, DigestDoesNotConsumeTheHasher) {
+  StableHash hash(1);
+  hash.add_u32(5);
+  const HashDigest first = hash.digest();
+  EXPECT_EQ(hash.digest(), first);  // digest() finalizes a copy
+  hash.add_u32(6);
+  EXPECT_NE(hash.digest(), first);
+}
+
+TEST(StableHash, SeedsSeparateKeySpaces) {
+  StableHash a(0x43524146);  // "CRAF"
+  StableHash b(0x43414348);  // "CACH"
+  a.add_u64(99);
+  b.add_u64(99);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(StableHash, EveryFieldPerturbsTheDigest) {
+  const auto base = [] {
+    StableHash h(3);
+    h.add_u8(1);
+    h.add_u32(2);
+    h.add_u64(3);
+    h.add_bool(true);
+    h.add_double(0.5);
+    h.add_string("x");
+    return h.digest();
+  }();
+  {
+    StableHash h(3);
+    h.add_u8(2);  // changed
+    h.add_u32(2);
+    h.add_u64(3);
+    h.add_bool(true);
+    h.add_double(0.5);
+    h.add_string("x");
+    EXPECT_NE(h.digest(), base);
+  }
+  {
+    StableHash h(3);
+    h.add_u8(1);
+    h.add_u32(2);
+    h.add_u64(3);
+    h.add_bool(false);  // changed
+    h.add_double(0.5);
+    h.add_string("x");
+    EXPECT_NE(h.digest(), base);
+  }
+  {
+    StableHash h(3);
+    h.add_u8(1);
+    h.add_u32(2);
+    h.add_u64(3);
+    h.add_bool(true);
+    h.add_double(-0.5);  // changed
+    h.add_string("x");
+    EXPECT_NE(h.digest(), base);
+  }
+}
+
+TEST(StableHash, DoubleHashesBitPattern) {
+  // +0.0 and -0.0 compare equal but are different bit patterns — the hash
+  // is over representation, so they must differ (and stay reproducible).
+  StableHash pos(0);
+  StableHash neg(0);
+  pos.add_double(0.0);
+  neg.add_double(-0.0);
+  EXPECT_NE(pos.digest(), neg.digest());
+}
+
+TEST(StableHash, StringsAreLengthPrefixed) {
+  // ("ab", "c") must not collide with ("a", "bc").
+  StableHash left(0);
+  left.add_string("ab");
+  left.add_string("c");
+  StableHash right(0);
+  right.add_string("a");
+  right.add_string("bc");
+  EXPECT_NE(left.digest(), right.digest());
+}
+
+TEST(StableHash, Digest64IsLowWord) {
+  StableHash hash(9);
+  hash.add_u64(77);
+  EXPECT_EQ(hash.digest64(), hash.digest().lo);
+}
+
+TEST(HashDigest, OrderingIsLexicographic) {
+  const HashDigest a{1, 2};
+  const HashDigest b{1, 3};
+  const HashDigest c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (HashDigest{1, 2}));
+}
+
+}  // namespace
+}  // namespace crowdrank

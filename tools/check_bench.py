@@ -11,8 +11,8 @@ that report into a CI gate:
     absorb runner-to-runner variance, tight enough to catch a kernel
     silently falling off its fast path);
   * correctness booleans (`identical`, `rankings_match`,
-    `telemetry_overhead_ok`) must be true, exactly as the baseline
-    recorded them;
+    `telemetry_overhead_ok`, `cache_correct`) must be true, exactly as
+    the baseline recorded them;
   * deterministic integers (`densify_step`, `horizon`, `n`) must match
     exactly — a changed densify step means the sparse-first propagation
     switched representation at a different point than the baseline pinned;
@@ -46,7 +46,8 @@ import sys
 # current > baseline * tolerance + NOISE_FLOOR_MS.
 NOISE_FLOOR_MS = 0.5
 
-BOOLEAN_KEYS = {"identical", "rankings_match", "telemetry_overhead_ok"}
+BOOLEAN_KEYS = {"identical", "rankings_match", "telemetry_overhead_ok",
+                "cache_correct"}
 EXACT_INT_KEYS = {"densify_step", "horizon", "n"}
 ACCURACY_TOLERANCE = 0.05
 

@@ -32,8 +32,19 @@ quietly break that promise, so this script bans them in src/:
                     the discipline; the wrapper's own internals carry the
                     sanctioned lint:allow escapes.
 
-One rule is scoped to a single file rather than all of src/:
+Two rules are scoped to a subtree rather than all of src/:
 
+  fs-write-in-service    opening, writing, renaming, or deleting files from
+                         src/service/ anywhere except the artifact module
+                         (src/service/artifact.cpp). Every byte the service
+                         persists must flow through the framed, checksummed
+                         artifact format — an ofstream elsewhere in the
+                         service layer is an unversioned side channel that
+                         the result cache, `crowdrank query`, and crash
+                         recovery cannot read back. Flags std::ofstream /
+                         std::fstream / fopen / fwrite and the mutating
+                         std::filesystem calls (create_director*, remove,
+                         rename, copy, resize_file).
   dense-in-propagation   constructing a dense Matrix (or materializing one
                          via .to_dense()) inside src/core/propagation.cpp.
                          Propagation is sparse-first (DESIGN.md §7c): the
@@ -121,6 +132,19 @@ DENSE_IN_PROPAGATION_RE = re.compile(
     r"|\.to_dense\s*\("
 )
 
+# Persistence choke point for the service layer. Everything the service
+# writes to disk goes through the artifact module (framed + checksummed);
+# any other filesystem write in src/service/ is an unversioned side channel.
+# Read-only constructs (ifstream, exists, file_size, directory iteration)
+# are deliberately not matched.
+FS_WRITE_DIR = "src/service/"
+FS_WRITE_ALLOWED_FILES = ("src/service/artifact.cpp",)
+FS_WRITE_RE = re.compile(
+    r"\bstd::ofstream\b|\bstd::fstream\b|\bfopen\s*\(|\bfwrite\s*\("
+    r"|\bstd::filesystem::(?:create_director\w*|remove\w*|rename|copy\w*|"
+    r"resize_file)\b"
+)
+
 # Facade enforcement over out-of-tree consumers. src/ and tests/ may touch
 # the engine directly (tests pin its exact contract); everything else goes
 # through crowdrank::api or the batch service.
@@ -201,6 +225,13 @@ def lint_lines(path: str, lines: list[str]) -> list[tuple[str, int, str, str]]:
             m = pattern.search(code)
             if m and rule not in allow:
                 findings.append((path, lineno, rule, raw.strip()))
+        if (path.startswith(FS_WRITE_DIR)
+                and path not in FS_WRITE_ALLOWED_FILES
+                and "fs-write-in-service" not in allow
+                and FS_WRITE_RE.search(code)):
+            findings.append(
+                (path, lineno, "fs-write-in-service", raw.strip())
+            )
         if (path == DENSE_IN_PROPAGATION_FILE
                 and "dense-in-propagation" not in allow):
             m = DENSE_IN_PROPAGATION_RE.search(code)
@@ -328,6 +359,14 @@ SELF_TEST_BAD = [
      ["  Matrix dense = Matrix::zero(n, n);"]),
     ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
      ["  auto d = sparse.to_dense();"]),
+    ("fs-write-in-service", "src/service/result_cache.cpp",
+     ["std::ofstream out(path, std::ios::binary);"]),
+    ("fs-write-in-service", "src/service/service.cpp",
+     ["std::filesystem::create_directories(dir, ec);"]),
+    ("fs-write-in-service", "src/service/service.cpp",
+     ["std::filesystem::rename(tmp, final_path, ec);"]),
+    ("fs-write-in-service", "src/service/job.hpp",
+     ['FILE* f = fopen(path.c_str(), "wb");']),
 ]
 
 SELF_TEST_GOOD = [
@@ -349,6 +388,16 @@ SELF_TEST_GOOD = [
      ["MutexLock lock(mutex_);", "CondVar cv;"]),
     ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
      ["Matrix propagate(const SparseMatrix& m) {"]),
+    # The artifact module is the sanctioned persistence site.
+    ("fs-write-in-service", "src/service/artifact.cpp",
+     ["std::ofstream out(tmp, std::ios::binary | std::ios::trunc);"]),
+    # Reads are fine anywhere in the service layer.
+    ("fs-write-in-service", "src/service/result_cache.cpp",
+     ["std::ifstream in(path, std::ios::binary);",
+      "if (std::filesystem::exists(path)) {"]),
+    # Same constructs outside src/service/ are not this rule's business.
+    ("fs-write-in-service", "src/io/commands.cpp",
+     ["std::ofstream out(path);"]),
 ]
 
 SELF_TEST_FACADE_BAD = [
@@ -400,7 +449,7 @@ def run_self_test() -> int:
     covered = {rule for rule, _, _ in SELF_TEST_BAD}
     covered |= {rule for rule, _, _ in SELF_TEST_FACADE_BAD}
     all_rules = set(RULES) | {
-        "unordered-iter", "dense-in-propagation",
+        "unordered-iter", "dense-in-propagation", "fs-write-in-service",
         "engine-outside-facade", "submodule-include",
     }
     for rule in sorted(all_rules - covered):
