@@ -19,6 +19,13 @@ constexpr std::size_t kChecksumSize = 8;
 constexpr std::size_t kMinFrameSize = kHeaderSize + kChecksumSize;
 /// Separates frame checksums from every other StableHash key space.
 constexpr std::uint64_t kChecksumSeed = 0x43524146;  // "CRAF"
+/// Graph decoders allocate per-vertex bookkeeping (dense n x n for
+/// PreferenceGraph) from a single fixed-size header field, so the vertex
+/// count is capped before any construction: a 32-byte forged frame with a
+/// valid checksum must not be able to demand a multi-terabyte allocation,
+/// and n * n must stay representable in std::size_t. 2^26 vertices is far
+/// beyond any ranking universe the serving story targets.
+constexpr std::uint64_t kMaxDecodedVertices = std::uint64_t{1} << 26;
 
 std::string hex64(std::uint64_t value) {
   static constexpr char kDigits[] = "0123456789abcdef";
@@ -376,11 +383,21 @@ Result<TaskGraph> decode_task_graph(std::string_view bytes) {
     out.error = bad_payload("task graph needs at least two vertices");
     return out;
   }
+  if (n > kMaxDecodedVertices) {
+    out.error = bad_payload("vertex count exceeds the decoder's limit");
+    return out;
+  }
   if (!reader.can_take(edge_count, 16)) {
     out.error = bad_payload("edge count overruns the payload");
     return out;
   }
-  TaskGraph graph(n);
+  std::optional<TaskGraph> graph;
+  try {
+    graph.emplace(n);
+  } catch (const std::exception& e) {
+    out.error = bad_payload(e.what());
+    return out;
+  }
   for (std::uint64_t e = 0; e < edge_count; ++e) {
     const std::uint64_t a = reader.take_u64();
     const std::uint64_t b = reader.take_u64();
@@ -388,7 +405,7 @@ Result<TaskGraph> decode_task_graph(std::string_view bytes) {
       out.error = bad_payload("edge is not canonical (first < second < n)");
       return out;
     }
-    if (!graph.add_edge(a, b)) {
+    if (!graph->add_edge(a, b)) {
       out.error = bad_payload("duplicate edge");
       return out;
     }
@@ -435,8 +452,16 @@ Result<PreferenceGraph> decode_preference_graph(std::string_view bytes) {
     out.error = bad_payload("preference graph needs at least two vertices");
     return out;
   }
-  if (!reader.can_take(n + 1, 8) ||
-      edge_count > (payload.size() / 16)) {
+  if (n > kMaxDecodedVertices) {
+    out.error = bad_payload("vertex count exceeds the decoder's limit");
+    return out;
+  }
+  // row_ptr carries n + 1 u64 offsets. Bound n itself instead of testing
+  // can_take(n + 1, 8): a forged n == UINT64_MAX wraps n + 1 around to 0,
+  // which would pass that check, size row_ptr empty, and send the r <= n
+  // fill loop below out of bounds forever. `n < remaining / 8` is exactly
+  // `n + 1 <= remaining / 8` with no overflow.
+  if (n >= reader.remaining() / 8 || edge_count > (payload.size() / 16)) {
     out.error = bad_payload("CSR extents overrun the payload");
     return out;
   }
@@ -465,7 +490,16 @@ Result<PreferenceGraph> decode_preference_graph(std::string_view bytes) {
   for (std::uint64_t e = 0; e < edge_count; ++e) {
     neighbors[e] = reader.take_u64();
   }
-  PreferenceGraph graph(n);
+  std::optional<PreferenceGraph> graph;
+  try {
+    // Dense n x n weight storage: even a payload-bounded n can exceed
+    // memory, and that must surface as a structured rejection, not a
+    // std::bad_alloc escaping the decoder.
+    graph.emplace(n);
+  } catch (const std::exception& e) {
+    out.error = bad_payload(e.what());
+    return out;
+  }
   for (std::uint64_t row = 0; row < n; ++row) {
     for (std::uint64_t e = row_ptr[row]; e < row_ptr[row + 1]; ++e) {
       const std::uint64_t to = neighbors[e];
@@ -482,7 +516,7 @@ Result<PreferenceGraph> decode_preference_graph(std::string_view bytes) {
         out.error = bad_payload("stored weight outside (0, 1]");
         return out;
       }
-      graph.set_weight(row, to, weight);
+      graph->set_weight(row, to, weight);
     }
   }
   if (reader.failed() || !reader.exhausted()) {
@@ -524,7 +558,10 @@ Result<SparseMatrix> decode_sparse_matrix(std::string_view bytes) {
   const std::uint64_t rows = reader.take_u64();
   const std::uint64_t cols = reader.take_u64();
   const std::uint64_t nnz = reader.take_u64();
-  if (reader.failed() || !reader.can_take(rows + 1, 8)) {
+  // Same wraparound hazard as decode_preference_graph: rows == UINT64_MAX
+  // would make can_take(rows + 1, 8) vacuously pass and the r <= rows fill
+  // loop write past an empty row_ptr, so bound rows itself.
+  if (reader.failed() || rows >= reader.remaining() / 8) {
     out.error = bad_payload("CSR extents overrun the payload");
     return out;
   }

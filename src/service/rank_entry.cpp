@@ -86,7 +86,7 @@ RankOutcome run_ranking(const RankParams& params, Rng& rng) {
     key = compute_cache_key(*params.votes, params.object_count,
                             params.worker_count, params.seed,
                             *params.inference, params.repair,
-                            *params.hardening);
+                            params.hardening);
     out.cache.consulted = true;
     out.cache.key_hex = key.hex();
     if (params.cache_control != CacheControl::Refresh) {

@@ -50,7 +50,9 @@ struct RankParams {
   std::uint64_t seed = 1;                     ///< cache-key component
   const InferenceConfig* inference = nullptr; ///< required
   bool repair = true;
-  const HardeningPolicy* hardening = nullptr; ///< required when repair
+  /// Required when `repair`; may stay null on the strict path (it never
+  /// runs there and does not enter the cache key).
+  const HardeningPolicy* hardening = nullptr;
   /// Strict-path (repair = false) per-task worker assignment. Requests
   /// carrying one are never cached.
   const HitAssignment* assignment = nullptr;

@@ -29,7 +29,7 @@ const char* cache_control_name(CacheControl control) {
 CacheKey compute_cache_key(const VoteBatch& votes, std::size_t object_count,
                            std::size_t worker_count, std::uint64_t seed,
                            const InferenceConfig& inference, bool repair,
-                           const HardeningPolicy& policy) {
+                           const HardeningPolicy* policy) {
   StableHash hash(kCacheKeySeed);
   hash.add_u64(kCacheKeySchema);
   hash.add_u64(votes.size());
@@ -43,11 +43,18 @@ CacheKey compute_cache_key(const VoteBatch& votes, std::size_t object_count,
   hash.add_u64(worker_count);
   hash.add_u64(seed);
   hash.add_bool(repair);
-  hash.add_bool(policy.drop_out_of_range);
-  hash.add_bool(policy.drop_self_votes);
-  hash.add_bool(policy.drop_duplicates);
-  hash.add_bool(policy.drop_conflicting);
-  hash.add_bool(policy.restrict_to_largest_component);
+  // The policy only shapes the repair path; strict-path keys ignore it so
+  // callers there need not supply one (RankParams documents hardening as
+  // required only when repair).
+  if (repair) {
+    CR_EXPECTS(policy != nullptr,
+               "compute_cache_key: repair = true requires a hardening policy");
+    hash.add_bool(policy->drop_out_of_range);
+    hash.add_bool(policy->drop_self_votes);
+    hash.add_bool(policy->drop_duplicates);
+    hash.add_bool(policy->drop_conflicting);
+    hash.add_bool(policy->restrict_to_largest_component);
+  }
   hash_append(hash, inference);
   return hash.digest();
 }
@@ -94,30 +101,42 @@ void ResultCache::store_in_memory(const CacheKey& key,
 }
 
 std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) {
-  MutexLock lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.hits;
-    count("hit");
-    return it->second->second;
-  }
-  if (!config_.disk_dir.empty()) {
-    const artifact::Result<std::string> bytes =
-        artifact::read_file(artifact_path(config_.disk_dir, key));
-    if (bytes.ok()) {
-      artifact::Result<CachedResult> decoded =
-          artifact::decode_result(*bytes.value);
-      if (decoded.ok()) {
-        store_in_memory(key, *decoded.value);
-        ++stats_.disk_hits;
-        count("disk_hit");
-        return std::move(decoded.value);
-      }
-      // Unreadable artifact (corruption, schema drift): a miss, counted.
-      ++stats_.disk_errors;
-      count("disk_error");
+  {
+    MutexLock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      count("hit");
+      return it->second->second;
     }
+    if (config_.disk_dir.empty()) {
+      ++stats_.misses;
+      count("miss");
+      return std::nullopt;
+    }
+  }
+  // The disk read + decode run unlocked: a cold lookup must not serialize
+  // every other executor behind one thread's IO. Keys are content hashes,
+  // so a racing insert/promote of the same key stores the identical value
+  // and the re-acquired store below harmlessly overwrites it.
+  const artifact::Result<std::string> bytes =
+      artifact::read_file(artifact_path(config_.disk_dir, key));
+  artifact::Result<CachedResult> decoded;
+  if (bytes.ok()) {
+    decoded = artifact::decode_result(*bytes.value);
+  }
+  MutexLock lock(mutex_);
+  if (decoded.ok()) {
+    store_in_memory(key, *decoded.value);
+    ++stats_.disk_hits;
+    count("disk_hit");
+    return std::move(decoded.value);
+  }
+  if (bytes.ok()) {
+    // Unreadable artifact (corruption, schema drift): a miss, counted.
+    ++stats_.disk_errors;
+    count("disk_error");
   }
   ++stats_.misses;
   count("miss");
@@ -125,19 +144,26 @@ std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) {
 }
 
 void ResultCache::insert(const CacheKey& key, const CachedResult& result) {
+  {
+    MutexLock lock(mutex_);
+    store_in_memory(key, result);
+    count("insert");
+  }
+  if (config_.disk_dir.empty()) {
+    return;
+  }
+  // Encode + write outside the mutex (same reasoning as lookup); only the
+  // stats update re-acquires it. write_file is tmp-then-rename, so two
+  // racing writers of one key both leave a complete artifact behind.
+  const std::optional<artifact::ArtifactError> error = artifact::write_file(
+      artifact_path(config_.disk_dir, key), artifact::encode(result));
   MutexLock lock(mutex_);
-  store_in_memory(key, result);
-  count("insert");
-  if (!config_.disk_dir.empty()) {
-    const std::optional<artifact::ArtifactError> error = artifact::write_file(
-        artifact_path(config_.disk_dir, key), artifact::encode(result));
-    if (error.has_value()) {
-      ++stats_.disk_errors;
-      count("disk_error");
-    } else {
-      ++stats_.disk_writes;
-      count("disk_write");
-    }
+  if (error.has_value()) {
+    ++stats_.disk_errors;
+    count("disk_error");
+  } else {
+    ++stats_.disk_writes;
+    count("disk_write");
   }
 }
 

@@ -55,15 +55,19 @@ using CachedResult = artifact::RankedResult;
 
 /// Bump when the key derivation below changes shape (the config subset
 /// has its own schema constant in core/config_hash.hpp).
-inline constexpr std::uint64_t kCacheKeySchema = 1;
+/// v2: the hardening policy enters the hash only when `repair` is true —
+/// the strict path never consults it, so it is not content there.
+inline constexpr std::uint64_t kCacheKeySchema = 2;
 
 /// Derives the content key. Votes are hashed in batch order — the engine
 /// is order-sensitive, so reordered batches are different work, not the
-/// same entry.
+/// same entry. `policy` is required when `repair` is true and ignored
+/// (may be null) otherwise: hardening does not run on the strict path,
+/// so it cannot affect the output there.
 CacheKey compute_cache_key(const VoteBatch& votes, std::size_t object_count,
                            std::size_t worker_count, std::uint64_t seed,
                            const InferenceConfig& inference, bool repair,
-                           const HardeningPolicy& policy);
+                           const HardeningPolicy* policy);
 
 struct ResultCacheConfig {
   /// Memory-tier bound (entries, >= 1). Exceeding it evicts strict LRU.
@@ -95,11 +99,14 @@ class ResultCache {
   const ResultCacheConfig& config() const { return config_; }
 
   /// Memory tier first (refreshing LRU order), then the disk tier (a disk
-  /// hit is promoted into memory). Disengaged = miss on both.
+  /// hit is promoted into memory). Disengaged = miss on both. Disk reads
+  /// happen outside the cache mutex, so one cold lookup never stalls
+  /// concurrent executors.
   std::optional<CachedResult> lookup(const CacheKey& key);
 
   /// Stores (or overwrites) the entry, evicting LRU past capacity, and
-  /// persists it to the disk tier when one is configured.
+  /// persists it to the disk tier when one is configured (the disk write
+  /// also runs outside the mutex).
   void insert(const CacheKey& key, const CachedResult& result);
 
   /// Entries currently resident in the memory tier.

@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -323,6 +325,51 @@ TEST(ArtifactReject, TrailingBytes) {
   std::string bytes = encode(sample_votes());
   bytes += "extra";
   EXPECT_FALSE(decode_votes(bytes).ok());
+}
+
+std::string u64le(std::uint64_t value) {
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(value >> (8 * i)));
+  }
+  return out;
+}
+
+TEST(ArtifactReject, ForgedVertexCountAtU64MaxIsRejected) {
+  // n == UINT64_MAX once made the CSR decoders' `can_take(n + 1, 8)` wrap
+  // to can_take(0, 8) and pass, sizing row_ptr empty while the `r <= n`
+  // fill loop wrote out of bounds forever. A validly checksummed frame
+  // (the checksum seed is public) must come back as BadPayload instead.
+  const std::string graph_payload =
+      u64le(std::numeric_limits<std::uint64_t>::max()) + u64le(0);
+  EXPECT_EQ(decode_preference_graph(
+                detail::frame(Kind::PreferenceGraph, kPreferenceGraphSchema,
+                              graph_payload))
+                .error.code,
+            ErrorCode::BadPayload);
+  const std::string matrix_payload =
+      u64le(std::numeric_limits<std::uint64_t>::max()) + u64le(3) + u64le(0);
+  EXPECT_EQ(decode_sparse_matrix(detail::frame(Kind::SparseMatrix,
+                                               kSparseMatrixSchema,
+                                               matrix_payload))
+                .error.code,
+            ErrorCode::BadPayload);
+}
+
+TEST(ArtifactReject, HugeDeclaredVertexCountIsRejectedNotAllocated) {
+  // A 32-byte frame declaring 2^62 vertices must be rejected structurally,
+  // not answered with an enormous allocation whose std::bad_alloc escapes
+  // the decoder (readers never throw).
+  const std::string payload = u64le(std::uint64_t{1} << 62) + u64le(0);
+  EXPECT_EQ(decode_task_graph(
+                detail::frame(Kind::TaskGraph, kTaskGraphSchema, payload))
+                .error.code,
+            ErrorCode::BadPayload);
+  EXPECT_EQ(decode_preference_graph(
+                detail::frame(Kind::PreferenceGraph, kPreferenceGraphSchema,
+                              payload))
+                .error.code,
+            ErrorCode::BadPayload);
 }
 
 TEST(ArtifactReject, BadDirectionByte) {

@@ -29,9 +29,11 @@ VoteBatch sample_votes() {
   return votes;
 }
 
+const HardeningPolicy kPolicy{};
+
 CacheKey key_for(const VoteBatch& votes, std::uint64_t seed = 1) {
   return compute_cache_key(votes, 3, 3, seed, InferenceConfig{},
-                           /*repair=*/true, HardeningPolicy{});
+                           /*repair=*/true, &kPolicy);
 }
 
 CachedResult result_with(double log_probability) {
@@ -76,24 +78,44 @@ TEST(CacheKey, EveryOutputAffectingInputPerturbsTheKey) {
   const CacheKey base = key_for(votes);
   EXPECT_NE(key_for(votes, /*seed=*/2), base);
   EXPECT_NE(compute_cache_key(votes, 4, 3, 1, InferenceConfig{}, true,
-                              HardeningPolicy{}),
+                              &kPolicy),
             base);
   EXPECT_NE(compute_cache_key(votes, 3, 4, 1, InferenceConfig{}, true,
-                              HardeningPolicy{}),
+                              &kPolicy),
             base);
   EXPECT_NE(compute_cache_key(votes, 3, 3, 1, InferenceConfig{}, false,
-                              HardeningPolicy{}),
+                              &kPolicy),
             base);
   InferenceConfig taps;
   taps.search = RankSearchMethod::Taps;
-  EXPECT_NE(compute_cache_key(votes, 3, 3, 1, taps, true,
-                              HardeningPolicy{}),
+  EXPECT_NE(compute_cache_key(votes, 3, 3, 1, taps, true, &kPolicy),
             base);
   InferenceConfig iterations;
   iterations.saps.iterations += 1;
-  EXPECT_NE(compute_cache_key(votes, 3, 3, 1, iterations, true,
-                              HardeningPolicy{}),
+  EXPECT_NE(compute_cache_key(votes, 3, 3, 1, iterations, true, &kPolicy),
             base);
+  HardeningPolicy lenient;
+  lenient.drop_conflicting = false;
+  EXPECT_NE(compute_cache_key(votes, 3, 3, 1, InferenceConfig{}, true,
+                              &lenient),
+            base);
+}
+
+TEST(CacheKey, StrictPathIgnoresTheHardeningPolicy) {
+  // Hardening never runs when repair is false, so the policy is not
+  // content there: any policy — or none at all, which is all RankParams
+  // requires of strict-path callers — derives the same key.
+  const VoteBatch votes = sample_votes();
+  const CacheKey strict = compute_cache_key(
+      votes, 3, 3, 1, InferenceConfig{}, /*repair=*/false, nullptr);
+  HardeningPolicy lenient;
+  lenient.drop_conflicting = false;
+  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, InferenceConfig{}, false,
+                              &lenient),
+            strict);
+  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, InferenceConfig{}, false,
+                              &kPolicy),
+            strict);
 }
 
 TEST(CacheKey, RepresentationOnlyKnobsDoNotPerturbTheKey) {
@@ -103,14 +125,12 @@ TEST(CacheKey, RepresentationOnlyKnobsDoNotPerturbTheKey) {
   const VoteBatch votes = sample_votes();
   InferenceConfig config;
   config.propagation.fill_threshold = 0.123;
-  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, config, true,
-                              HardeningPolicy{}),
+  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, config, true, &kPolicy),
             key_for(votes));
   // Observability hooks are not content either.
   InferenceConfig checked;
   checked.check_invariants = true;
-  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, checked, true,
-                              HardeningPolicy{}),
+  EXPECT_EQ(compute_cache_key(votes, 3, 3, 1, checked, true, &kPolicy),
             key_for(votes));
 }
 
