@@ -320,12 +320,26 @@ SapsResult saps_search(const Matrix& closure, const SapsConfig& config,
   // Restart chains fan out across the pool as independent tasks; each
   // writes only its own outcome slot. Inside a nested region (or with
   // CROWDRANK_THREADS=1) this degenerates to the serial restart loop.
+  // Tiny searches skip the fan-out entirely: below ~2e6 proposed-move
+  // evaluations the pool's wake/park round trip costs more than the work
+  // (the per-restart RNG streams make the serial loop bit-identical to
+  // the parallel one, so this is a pure scheduling decision).
+  constexpr std::uint64_t kSerialMoveLimit = 2'000'000;
+  const std::uint64_t total_moves = static_cast<std::uint64_t>(restarts) *
+                                    config.iterations * n;
   std::vector<RestartOutcome> outcomes(restarts);
-  ThreadPool::instance().run(restarts, [&](std::size_t restart) {
+  const auto run_one = [&](std::size_t restart) {
     Rng restart_rng(task_stream_seed(stream_base, restart));
     outcomes[restart] =
         run_restart(cache, config, restart, restart_rng, handles);
-  });
+  };
+  if (total_moves < kSerialMoveLimit) {
+    for (std::size_t restart = 0; restart < restarts; ++restart) {
+      run_one(restart);
+    }
+  } else {
+    ThreadPool::instance().run(restarts, run_one);
+  }
 
   // Deterministic winner: min-reduction in ascending restart order keyed on
   // (log_cost, restart_index) — strict < keeps the earliest restart on

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace crowdrank {
 
@@ -16,28 +17,34 @@ namespace {
 /// that small closures (n <= 128) fill inline with zero dispatch cost.
 constexpr std::size_t kFillGrain = 1 << 14;
 
+/// The safe_log floor the cost fill bakes in; must equal the default
+/// `floor_log` of math::safe_log so cost() == -safe_log(w) stays exact
+/// (tests/core/test_saps_kernel.cpp pins the equality element-wise).
+constexpr double kCostLogFloor = -745.0;
+
 }  // namespace
 
 SapsCostCache::SapsCostCache(const Matrix& weights)
-    : weights_(&weights), n_(weights.rows()), costs_(n_ * n_) {
+    : weights_(&weights),
+      n_(weights.rows()),
+      costs_(n_ * n_, 0.0, arena::current()) {
   CR_EXPECTS(weights.is_square(), "cost cache requires a square matrix");
   const std::span<const double> w = weights.data();
+  // Batch -safe_log transform; element-disjoint chunks, and the simd
+  // backend is bitwise-pinned to the scalar safe_log branch structure.
   parallel_for(0, costs_.size(), kFillGrain,
                [&](std::size_t b, std::size_t e) {
-                 for (std::size_t i = b; i < e; ++i) {
-                   costs_[i] = -math::safe_log(w[i]);
-                 }
+                 simd::neg_log_clamped(costs_.data() + b, w.data() + b, e - b,
+                                       kCostLogFloor);
                });
 }
 
 double path_log_cost(const SapsCostCache& cache, const Path& path) {
   // Same accumulation order as the uncached path_log_cost: cost -= log
-  // there is cost += (-log) here, term by term in path order.
-  double cost = 0.0;
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    cost += cache.cost(path[i], path[i + 1]);
-  }
-  return cost;
+  // there is cost += (-log) here, term by term in path order (the gather
+  // sum is order-sensitive, so it runs scalar on every backend).
+  return simd::path_cost_sum(cache.data().data(), path.data(), path.size(),
+                             cache.size());
 }
 
 double saps_rotate_delta(const SapsCostCache& cache, const Path& path,

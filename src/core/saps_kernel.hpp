@@ -17,10 +17,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
+#include <span>
 #include <vector>
 
 #include "core/saps.hpp"
 #include "graph/types.hpp"
+#include "util/arena.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -40,13 +43,18 @@ class SapsCostCache {
   /// Edge cost c(u -> v); exactly -safe_log(weights(u, v)).
   double cost(VertexId u, VertexId v) const { return costs_[u * n_ + v]; }
 
+  /// Row-major raw cost matrix (size * size), for the batch kernels.
+  std::span<const double> data() const { return costs_; }
+
   /// The weight matrix the cache was built from.
   const Matrix& weights() const { return *weights_; }
 
  private:
   const Matrix* weights_;
   std::size_t n_;
-  std::vector<double> costs_;
+  // Per-search scratch: drawn from the caller's arena::current() resource,
+  // so a service executor's arena absorbs the n^2 buffer each job.
+  std::pmr::vector<double> costs_;
 };
 
 /// Total path cost sum of c(p[i] -> p[i+1]); bitwise-identical to

@@ -220,6 +220,11 @@ struct RankingService::Impl {
   // joined by the destructor after the stop handshake; never touched in
   // between, so it needs no guard (TSA does not analyze ctors/dtors).
   std::vector<std::thread> executors;
+  /// One per-job arena per executor, created before the threads spawn and
+  /// read-only (as a vector) afterwards; executor i touches only slot i
+  /// while running, and arena_stats() reads are internally synchronized by
+  /// each Arena's own mutex.
+  std::vector<std::unique_ptr<Arena>> arenas;
   ServiceStats counters CR_GUARDED_BY(mutex);
   std::uint64_t next_id CR_GUARDED_BY(mutex) = 1;
   bool stopping CR_GUARDED_BY(mutex) = false;
@@ -291,6 +296,7 @@ struct RankingService::Impl {
     // thread: jobs are the unit of parallelism, so N executors never
     // serialize on the global pool's region lock.
     InlineRegion inline_region;
+    Arena& arena = *arenas[executor];
     MutexLock lock(mutex);
     while (true) {
       while (!stopping && queue.empty()) {
@@ -310,7 +316,25 @@ struct RankingService::Impl {
       }
       ticket->state = Ticket::State::Running;
       lock.unlock();
-      run_job(*ticket, executor);
+      {
+        // All matrix/graph scratch the job allocates on this thread draws
+        // from the executor's arena; the JobResult it leaves behind holds
+        // only plain heap containers, so the rewind below frees every
+        // job-lifetime byte while retaining the blocks for the next job.
+        arena::Scope scope(arena);
+        run_job(*ticket, executor);
+      }
+      arena.reset();
+      if (config.trace != nullptr) {
+        const ArenaStats as = arena.stats();
+        metrics::Registry& m = config.trace->metrics();
+        m.gauge("service.arena.bytes_peak")
+            .set(static_cast<double>(as.bytes_peak));
+        m.gauge("service.arena.system_allocs")
+            .set(static_cast<double>(as.system_allocs));
+        m.gauge("service.arena.skipped_resets")
+            .set(static_cast<double>(as.skipped_resets));
+      }
       lock.lock();
       ticket->state = Ticket::State::Done;
       count_outcome(ticket->result.outcome);
@@ -528,6 +552,10 @@ RankingService::RankingService(ServiceConfig config)
              "RankingService queue capacity must be at least 1");
   impl_->config = std::move(config);
   impl_->executors.reserve(impl_->config.worker_count);
+  impl_->arenas.reserve(impl_->config.worker_count);
+  for (std::size_t i = 0; i < impl_->config.worker_count; ++i) {
+    impl_->arenas.push_back(std::make_unique<Arena>());
+  }
   for (std::size_t i = 0; i < impl_->config.worker_count; ++i) {
     impl_->executors.emplace_back([impl = impl_.get(), i] {
       impl->executor_loop(i);
@@ -685,6 +713,23 @@ std::vector<JobResult> RankingService::drain() {
 ServiceStats RankingService::stats() const {
   MutexLock lock(impl_->mutex);
   return impl_->counters;
+}
+
+ArenaStats RankingService::arena_stats() const {
+  ArenaStats total;
+  for (const auto& arena : impl_->arenas) {
+    const ArenaStats s = arena->stats();
+    total.system_allocs += s.system_allocs;
+    total.bytes_reserved += s.bytes_reserved;
+    total.bytes_used += s.bytes_used;
+    total.bytes_peak += s.bytes_peak;
+    total.allocs += s.allocs;
+    total.oversize_allocs += s.oversize_allocs;
+    total.resets += s.resets;
+    total.skipped_resets += s.skipped_resets;
+    total.outstanding += s.outstanding;
+  }
+  return total;
 }
 
 }  // namespace crowdrank::service

@@ -1,0 +1,121 @@
+#include "util/arena.hpp"
+
+#include <cstdint>
+#include <new>
+
+#include "util/error.hpp"
+
+namespace crowdrank {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+Arena::~Arena() = default;
+
+bool Arena::reset() {
+  MutexLock lock(mutex_);
+  if (outstanding_.load(std::memory_order_acquire) != 0) {
+    ++stats_.skipped_resets;
+    return false;
+  }
+  if (stats_.bytes_used > stats_.bytes_peak) {
+    stats_.bytes_peak = stats_.bytes_used;
+  }
+  for (const Block& block : oversize_) {
+    stats_.bytes_reserved -= block.capacity;
+  }
+  oversize_.clear();
+  block_index_ = 0;
+  offset_ = 0;
+  stats_.bytes_used = 0;
+  ++stats_.resets;
+  return true;
+}
+
+ArenaStats Arena::stats() const {
+  MutexLock lock(mutex_);
+  ArenaStats out = stats_;
+  out.outstanding = outstanding_.load(std::memory_order_relaxed);
+  if (out.bytes_used > out.bytes_peak) {
+    out.bytes_peak = out.bytes_used;
+  }
+  return out;
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  MutexLock lock(mutex_);
+  ++stats_.allocs;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+
+  // Oversize requests get a dedicated block released at the next reset;
+  // operator new[] honors fundamental alignment, stricter ones get slack.
+  const std::size_t slack =
+      alignment > alignof(std::max_align_t) ? alignment : 0;
+  if (bytes + slack > block_bytes_) {
+    ++stats_.oversize_allocs;
+    ++stats_.system_allocs;
+    Block block{std::make_unique<std::byte[]>(bytes + slack), bytes + slack};
+    stats_.bytes_reserved += block.capacity;
+    stats_.bytes_used += block.capacity;
+    auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+    const std::uintptr_t aligned = (base + alignment - 1) & ~(alignment - 1);
+    oversize_.push_back(std::move(block));
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  for (;;) {
+    if (block_index_ < blocks_.size()) {
+      Block& block = blocks_[block_index_];
+      const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+      const std::uintptr_t aligned =
+          (base + offset_ + alignment - 1) & ~(alignment - 1);
+      const std::size_t end = (aligned - base) + bytes;
+      if (end <= block.capacity) {
+        stats_.bytes_used += end - offset_;
+        offset_ = end;
+        return reinterpret_cast<void*>(aligned);
+      }
+      ++block_index_;
+      offset_ = 0;
+      continue;
+    }
+    ++stats_.system_allocs;
+    blocks_.push_back(
+        Block{std::make_unique<std::byte[]>(block_bytes_), block_bytes_});
+    stats_.bytes_reserved += block_bytes_;
+    offset_ = 0;
+  }
+}
+
+void Arena::do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                          std::size_t /*alignment*/) {
+  // Monotonic region: memory comes back only at reset(). The release
+  // pairs with reset()'s acquire so a reset that observes zero knows all
+  // frees (and the user code before them) happened-before the rewind.
+  outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+bool Arena::do_is_equal(
+    const std::pmr::memory_resource& other) const noexcept {
+  return this == &other;
+}
+
+namespace arena {
+
+namespace {
+thread_local std::pmr::memory_resource* t_current = nullptr;
+}  // namespace
+
+std::pmr::memory_resource* current() {
+  return t_current != nullptr ? t_current : std::pmr::new_delete_resource();
+}
+
+std::pmr::memory_resource* exchange_current(std::pmr::memory_resource* r) {
+  std::pmr::memory_resource* previous = t_current;
+  t_current = r;
+  return previous;
+}
+
+}  // namespace arena
+
+}  // namespace crowdrank

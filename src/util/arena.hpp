@@ -1,0 +1,121 @@
+// Monotonic per-job arena: the serve-path answer to steady-state malloc.
+//
+// A ranking job allocates a burst of scratch — vote graphs, dense/sparse
+// matrices, propagation doubling buffers — and frees all of it before the
+// next job starts. An Arena turns that pattern into pointer bumps over a
+// few retained blocks: `do_allocate` bumps, `do_deallocate` only counts,
+// and `reset()` rewinds everything between jobs while keeping the blocks,
+// so after warm-up a job performs zero system allocations for its
+// matrix/graph scratch (bench/service_throughput asserts the steady state).
+//
+// Wiring: Arena is a std::pmr::memory_resource; Matrix/SparseMatrix (and
+// anything else that opts in) construct their buffers from the
+// *thread-local* resource `arena::current()`, which defaults to the global
+// new/delete resource. A service executor owns one Arena, binds it around
+// each job with `arena::Scope`, and resets it after the job's outputs
+// (heap-backed strings/vectors) have been copied out. ThreadPool::run
+// forwards the caller's binding to its workers for the duration of a
+// region, so kernels that allocate scratch on worker threads land in the
+// same job arena — which is why allocation is thread-safe (one mutex; the
+// rate is a handful of container constructions per job, not per element).
+//
+// Safety net: reset() refuses to rewind while allocations are still
+// outstanding (counted via do_deallocate) and records the skip in stats —
+// a leak-through becomes a visible perf degradation instead of a
+// use-after-reset.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace crowdrank {
+
+/// Monotonic counters; readable at any time via Arena::stats().
+struct ArenaStats {
+  std::uint64_t system_allocs = 0;   ///< upstream block acquisitions
+  std::uint64_t bytes_reserved = 0;  ///< capacity currently retained
+  std::uint64_t bytes_used = 0;      ///< bytes handed out since last reset
+  std::uint64_t bytes_peak = 0;      ///< high-water bytes_used over resets
+  std::uint64_t allocs = 0;          ///< do_allocate calls (lifetime)
+  std::uint64_t oversize_allocs = 0; ///< requests past the block size
+  std::uint64_t resets = 0;          ///< successful rewinds
+  std::uint64_t skipped_resets = 0;  ///< rewinds refused (outstanding != 0)
+  std::uint64_t outstanding = 0;     ///< live allocations right now
+};
+
+class Arena final : public std::pmr::memory_resource {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena() override;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewinds the arena, retaining normal blocks and releasing oversize
+  /// ones. Refuses (stats().skipped_resets++) while allocations are
+  /// outstanding; returns whether the rewind happened.
+  bool reset();
+
+  ArenaStats stats() const;
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void* p, std::size_t bytes,
+                     std::size_t alignment) override;
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  const std::size_t block_bytes_;
+  mutable Mutex mutex_;
+  std::vector<Block> blocks_ CR_GUARDED_BY(mutex_);
+  std::vector<Block> oversize_ CR_GUARDED_BY(mutex_);
+  std::size_t block_index_ CR_GUARDED_BY(mutex_) = 0;
+  std::size_t offset_ CR_GUARDED_BY(mutex_) = 0;
+  ArenaStats stats_ CR_GUARDED_BY(mutex_);
+  /// Outside the mutex: do_deallocate must stay lock-free so destructors
+  /// running on any thread never contend with an allocating worker.
+  std::atomic<std::uint64_t> outstanding_{0};
+};
+
+namespace arena {
+
+/// The thread's current allocation resource: the innermost bound Arena,
+/// or std::pmr::new_delete_resource() when none is bound.
+std::pmr::memory_resource* current();
+
+/// Rebinds the calling thread's resource, returning the previous binding
+/// (nullptr = default). Used by ThreadPool to forward the caller's arena
+/// to workers for the duration of a parallel region; everyone else should
+/// prefer Scope.
+std::pmr::memory_resource* exchange_current(std::pmr::memory_resource* r);
+
+/// RAII binding: all opted-in containers constructed on this thread while
+/// the Scope lives draw from `resource`.
+class Scope {
+ public:
+  explicit Scope(std::pmr::memory_resource& resource)
+      : previous_(exchange_current(&resource)) {}
+  ~Scope() { exchange_current(previous_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  std::pmr::memory_resource* previous_;
+};
+
+}  // namespace arena
+
+}  // namespace crowdrank

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace crowdrank::math {
 
@@ -199,8 +200,15 @@ double variance(std::span<const double> values) {
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
 double safe_log(double x, double floor_log) {
+  // Routed through the pinned portable log (not libm) so the scalar call
+  // here, the batch cost-matrix fill (simd::neg_log_clamped), and its
+  // AVX2 variant all produce the same bits — and so golden artifacts stay
+  // byte-stable across libc versions. Branch order matches the batch
+  // kernels' lane blends exactly.
   if (x <= 0.0) return floor_log;
-  return std::max(std::log(x), floor_log);
+  if (!std::isfinite(x)) return x;  // +inf -> +inf, NaN -> NaN (legacy)
+  const double lg = simd::log_pinned(x);
+  return lg < floor_log ? floor_log : lg;
 }
 
 double kahan_sum(std::span<const double> values) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -25,7 +26,7 @@ constexpr std::size_t kSerialFlopLimit = 1 << 18;
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill, arena::current()) {}
 
 Matrix Matrix::zero(std::size_t n) { return Matrix(n, n, 0.0); }
 
@@ -57,9 +58,7 @@ Matrix& Matrix::operator+=(const Matrix& other) {
              "matrix shapes must match for +=");
   parallel_for(0, data_.size(), kElementGrain,
                [&](std::size_t b, std::size_t e) {
-                 for (std::size_t i = b; i < e; ++i) {
-                   data_[i] += other.data_[i];
-                 }
+                 simd::add(data_.data() + b, other.data_.data() + b, e - b);
                });
   return *this;
 }
@@ -67,9 +66,7 @@ Matrix& Matrix::operator+=(const Matrix& other) {
 Matrix& Matrix::operator*=(double scalar) {
   parallel_for(0, data_.size(), kElementGrain,
                [&](std::size_t b, std::size_t e) {
-                 for (std::size_t i = b; i < e; ++i) {
-                   data_[i] *= scalar;
-                 }
+                 simd::scale(data_.data() + b, scalar, e - b);
                });
   return *this;
 }
@@ -81,27 +78,22 @@ namespace {
 /// megabyte-class L2 while all 64 rows of the output block sweep over it.
 constexpr std::size_t kTile = 64;
 
-/// Nonzero k-terms applied per sweep of the output row. Grouping keeps
-/// the output row in registers across 4 accumulations instead of
-/// re-loading and re-storing it per term, cutting the kernel's dominant
-/// memory traffic ~2x; 4 rhs streams plus the output row still prefetch
-/// cleanly.
-constexpr std::size_t kGroup = 4;  // the unrolled sweep below hardcodes 4
-
 }  // namespace
 
 /// Shared kernel behind multiply() / multiply_add_scaled(): the product
 /// plus an optional fused `scale * addend` epilogue per output row.
 ///
 /// Structure: rows are block-distributed across the pool; inside a task,
-/// i and k run in kTile blocks (rhs block reuse in L2) with the full
-/// output row streamed in the inner j loop, and up to kGroup *nonzero*
-/// lhs terms are applied per j sweep. For every output element the k
-/// terms still accumulate one `+=` at a time in ascending k order —
-/// grouping only batches the loads — so the result is bitwise-identical
-/// to the one-term-per-sweep kernel (bench/perf_pipeline asserts this
-/// every run), and the epilogue lands after all k terms, matching the
-/// separate-pass formulation. Each row is produced by exactly one task.
+/// i and k run in kTile blocks (rhs block reuse in L2), and each (row,
+/// k-block) pair is one simd::gemm_accum call: the strip-blocked kernel
+/// holds register accumulators across the block's whole k loop instead of
+/// re-loading the output row per term. For every output element the k
+/// terms still accumulate one `+=` at a time in ascending k order (zero
+/// lhs entries skipped) — blocking only batches the loads — so the result
+/// is bitwise-identical to the one-term-per-sweep kernel
+/// (bench/perf_pipeline asserts this every run), and the epilogue lands
+/// after all k terms, matching the separate-pass formulation. Each row is
+/// produced by exactly one task.
 Matrix Matrix::multiply_impl(const Matrix& lhs, const Matrix& rhs,
                              double scale, const Matrix* addend) {
   CR_EXPECTS(lhs.cols_ == rhs.rows_, "inner dimensions must match");
@@ -125,57 +117,16 @@ Matrix Matrix::multiply_impl(const Matrix& lhs, const Matrix& rhs,
       const std::size_t i_end = std::min(ii + kTile, r1);
       for (std::size_t kk = 0; kk < k_dim; kk += kTile) {
         const std::size_t k_end = std::min(kk + kTile, k_dim);
-        for (std::size_t i = ii; i < i_end; ++i) {
-          double* out_row = out.data_.data() + i * m;
-          std::size_t k = kk;
-          while (k < k_end) {
-            // Gather the next (up to) kGroup nonzero terms in ascending
-            // k order; zero lhs entries contribute nothing and are
-            // skipped exactly as the one-term kernel skips them.
-            double a[kGroup];
-            const double* r[kGroup];
-            std::size_t cnt = 0;
-            while (k < k_end && cnt < kGroup) {
-              const double v = lhs(i, k);
-              if (v != 0.0) {
-                a[cnt] = v;
-                r[cnt] = rhs.data_.data() + k * m;
-                ++cnt;
-              }
-              ++k;
-            }
-            if (cnt == kGroup) {
-              for (std::size_t j = 0; j < m; ++j) {
-                double t = out_row[j];
-                t += a[0] * r[0][j];
-                t += a[1] * r[1][j];
-                t += a[2] * r[2][j];
-                t += a[3] * r[3][j];
-                out_row[j] = t;
-              }
-            } else {
-              // Remainder (block tail or sparse stretch): one term per
-              // sweep — per-element accumulation order is unchanged.
-              for (std::size_t c = 0; c < cnt; ++c) {
-                const double ac = a[c];
-                const double* rc = r[c];
-                for (std::size_t j = 0; j < m; ++j) {
-                  out_row[j] += ac * rc[j];
-                }
-              }
-            }
-          }
-        }
+        simd::gemm_accum(out.data_.data() + ii * m, m, i_end - ii,
+                         lhs.data_.data() + ii * k_dim + kk, k_dim,
+                         rhs.data_.data() + kk * m, k_end - kk, m, m);
       }
     }
     if (addend != nullptr) {
       // Fused epilogue: the rows this task just produced are still hot.
       for (std::size_t i = r0; i < r1; ++i) {
-        double* out_row = out.data_.data() + i * m;
-        const double* add_row = addend->data_.data() + i * m;
-        for (std::size_t j = 0; j < m; ++j) {
-          out_row[j] += scale * add_row[j];
-        }
+        simd::axpy(out.data_.data() + i * m, addend->data_.data() + i * m,
+                   scale, m);
       }
     }
   };
@@ -217,11 +168,7 @@ double Matrix::max_value() const {
   return parallel_reduce(
       std::size_t{0}, data_.size(), kElementGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
-        double best = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          best = std::max(best, data_[i]);
-        }
-        return best;
+        return simd::max0(data_.data() + lo, hi - lo);
       },
       [](double acc, double part) { return std::max(acc, part); });
 }
@@ -234,11 +181,8 @@ double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   return parallel_reduce(
       std::size_t{0}, a.data_.size(), kElementGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
-        double worst = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
-        }
-        return worst;
+        return simd::max_abs_diff(a.data_.data() + lo, b.data_.data() + lo,
+                                  hi - lo);
       },
       [](double acc, double part) { return std::max(acc, part); });
 }

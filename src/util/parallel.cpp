@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -20,6 +21,24 @@ namespace {
 /// Set while the current thread executes tasks of an active region; nested
 /// parallel calls observe it and run inline instead of re-entering the pool.
 thread_local bool t_in_region = false;
+
+// Work-stealing lane ranges pack a half-open task interval [next, end)
+// into one atomic word: next in the high 32 bits, end in the low 32.
+// Owners pop the front (next += 1); thieves chop the tail (end -= take)
+// and park the stolen interval in their own, empty lane. Both transitions
+// are CAS-guarded on the full word, and a given interval value always
+// describes tasks currently present in that lane (intervals only split —
+// a multi-task interval is never re-assembled — so a stale CAS that
+// happens to match still claims exactly the tasks it names, once).
+constexpr std::uint64_t pack_range(std::uint64_t next, std::uint64_t end) {
+  return (next << 32) | end;
+}
+constexpr std::uint32_t range_next(std::uint64_t pack) {
+  return static_cast<std::uint32_t>(pack >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t pack) {
+  return static_cast<std::uint32_t>(pack & 0xffffffffu);
+}
 
 }  // namespace
 
@@ -35,8 +54,9 @@ std::size_t configured_thread_count() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-/// All mutable pool state lives behind one mutex; the only lock-free path
-/// is the task cursor, which workers hammer while a region is active.
+/// All mutable pool state lives behind one mutex; the only lock-free paths
+/// are the per-lane work-stealing intervals (and the abort flag), which
+/// lanes hammer while a region is active.
 struct ThreadPool::State {
   /// Serializes whole regions: only one external thread may have a job
   /// posted at a time; concurrent callers queue up here. Always taken
@@ -49,12 +69,23 @@ struct ThreadPool::State {
 
   // Current region, valid while generation is odd-stepped by run().
   std::uint64_t generation CR_GUARDED_BY(mutex) = 0;
-  std::size_t task_count CR_GUARDED_BY(mutex) = 0;
   const std::function<void(std::size_t)>* task CR_GUARDED_BY(mutex) =
       nullptr;
-  std::atomic<std::size_t> cursor{0};
+  /// The region caller's arena::current() binding, forwarded to workers
+  /// for the duration of the region (restored before they park again).
+  std::pmr::memory_resource* region_arena CR_GUARDED_BY(mutex) = nullptr;
   std::size_t active_workers CR_GUARDED_BY(mutex) = 0;
   bool stopping CR_GUARDED_BY(mutex) = false;
+
+  /// Per-lane work-stealing ranges (lane 0 = region caller, lane i + 1 =
+  /// worker i). (Re)allocated under `mutex` during region setup when the
+  /// worker count changed; the array is stable while a region is live.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lanes;
+  /// Written during region setup (workers parked, region_mutex held);
+  /// lanes read it while draining, hence atomic rather than mutex-guarded.
+  std::atomic<std::size_t> lane_count{0};
+  /// Raised by the first failing task; lanes observe it and stop claiming.
+  std::atomic<bool> abort{false};
 
   // Nanoseconds every lane spent draining the current region; only
   // maintained while a trace sink is active (see drain_timed).
@@ -87,7 +118,8 @@ void ThreadPool::spawn_workers(std::size_t worker_count) {
   MutexLock lock(state_->mutex);
   state_->workers.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
-    state_->workers.emplace_back([this] { worker_loop(); });
+    // Lane 0 belongs to the region caller; worker i drains lane i + 1.
+    state_->workers.emplace_back([this, lane = i + 1] { worker_loop(lane); });
   }
 }
 
@@ -123,13 +155,13 @@ void ThreadPool::resize(std::size_t count) {
 /// Runs drain_tasks, accumulating the lane's busy time into the region
 /// counter when a trace sink is active (zero extra work otherwise).
 void ThreadPool::drain_timed(const std::function<void(std::size_t)>& task,
-                             std::size_t count) {
+                             std::size_t lane) {
   if (trace::sink() == nullptr) {
-    drain_tasks(task, count);
+    drain_tasks(task, lane);
     return;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  drain_tasks(task, count);
+  drain_tasks(task, lane);
   const auto busy = std::chrono::steady_clock::now() - t0;
   state_->region_busy_ns.fetch_add(
       static_cast<std::uint64_t>(
@@ -138,11 +170,20 @@ void ThreadPool::drain_timed(const std::function<void(std::size_t)>& task,
       std::memory_order_relaxed);
 }
 
+/// One lane of the work-stealing drain. The lane pops the front of its own
+/// interval until it runs dry, then steals the upper half of the fullest
+/// other lane's remainder and continues. Returns when every lane reads
+/// empty (intervals claimed by an in-flight thief are finished by that
+/// thief before it returns) or the region aborts on a task exception.
+/// Determinism is unaffected by the schedule: tasks write disjoint outputs
+/// and reductions combine in task-index order after the region.
 void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
-                             std::size_t count) {
+                             std::size_t lane) {
   State& s = *state_;
-  for (std::size_t i = s.cursor.fetch_add(1, std::memory_order_relaxed);
-       i < count; i = s.cursor.fetch_add(1, std::memory_order_relaxed)) {
+  const std::size_t lane_count =
+      s.lane_count.load(std::memory_order_acquire);
+  std::atomic<std::uint64_t>* lanes = s.lanes.get();
+  const auto run_one = [&](std::size_t i) {
     try {
       task(i);
     } catch (...) {
@@ -150,13 +191,58 @@ void ThreadPool::drain_tasks(const std::function<void(std::size_t)>& task,
       if (!s.error) {
         s.error = std::current_exception();
       }
-      // Skip the remaining tasks: the region is already failed.
-      s.cursor.store(count, std::memory_order_relaxed);
+      // The region is already failed: tell every lane to stop claiming.
+      s.abort.store(true, std::memory_order_release);
+    }
+  };
+  while (!s.abort.load(std::memory_order_acquire)) {
+    // Fast path: pop the front of our own lane.
+    std::uint64_t pack = lanes[lane].load(std::memory_order_acquire);
+    if (range_next(pack) < range_end(pack)) {
+      const std::uint64_t popped =
+          pack_range(std::uint64_t{range_next(pack)} + 1, range_end(pack));
+      if (lanes[lane].compare_exchange_weak(pack, popped,
+                                            std::memory_order_acq_rel)) {
+        run_one(range_next(pack));
+      }
+      continue;
+    }
+    // Own lane dry: steal the upper half of the fullest victim. Preferring
+    // the largest remainder keeps steal counts logarithmic.
+    std::size_t victim = lane_count;
+    std::uint64_t victim_pack = 0;
+    std::uint32_t best_remaining = 0;
+    for (std::size_t v = 0; v < lane_count; ++v) {
+      if (v == lane) {
+        continue;
+      }
+      const std::uint64_t p = lanes[v].load(std::memory_order_acquire);
+      if (range_next(p) < range_end(p) &&
+          range_end(p) - range_next(p) > best_remaining) {
+        best_remaining = range_end(p) - range_next(p);
+        victim = v;
+        victim_pack = p;
+      }
+    }
+    if (victim == lane_count) {
+      return;  // every lane reads empty — nothing left to claim
+    }
+    const std::uint32_t v_next = range_next(victim_pack);
+    const std::uint32_t v_end = range_end(victim_pack);
+    const std::uint32_t take = (v_end - v_next + 1) / 2;
+    if (lanes[victim].compare_exchange_weak(
+            victim_pack, pack_range(v_next, v_end - take),
+            std::memory_order_acq_rel)) {
+      // [v_end - take, v_end) is ours; park it in our empty lane (plain
+      // store: only the owner installs into a lane, and CAS-transitions
+      // require a non-empty interval, so nothing races the install).
+      lanes[lane].store(pack_range(std::uint64_t{v_end} - take, v_end),
+                        std::memory_order_release);
     }
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
   State& s = *state_;
   std::uint64_t seen_generation = 0;
   MutexLock lock(s.mutex);
@@ -178,11 +264,16 @@ void ThreadPool::worker_loop() {
       continue;
     }
     const auto* task = s.task;
-    const std::size_t count = s.task_count;
+    std::pmr::memory_resource* region_arena = s.region_arena;
     lock.unlock();
 
     t_in_region = true;
-    drain_timed(*task, count);
+    // Job-scoped allocations made on this worker land in the caller's
+    // arena for the duration of the region.
+    std::pmr::memory_resource* previous =
+        arena::exchange_current(region_arena);
+    drain_timed(*task, lane);
+    arena::exchange_current(previous);
     t_in_region = false;
 
     lock.lock();
@@ -212,6 +303,8 @@ void ThreadPool::run(std::size_t count,
     return;
   }
 
+  CR_EXPECTS(count <= 0xffffffffu,
+             "parallel region task count must fit in 32 bits");
   MutexLock region(s.region_mutex);
   // Capture the sink once per region: lane busy times and the region
   // summary must land in the same sink even if it is swapped mid-region.
@@ -220,8 +313,20 @@ void ThreadPool::run(std::size_t count,
   {
     MutexLock lock(s.mutex);
     s.task = &task;
-    s.task_count = count;
-    s.cursor.store(0, std::memory_order_relaxed);
+    s.region_arena = arena::current();
+    const std::size_t lanes_needed = s.workers.size() + 1;
+    if (s.lane_count.load(std::memory_order_relaxed) != lanes_needed) {
+      s.lanes =
+          std::make_unique<std::atomic<std::uint64_t>[]>(lanes_needed);
+      s.lane_count.store(lanes_needed, std::memory_order_release);
+    }
+    // Even contiguous slices; imbalance is the thieves' problem.
+    for (std::size_t l = 0; l < lanes_needed; ++l) {
+      s.lanes[l].store(pack_range(l * count / lanes_needed,
+                                  (l + 1) * count / lanes_needed),
+                       std::memory_order_relaxed);
+    }
+    s.abort.store(false, std::memory_order_relaxed);
     s.error = nullptr;
     s.active_workers = s.workers.size();
     s.region_busy_ns.store(0, std::memory_order_relaxed);
@@ -230,7 +335,7 @@ void ThreadPool::run(std::size_t count,
   s.work_ready.notify_all();
 
   t_in_region = true;
-  drain_timed(task, count);
+  drain_timed(task, 0);
   t_in_region = false;
 
   MutexLock lock(s.mutex);

@@ -4,7 +4,7 @@
 // Design goals, in order:
 //  1. *Determinism.* Results must be bitwise-identical at any thread count.
 //     Chunk boundaries depend only on the caller-supplied grain (never on
-//     the thread count), chunks are handed out dynamically but write
+//     the thread count), chunks are scheduled by work-stealing but write
 //     disjoint outputs, and `parallel_reduce` combines per-chunk partials
 //     sequentially in chunk-index order. Callers keep the guarantee by
 //     making each chunk's computation independent of which thread runs it.
@@ -52,10 +52,14 @@ class ThreadPool {
   void resize(std::size_t count);
 
   /// Runs `task(0) .. task(count - 1)` across the pool and the calling
-  /// thread; blocks until all complete. Tasks are claimed dynamically from
-  /// an atomic cursor, so callers must not depend on task->thread mapping.
-  /// The first exception thrown by any task is rethrown on the caller after
-  /// the region drains. Nested calls (from a pool worker) run inline.
+  /// thread; blocks until all complete. Tasks are distributed by
+  /// work-stealing: each lane starts with an even contiguous slice and
+  /// idle lanes steal the upper half of the fullest lane's remainder, so
+  /// callers must not depend on task->thread mapping. The calling thread's
+  /// arena::current() binding is forwarded to the workers for the duration
+  /// of the region (see util/arena.hpp). The first exception thrown by any
+  /// task is rethrown on the caller after the region drains. Nested calls
+  /// (from a pool worker) run inline.
   void run(std::size_t count, const std::function<void(std::size_t)>& task);
 
   /// True when the current thread is executing inside a parallel region.
@@ -65,11 +69,11 @@ class ThreadPool {
   explicit ThreadPool(std::size_t count);
   void spawn_workers(std::size_t worker_count);
   void stop_workers();
-  void worker_loop();
+  void worker_loop(std::size_t lane);
   void drain_tasks(const std::function<void(std::size_t)>& task,
-                   std::size_t count);
+                   std::size_t lane);
   void drain_timed(const std::function<void(std::size_t)>& task,
-                   std::size_t count);
+                   std::size_t lane);
 
   struct State;
   std::unique_ptr<State> state_;  // pimpl; State is completed in the .cpp

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -28,7 +29,11 @@ constexpr std::size_t kScanDivisor = 4;
 }  // namespace
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(rows + 1, 0, arena::current()),
+      col_idx_(arena::current()),
+      values_(arena::current()) {}
 
 SparseMatrix SparseMatrix::from_dense(const Matrix& dense) {
   SparseMatrix out(dense.rows(), dense.cols());
@@ -92,9 +97,7 @@ double SparseMatrix::fill_ratio() const {
 SparseMatrix& SparseMatrix::operator*=(double scalar) {
   parallel_for(0, values_.size(), kElementGrain,
                [&](std::size_t b, std::size_t e) {
-                 for (std::size_t i = b; i < e; ++i) {
-                   values_[i] *= scalar;
-                 }
+                 simd::scale(values_.data() + b, scalar, e - b);
                });
   return *this;
 }
@@ -103,26 +106,72 @@ double SparseMatrix::max_value() const {
   return parallel_reduce(
       std::size_t{0}, values_.size(), kElementGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
-        double best = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          best = std::max(best, values_[i]);
-        }
-        return best;
+        return simd::max0(values_.data() + lo, hi - lo);
       },
       [](double acc, double part) { return std::max(acc, part); });
 }
 
+namespace {
+
+/// Staged-dense regime: when the rhs fill reaches this fraction, scattered
+/// acc[col] += updates lose to contiguous axpy rows over a dense staging
+/// of the rhs (the scatter is ~6x the per-element cost and defeats the
+/// vector units; this is what made the n = 100 spmm bench row *slower*
+/// than the dense kernel). The threshold depends only on operand shape —
+/// never on threads or backend — so results stay machine-independent.
+constexpr double kDenseRhsFill = 0.10;
+
+/// Cap on the staged-dense rhs footprint (elements): 1 << 22 is 32 MiB of
+/// doubles, enough for every mid-doubling densifying operand while keeping
+/// the horizon-truncated n = 10000 workload on the scatter path.
+constexpr std::size_t kDenseRhsMaxElems = std::size_t{1} << 22;
+
+/// Full dense fallback: below this many dense-product updates
+/// (rows * inner * cols) and with both operands at/above kDenseRhsFill,
+/// the whole product routes through the register-blocked dense kernel
+/// (to_dense -> Matrix::multiply -> from_dense). At these sizes the dense
+/// kernel's efficiency beats any per-entry formulation even counting the
+/// representation round-trip — this is what holds the small-n spmm bench
+/// row at parity with force-densifying (speedup_floor 1.0). 1 << 24 puts
+/// the crossover near n = 250 cubed; the pipeline's large-n doubling
+/// states sit far above it and keep their sparse regimes.
+constexpr std::size_t kDenseStageMaxFlops = std::size_t{1} << 24;
+
+}  // namespace
+
 /// Gustavson product with an optional fused scaled-add epilogue.
 ///
-/// Per task: a dense accumulator (acc) plus a touched-column list. For row
-/// i, the lhs row's terms are walked in ascending k (CSR order), and each
-/// term scatters a_ik * b_kj into acc — so per output element the adds
-/// land in ascending k order, matching the dense kernel's per-element
-/// accumulation exactly. The epilogue then folds scale * addend into the
-/// same accumulator, after all product terms, matching the dense fused
-/// kernel's ordering. Emission walks columns ascending (sorted touched
-/// list, or an accumulator scan for dense-ish rows — identical output
-/// either way) and drops exact-zero sums.
+/// Three regimes, chosen once per call from operand shape alone (never
+/// from thread count or backend, so results stay machine-independent):
+///
+/// * Dense fallback (small + both operands dense-ish): the whole product
+///   routes through the register-blocked dense kernel and the result is
+///   re-compressed. from_dense keeps exactly the `!= 0.0` entries, the
+///   same drop rule the sparse emitters use, and the dense kernel's
+///   per-element ascending-k accumulation (zero terms skipped) is the
+///   rounding sequence the regimes below reproduce — so the fallback is
+///   value- and pattern-identical to them.
+///
+/// * Scatter (sparse rhs): a dense accumulator (acc) plus a touched-column
+///   list per task. For row i, the lhs row's terms are walked in ascending
+///   k (CSR order), and each term scatters a_ik * b_kj into acc — so per
+///   output element the adds land in ascending k order, matching the dense
+///   kernel's per-element accumulation exactly.
+/// * Staged-dense (rhs fill >= kDenseRhsFill): the rhs is materialized
+///   densely once per call and each lhs row's entry list drives one
+///   simd::spmm_row_accum — indexed accumulation over the staged rhs rows
+///   with the output strip held in registers across all entries. Terms
+///   land in ascending-k CSR order, and the `+= a * 0.0` terms for absent
+///   rhs entries are exactly the ops the dense kernel performs, so this
+///   regime is bitwise-identical to Matrix::multiply for *all* operands —
+///   and the emission drop of exact-zero sums keeps the stored pattern
+///   identical to the scatter regime's.
+///
+/// The epilogue then folds scale * addend into the same accumulator, after
+/// all product terms, matching the dense fused kernel's ordering. Emission
+/// walks columns ascending (sorted touched list, accumulator scan for
+/// dense-ish rows, or the staged regime's combined scan-and-clear —
+/// identical output in every case) and drops exact-zero sums.
 ///
 /// Assembly: each fixed-grain chunk of rows appends into its own staging
 /// buffer; buffers are concatenated in chunk order afterwards. Chunk
@@ -140,22 +189,98 @@ SparseMatrix SparseMatrix::multiply_impl(const SparseMatrix& lhs,
   const std::size_t n = lhs.rows_;
   const std::size_t m = rhs.cols_;
 
+  // Dense fallback (regime 1). The nested floor divisions make the
+  // product bound overflow-safe: cols <= kMax / m / n  <=>  n*cols*m <= kMax.
+  const bool dense_stage =
+      n > 0 && m > 0 && lhs.cols_ > 0 &&
+      lhs.cols_ <= kDenseStageMaxFlops / m / n &&
+      lhs.fill_ratio() >= kDenseRhsFill && rhs.fill_ratio() >= kDenseRhsFill;
+  if (dense_stage) {
+    const Matrix lhs_dense = lhs.to_dense();
+    const Matrix rhs_dense = rhs.to_dense();
+    SparseMatrix result = from_dense(
+        addend == nullptr
+            ? Matrix::multiply(lhs_dense, rhs_dense)
+            : Matrix::multiply_add_scaled(lhs_dense, rhs_dense, scale,
+                                          addend->to_dense()));
+    // Dense-kernel accounting: the dense upper bound, like Matrix's own
+    // counter (the kernel skips zero lhs entries).
+    const std::uint64_t updates = static_cast<std::uint64_t>(n) *
+                                  lhs.cols_ * m;
+    if (flops != nullptr) {
+      *flops = 2 * updates;
+    }
+    if (metrics::Counter* mults = trace::counter("sparse.multiplies")) {
+      mults->add(1);
+      trace::counter("sparse.flops")->add(2 * updates);
+    }
+    return result;
+  }
+
   struct ChunkOut {
-    std::vector<std::uint32_t> cols;
-    std::vector<double> vals;
-    std::vector<std::size_t> row_nnz;
+    std::pmr::vector<std::uint32_t> cols{arena::current()};
+    std::pmr::vector<double> vals{arena::current()};
+    std::pmr::vector<std::size_t> row_nnz{arena::current()};
     std::uint64_t updates = 0;
   };
   const std::size_t chunk_count =
       n == 0 ? 0 : (n + kRowGrain - 1) / kRowGrain;
   std::vector<ChunkOut> chunks(chunk_count);
 
+  // Regime choice: a pure function of the rhs shape (see above).
+  const bool staged_dense = m > 0 && lhs.cols_ * m <= kDenseRhsMaxElems &&
+                            rhs.fill_ratio() >= kDenseRhsFill;
+  const Matrix rhs_dense = staged_dense ? rhs.to_dense() : Matrix();
+
   parallel_for(0, n, kRowGrain, [&](std::size_t r0, std::size_t r1) {
     ChunkOut& out = chunks[r0 / kRowGrain];
     out.row_nnz.reserve(r1 - r0);
-    std::vector<double> acc(m, 0.0);
-    std::vector<unsigned char> present(m, 0);
-    std::vector<std::uint32_t> touched;
+    if (staged_dense) {
+      // One simd::spmm_row_accum call per row: the CSR entry list drives
+      // indexed accumulation against the staged rhs with the output strip
+      // held in registers across all entries (no per-entry re-load of the
+      // accumulator, no zero-test branch). Per output element the terms
+      // land in ascending-k CSR order — the exact chain one axpy per
+      // entry produces.
+      std::pmr::vector<double> acc(m, 0.0, arena::current());
+      for (std::size_t i = r0; i < r1; ++i) {
+        const std::size_t begin = lhs.row_ptr_[i];
+        const std::size_t nnz_row = lhs.row_ptr_[i + 1] - begin;
+        bool any = nnz_row != 0;
+        if (nnz_row != 0) {
+          out.updates += nnz_row * m;
+          simd::spmm_row_accum(acc.data(), lhs.values_.data() + begin,
+                               lhs.col_idx_.data() + begin, nnz_row,
+                               rhs_dense.row(0).data(), m, m);
+        }
+        if (addend != nullptr) {
+          any = any || addend->row_ptr_[i + 1] != addend->row_ptr_[i];
+          for (std::size_t e = addend->row_ptr_[i];
+               e < addend->row_ptr_[i + 1]; ++e) {
+            acc[addend->col_idx_[e]] += scale * addend->values_[e];
+          }
+        }
+        const std::size_t before = out.vals.size();
+        if (any) {
+          // Combined emit-and-clear scan; ascending columns, zero sums
+          // dropped, accumulator left clean for the next row.
+          for (std::size_t j = 0; j < m; ++j) {
+            const double v = acc[j];
+            acc[j] = 0.0;
+            if (v != 0.0) {
+              out.cols.push_back(static_cast<std::uint32_t>(j));
+              out.vals.push_back(v);
+            }
+          }
+        }
+        out.row_nnz.push_back(out.vals.size() - before);
+      }
+      return;
+    }
+    std::pmr::vector<double> acc(m, 0.0, arena::current());
+    std::pmr::vector<unsigned char> present(arena::current());
+    std::pmr::vector<std::uint32_t> touched(arena::current());
+    present.assign(m, 0);
     for (std::size_t i = r0; i < r1; ++i) {
       touched.clear();
       for (std::size_t ae = lhs.row_ptr_[i]; ae < lhs.row_ptr_[i + 1];

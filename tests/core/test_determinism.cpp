@@ -13,6 +13,7 @@
 #include "util/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/trace.hpp"
 
 namespace crowdrank {
@@ -20,7 +21,10 @@ namespace {
 
 class DeterminismTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_thread_count(configured_thread_count()); }
+  void TearDown() override {
+    set_thread_count(configured_thread_count());
+    simd::reset_backend();
+  }
 };
 
 Matrix random_square(std::size_t n, Rng& rng) {
@@ -202,6 +206,34 @@ TEST_F(DeterminismTest, PipelineOutputIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.accuracy, parallel.accuracy);
   EXPECT_EQ(serial.inference.step3.pairs_without_evidence,
             parallel.inference.step3.pairs_without_evidence);
+}
+
+TEST_F(DeterminismTest, PipelineOutputIsIdenticalAcrossSimdBackends) {
+  // The AVX2 kernels (util/simd.hpp) must be bitwise-identical to the
+  // scalar reference end to end: same closure bits, same ranking, same
+  // log-probability, whichever backend the dispatch lands on. Skipped
+  // (scalar vs scalar) on hosts without AVX2.
+  if (!simd::avx2_supported()) {
+    GTEST_SKIP() << "no AVX2 on this host";
+  }
+  ExperimentConfig config;
+  config.object_count = 60;
+  config.selection_ratio = 0.15;
+  config.worker_pool_size = 12;
+  config.workers_per_task = 3;
+  config.seed = 1234;
+
+  ASSERT_TRUE(simd::set_backend(simd::Backend::Scalar));
+  const ExperimentResult scalar = run_experiment(config);
+  ASSERT_TRUE(simd::set_backend(simd::Backend::Avx2));
+  const ExperimentResult avx2 = run_experiment(config);
+  simd::reset_backend();
+
+  EXPECT_EQ(scalar.inference.closure, avx2.inference.closure);
+  EXPECT_EQ(scalar.inference.ranking, avx2.inference.ranking);
+  EXPECT_EQ(scalar.inference.log_probability,
+            avx2.inference.log_probability);
+  EXPECT_EQ(scalar.accuracy, avx2.accuracy);
 }
 
 TEST_F(DeterminismTest, TracingNeverPerturbsPipelineResults) {

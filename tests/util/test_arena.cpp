@@ -1,0 +1,157 @@
+// The per-job monotonic arena (util/arena.hpp): bump allocation, block
+// retention across resets, oversize fallback, the outstanding-allocation
+// safety refusal, and the thread-local current()/Scope binding that
+// Matrix/SparseMatrix capture.
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace crowdrank {
+namespace {
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  Arena arena(1 << 12);
+  void* a = arena.allocate(24, 8);
+  void* b = arena.allocate(1, 1);
+  void* c = arena.allocate(32, 32);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 32, 0u);
+  // All three came out of one block.
+  EXPECT_EQ(arena.stats().system_allocs, 1u);
+  EXPECT_EQ(arena.stats().allocs, 3u);
+  EXPECT_EQ(arena.stats().outstanding, 3u);
+  // Writes must not overlap: fill each region and check the first.
+  std::memset(a, 0xAA, 24);
+  std::memset(b, 0xBB, 1);
+  std::memset(c, 0xCC, 32);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[23], 0xAA);
+  arena.deallocate(a, 24, 8);
+  arena.deallocate(b, 1, 1);
+  arena.deallocate(c, 32, 32);
+  EXPECT_EQ(arena.stats().outstanding, 0u);
+}
+
+TEST(ArenaTest, ResetRetainsBlocksAndReusesThem) {
+  Arena arena(1 << 12);
+  void* first = arena.allocate(256, 8);
+  arena.deallocate(first, 256, 8);
+  const std::uint64_t system_allocs_cold = arena.stats().system_allocs;
+  EXPECT_TRUE(arena.reset());
+  // Warm pass: same request pattern, zero new upstream blocks, and the
+  // bump pointer hands back the same region.
+  void* second = arena.allocate(256, 8);
+  EXPECT_EQ(second, first);
+  arena.deallocate(second, 256, 8);
+  EXPECT_EQ(arena.stats().system_allocs, system_allocs_cold);
+  EXPECT_TRUE(arena.reset());
+  EXPECT_EQ(arena.stats().resets, 2u);
+  EXPECT_GT(arena.stats().bytes_peak, 0u);
+}
+
+TEST(ArenaTest, OversizeRequestsFallBackAndAreReleasedOnReset) {
+  Arena arena(1 << 10);  // 1 KiB blocks
+  void* big = arena.allocate(1 << 16, 64);  // 64 KiB: can't fit a block
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+  std::memset(big, 0x5A, 1 << 16);
+  EXPECT_EQ(arena.stats().oversize_allocs, 1u);
+  arena.deallocate(big, 1 << 16, 64);
+  const std::uint64_t reserved_with_oversize = arena.stats().bytes_reserved;
+  EXPECT_TRUE(arena.reset());
+  // Oversize blocks are released by reset (only normal blocks persist).
+  EXPECT_LT(arena.stats().bytes_reserved, reserved_with_oversize);
+}
+
+TEST(ArenaTest, ResetRefusesWhileAllocationsOutstanding) {
+  Arena arena;
+  void* p = arena.allocate(64, 8);
+  EXPECT_FALSE(arena.reset());  // leak-through becomes a stat, not a UAF
+  EXPECT_EQ(arena.stats().skipped_resets, 1u);
+  arena.deallocate(p, 64, 8);
+  EXPECT_TRUE(arena.reset());
+  EXPECT_EQ(arena.stats().resets, 1u);
+}
+
+TEST(ArenaTest, CurrentDefaultsToNewDelete) {
+  EXPECT_EQ(arena::current(), std::pmr::new_delete_resource());
+}
+
+TEST(ArenaTest, ScopeBindsAndRestores) {
+  Arena arena;
+  {
+    arena::Scope scope(arena);
+    EXPECT_EQ(arena::current(), &arena);
+    {
+      Arena inner;
+      arena::Scope nested(inner);
+      EXPECT_EQ(arena::current(), &inner);
+    }
+    EXPECT_EQ(arena::current(), &arena);
+  }
+  EXPECT_EQ(arena::current(), std::pmr::new_delete_resource());
+}
+
+TEST(ArenaTest, MatrixDrawsFromBoundArena) {
+  Arena arena;
+  {
+    arena::Scope scope(arena);
+    Matrix m(16, 16, 1.0);
+    EXPECT_GT(arena.stats().allocs, 0u);
+    EXPECT_GT(arena.stats().outstanding, 0u);
+    // Element access works on arena storage like any other.
+    m(3, 4) = 2.0;
+    EXPECT_EQ(m(3, 4), 2.0);
+  }
+  // Matrix destroyed -> everything returned; the job-boundary reset works.
+  EXPECT_EQ(arena.stats().outstanding, 0u);
+  EXPECT_TRUE(arena.reset());
+}
+
+TEST(ArenaTest, CopyIntoDifferentResourceKeepsValues) {
+  // Copy-construction captures the *current* binding, so a copy made
+  // outside the Scope lives on the heap and survives the arena reset —
+  // the pattern a job result must follow.
+  Arena arena;
+  Matrix escaped;
+  {
+    arena::Scope scope(arena);
+    Matrix scratch(8, 8, 0.0);
+    scratch(2, 2) = 42.0;
+    arena::Scope heap(*std::pmr::new_delete_resource());
+    escaped = Matrix(scratch);
+  }
+  ASSERT_TRUE(arena.reset());
+  EXPECT_EQ(escaped(2, 2), 42.0);
+}
+
+TEST(ArenaTest, ManySmallAllocationsSpanBlocks) {
+  Arena arena(1 << 10);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    ptrs.push_back(arena.allocate(100, 8));  // ~6.4 KiB total, 1 KiB blocks
+  }
+  EXPECT_GT(arena.stats().system_allocs, 1u);
+  for (void* p : ptrs) {
+    arena.deallocate(p, 100, 8);
+  }
+  const std::uint64_t blocks = arena.stats().system_allocs;
+  EXPECT_TRUE(arena.reset());
+  // Second pass reuses every retained block: no new upstream traffic.
+  for (int i = 0; i < 64; ++i) {
+    arena.deallocate(arena.allocate(100, 8), 100, 8);
+  }
+  EXPECT_EQ(arena.stats().system_allocs, blocks);
+}
+
+}  // namespace
+}  // namespace crowdrank

@@ -130,8 +130,25 @@ TEST_F(SparseMatrixTest, FusedMultiplyAddMatchesDenseBitwise) {
 }
 
 TEST_F(SparseMatrixTest, MultiplyReportsUpdateFlops) {
-  // One row times one column through a single shared k: exactly one
-  // multiply-add update per stored (a_ik, b_kj) pair.
+  // Sparse regimes: exactly one multiply-add update per stored
+  // (a_ik, b_kj) pair. Operands are kept under the dense-fallback fill
+  // cutoff so the scatter path runs.
+  Matrix a(6, 6, 0.0);
+  a(0, 0) = 0.5;
+  Matrix b(6, 6, 0.0);
+  b(0, 0) = 0.25;
+  b(0, 1) = 0.75;
+  std::uint64_t flops = 0;
+  const SparseMatrix product = SparseMatrix::multiply(
+      SparseMatrix::from_dense(a), SparseMatrix::from_dense(b), &flops);
+  EXPECT_EQ(flops, 4u);  // 2 updates * 2 flops each
+  EXPECT_EQ(product.nnz(), 2u);
+}
+
+TEST_F(SparseMatrixTest, DenseFallbackReportsDenseFlops) {
+  // Dense-ish small operands route through the dense kernel, whose
+  // accounting is the dense upper bound 2 * n * k * m (the kernel still
+  // skips zero lhs entries, but the figure reported is the bound).
   Matrix a(2, 2, 0.0);
   a(0, 0) = 0.5;
   Matrix b(2, 2, 0.0);
@@ -140,8 +157,9 @@ TEST_F(SparseMatrixTest, MultiplyReportsUpdateFlops) {
   std::uint64_t flops = 0;
   const SparseMatrix product = SparseMatrix::multiply(
       SparseMatrix::from_dense(a), SparseMatrix::from_dense(b), &flops);
-  EXPECT_EQ(flops, 4u);  // 2 updates * 2 flops each
+  EXPECT_EQ(flops, 16u);  // 2 * 2 * 2 * 2
   EXPECT_EQ(product.nnz(), 2u);
+  EXPECT_EQ(product.to_dense(), Matrix::multiply(a, b));
 }
 
 TEST_F(SparseMatrixTest, ScaleAndMaxValueMatchDense) {

@@ -11,8 +11,13 @@ that report into a CI gate:
     absorb runner-to-runner variance, tight enough to catch a kernel
     silently falling off its fast path);
   * correctness booleans (`identical`, `rankings_match`,
-    `telemetry_overhead_ok`, `cache_correct`) must be true, exactly as
-    the baseline recorded them;
+    `telemetry_overhead_ok`, `cache_correct`, `arena_zero_steady`) must
+    be true, exactly as the baseline recorded them;
+  * rows whose baseline carries a `speedup_floor` note must keep their
+    current `speedup` at or above 0.9x that floor (the 0.9 absorbs
+    run-to-run jitter; the floor itself encodes the expectation, e.g.
+    "the CSR entry point never loses to force-densifying" at 1.0, or
+    "AVX2 beats scalar by 1.5x" on the simd kernel rows);
   * deterministic integers (`densify_step`, `horizon`, `n`) must match
     exactly — a changed densify step means the sparse-first propagation
     switched representation at a different point than the baseline pinned;
@@ -47,9 +52,14 @@ import sys
 NOISE_FLOOR_MS = 0.5
 
 BOOLEAN_KEYS = {"identical", "rankings_match", "telemetry_overhead_ok",
-                "cache_correct"}
+                "cache_correct", "arena_zero_steady"}
 EXACT_INT_KEYS = {"densify_step", "horizon", "n"}
 ACCURACY_TOLERANCE = 0.05
+
+# Slack on `speedup_floor` rows: current speedup must stay at or above
+# floor * SPEEDUP_FLOOR_SLACK (the floor states the expectation; the slack
+# absorbs runner jitter without letting a kernel quietly fall to parity).
+SPEEDUP_FLOOR_SLACK = 0.9
 
 
 def load(path):
@@ -72,6 +82,17 @@ def compare(baseline, current, tolerance):
         if cur is None:
             failures.append(f"{label}: run missing from current report")
             continue
+        base_floor = base.get("notes", {}).get("speedup_floor")
+        if base_floor is not None:
+            cur_speedup = cur.get("notes", {}).get("speedup")
+            if cur_speedup is None:
+                failures.append(
+                    f"{label}.speedup: missing from current report "
+                    f"(baseline carries speedup_floor {base_floor})")
+            elif cur_speedup < base_floor * SPEEDUP_FLOOR_SLACK:
+                failures.append(
+                    f"{label}.speedup: {cur_speedup:.3f} below floor "
+                    f"{base_floor} x {SPEEDUP_FLOOR_SLACK}")
         pairs = []
         for key, base_value in base.get("notes", {}).items():
             pairs.append((key, base_value, cur.get("notes", {}).get(key)))
@@ -107,8 +128,9 @@ def compare(baseline, current, tolerance):
                         f"{label}.{key}: {cur_value:.3f} ms exceeds "
                         f"{limit:.3f} ms "
                         f"(baseline {base_value:.3f} ms x {tolerance})")
-            # Remaining keys (speedup, threads, sparse_flops, ...) are
-            # informational: derived from gated values or hardware-bound.
+            # Remaining keys (threads, sparse_flops, speedup on rows
+            # without a floor, ...) are informational: derived from gated
+            # values or hardware-bound.
     return failures
 
 
@@ -151,9 +173,19 @@ def self_test(baseline, tolerance):
                 return True
         return False
 
+    def sink_speedup(report):
+        for run in report.get("runs", []):
+            notes = run.get("notes", {})
+            if "speedup_floor" in notes and "speedup" in notes:
+                notes["speedup"] = (
+                    notes["speedup_floor"] * SPEEDUP_FLOOR_SLACK * 0.5)
+                return True
+        return False
+
     expect_failure(slow_down, "an injected slowdown")
     expect_failure(flip_flag, "a flipped correctness flag")
     expect_failure(shift_densify, "a shifted densify step")
+    expect_failure(sink_speedup, "a speedup sunk below its floor")
     return problems
 
 

@@ -24,6 +24,13 @@ quietly break that promise, so this script bans them in src/:
                     level filtering and line-atomic output hold
                     everywhere; the logger's own sink
                     (src/util/logging.cpp) carries the one lint:allow.
+  raw-intrinsics    including <immintrin.h> or naming _mm*/__m128/__m256/
+                    __m512 vector types and intrinsics outside the simd
+                    layer (src/util/simd.hpp, src/util/kernels_avx2.cpp).
+                    Hot loops call the dispatched simd:: kernels, whose
+                    scalar/AVX2 pairs are proven bitwise-identical by
+                    tests/util/test_simd.cpp; an intrinsic anywhere else
+                    is an unproven rounding hazard with no scalar twin.
   raw-mutex         naming std::mutex / std::condition_variable /
                     std::lock_guard / std::unique_lock / std::scoped_lock
                     in src/. Locking goes through the annotated
@@ -121,6 +128,18 @@ RULES = {
         r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
     ),
 }
+
+# Vectorization choke point: raw intrinsics live only in the simd layer,
+# where every AVX2 kernel has a scalar twin and an identity test. The
+# dispatch header is allowlisted for the (currently hypothetical) case of
+# an inline-intrinsic helper shared by both TUs.
+RAW_INTRINSICS_ALLOWED_FILES = (
+    "src/util/simd.hpp",
+    "src/util/kernels_avx2.cpp",
+)
+RAW_INTRINSICS_RE = re.compile(
+    r"immintrin\.h|\b_mm(?:256|512)?_\w+\s*\(|\b__m(?:128|256|512)\w*\b"
+)
 
 # Sparse-first guard for the propagation stage. Construction-with-args and
 # dense materialization only: `Matrix m;` declarations and assignments from
@@ -225,6 +244,10 @@ def lint_lines(path: str, lines: list[str]) -> list[tuple[str, int, str, str]]:
             m = pattern.search(code)
             if m and rule not in allow:
                 findings.append((path, lineno, rule, raw.strip()))
+        if (path not in RAW_INTRINSICS_ALLOWED_FILES
+                and "raw-intrinsics" not in allow
+                and RAW_INTRINSICS_RE.search(code)):
+            findings.append((path, lineno, "raw-intrinsics", raw.strip()))
         if (path.startswith(FS_WRITE_DIR)
                 and path not in FS_WRITE_ALLOWED_FILES
                 and "fs-write-in-service" not in allow
@@ -351,6 +374,11 @@ SELF_TEST_BAD = [
      ['std::cerr << "oops";']),
     ("stderr-outside-logger", "src/core/x.cpp",
      ['fprintf(stderr, "oops");']),
+    ("raw-intrinsics", "src/core/x.cpp", ["#include <immintrin.h>"]),
+    ("raw-intrinsics", "src/util/matrix.cpp",
+     ["__m256d v = _mm256_loadu_pd(p);"]),
+    ("raw-intrinsics", "src/util/simd.cpp",
+     ["t = _mm_add_pd(t, _mm_mul_pd(a, b));"]),
     ("raw-mutex", "src/core/x.cpp", ["std::mutex mu;"]),
     ("raw-mutex", "src/core/x.cpp",
      ["std::lock_guard<std::mutex> lock(mu);"]),
@@ -386,6 +414,13 @@ SELF_TEST_GOOD = [
      ['log_warn() << "oops";']),
     ("raw-mutex", "src/core/x.cpp",
      ["MutexLock lock(mutex_);", "CondVar cv;"]),
+    # The simd layer is the sanctioned intrinsics site.
+    ("raw-intrinsics", "src/util/kernels_avx2.cpp",
+     ["#include <immintrin.h>",
+      "t0 = _mm256_add_pd(t0, _mm256_mul_pd(av, _mm256_loadu_pd(row)));"]),
+    # Calling the dispatched kernels is what everyone else does.
+    ("raw-intrinsics", "src/util/matrix.cpp",
+     ["simd::axpy(out.data(), x.data(), a, n);"]),
     ("dense-in-propagation", DENSE_IN_PROPAGATION_FILE,
      ["Matrix propagate(const SparseMatrix& m) {"]),
     # The artifact module is the sanctioned persistence site.
@@ -450,7 +485,7 @@ def run_self_test() -> int:
     covered |= {rule for rule, _, _ in SELF_TEST_FACADE_BAD}
     all_rules = set(RULES) | {
         "unordered-iter", "dense-in-propagation", "fs-write-in-service",
-        "engine-outside-facade", "submodule-include",
+        "raw-intrinsics", "engine-outside-facade", "submodule-include",
     }
     for rule in sorted(all_rules - covered):
         cases.append(("coverage %s" % rule, False,
